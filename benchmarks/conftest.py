@@ -1,0 +1,31 @@
+"""Shared fixtures for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper. The
+kernels are interpreted at reduced size and extrapolated to the paper's
+problem sizes by the cost model (see DESIGN.md); pytest-benchmark
+measures the end-to-end regeneration cost, and the assertions check the
+reproduced *shapes* against the paper's captions.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "figure(name): marks which paper artifact a benchmark "
+        "regenerates")
+
+
+#: Reduced problem sizes used by the figure benchmarks: large enough for
+#: stable per-iteration profiles, small enough for quick runs.
+BENCH_SIZES = {
+    "stencil_small_n": 6000,
+    "stencil_large_n": 3000,
+    "gfmc_npair": 40,
+    "greengauss_nodes": 8000,
+}
+
+
+@pytest.fixture(scope="session")
+def bench_sizes():
+    return dict(BENCH_SIZES)

@@ -1,0 +1,62 @@
+"""Figures 3 and 5: small-stencil absolute time and parallel speedup.
+
+Paper shapes (captions of Figs. 3/5): the primal and FormAD adjoint
+scale to ~13x on 18 threads; the atomic and reduction adjoints are
+best with 1 thread, never exceed the serial adjoint, and slow down as
+threads are added; the FormAD adjoint at 18 threads beats the serial
+adjoint by an order of magnitude while atomics are ~25x slower than
+serial even at their best.
+"""
+
+import pytest
+
+from repro.experiments import (PAPER, run_kernel_experiment,
+                               small_stencil_spec)
+
+
+@pytest.fixture(scope="module")
+def experiment(bench_sizes):
+    return run_kernel_experiment(small_stencil_spec(n=bench_sizes["stencil_small_n"]))
+
+
+@pytest.mark.figure("fig3")
+def test_fig3_absolute_times(benchmark, bench_sizes):
+    exp = benchmark.pedantic(
+        lambda: run_kernel_experiment(
+            small_stencil_spec(n=bench_sizes["stencil_small_n"])),
+        rounds=1, iterations=1)
+    paper = PAPER["stencil_small"]
+    # Serial anchors within 2x of the paper's absolute numbers.
+    assert exp.primal_serial_time == pytest.approx(paper.primal_serial, rel=1.0)
+    assert exp.adjoint_serial_time == pytest.approx(paper.adjoint_serial, rel=1.5)
+    # Atomic version: best case is 1 thread and still >> serial.
+    atomic = exp.adjoints["atomic"]
+    assert atomic.best_threads() == 1
+    assert atomic.best() > 10 * exp.adjoint_serial_time
+    # Reduction version: best case 1 thread, worse than serial.
+    reduction = exp.adjoints["reduction"]
+    assert reduction.best_threads() == 1
+    assert reduction.best() > exp.adjoint_serial_time
+    # FormAD at 18 threads beats serial by an order of magnitude.
+    assert exp.adjoints["formad"].times[18] < exp.adjoint_serial_time / 8
+
+
+@pytest.mark.figure("fig5")
+def test_fig5_speedups(benchmark, experiment):
+    exp = experiment
+    primal_sp = benchmark.pedantic(exp.primal_speedups, rounds=1, iterations=1)
+    formad_sp = exp.adjoint_speedups("formad")
+    # Paper: 13.4x / 13.6x at 18 threads; accept the 10-18 band.
+    assert 10 < primal_sp[18] < 18
+    assert 10 < formad_sp[18] < 18
+    # Monotone scaling for primal and FormAD.
+    threads = exp.threads
+    for a, b in zip(threads, threads[1:]):
+        assert primal_sp[b] > primal_sp[a]
+        assert formad_sp[b] > formad_sp[a]
+    # Atomics and reductions never exceed serial and degrade with
+    # threads (paper: "actually slow down as more threads are added").
+    for strategy in ("atomic", "reduction"):
+        sp = exp.adjoint_speedups(strategy)
+        assert max(sp.values()) < 1.0
+        assert sp[18] < sp[1] or sp[18] < 0.5

@@ -1,0 +1,51 @@
+"""Figures 4 and 6: large (17-point) stencil absolute time and speedup.
+
+Paper shapes: same qualitative picture as the small stencil at ~4-6x
+the absolute cost — primal/FormAD scale to ~13x, atomics and
+reductions never beat the serial adjoint and degrade with threads.
+"""
+
+import pytest
+
+from repro.experiments import (PAPER, large_stencil_spec,
+                               run_kernel_experiment, small_stencil_spec)
+
+
+@pytest.fixture(scope="module")
+def experiment(bench_sizes):
+    return run_kernel_experiment(
+        large_stencil_spec(n=bench_sizes["stencil_large_n"]))
+
+
+@pytest.mark.figure("fig4")
+def test_fig4_absolute_times(benchmark, bench_sizes):
+    exp = benchmark.pedantic(
+        lambda: run_kernel_experiment(
+            large_stencil_spec(n=bench_sizes["stencil_large_n"])),
+        rounds=1, iterations=1)
+    paper = PAPER["stencil_large"]
+    # Within 2x of the paper's serial anchors.
+    assert exp.primal_serial_time == pytest.approx(paper.primal_serial, rel=1.0)
+    # The large stencil costs several times the small one (paper: 4.25x).
+    small = run_kernel_experiment(small_stencil_spec(n=bench_sizes["stencil_large_n"]))
+    ratio = exp.primal_serial_time / small.primal_serial_time
+    assert 3 < ratio < 9
+    # Safeguarded adjoints never beat serial.
+    assert exp.adjoints["atomic"].best() > exp.adjoint_serial_time
+    assert exp.adjoints["reduction"].best() > exp.adjoint_serial_time
+
+
+@pytest.mark.figure("fig6")
+def test_fig6_speedups(benchmark, experiment):
+    exp = experiment
+    primal_sp = benchmark.pedantic(exp.primal_speedups, rounds=1, iterations=1)
+    assert 10 < primal_sp[18] < 18
+    assert 10 < exp.adjoint_speedups("formad")[18] < 18
+    for strategy in ("atomic", "reduction"):
+        sp = exp.adjoint_speedups(strategy)
+        assert max(sp.values()) < 1.0
+    # Paper: FormAD outperforms atomics/reductions by more than 10x in
+    # parallel execution.
+    formad18 = exp.adjoints["formad"].times[18]
+    assert exp.adjoints["atomic"].times[18] > 10 * formad18
+    assert exp.adjoints["reduction"].times[18] > 10 * formad18

@@ -1,0 +1,57 @@
+"""Figures 7 and 8: GFMC absolute time and parallel speedup.
+
+Paper shapes: the FormAD adjoint performs best on 18 threads and
+outperforms the reduction version by >5x; the reduction version peaks
+at low thread counts (1.43x at 4 threads in the paper); the atomic
+version is 10-100x slower than serial; the adjoint costs a few times
+the primal (saving/restoring of intermediates); the dynamic spin-
+exchange load imbalance caps the primal speedup below the ideal
+(paper: 7.35x at 18 threads).
+"""
+
+import pytest
+
+from repro.experiments import PAPER, gfmc_spec, run_kernel_experiment
+
+
+@pytest.fixture(scope="module")
+def experiment(bench_sizes):
+    return run_kernel_experiment(gfmc_spec(npair=bench_sizes["gfmc_npair"]))
+
+
+@pytest.mark.figure("fig7")
+def test_fig7_absolute_times(benchmark, bench_sizes):
+    exp = benchmark.pedantic(
+        lambda: run_kernel_experiment(gfmc_spec(npair=bench_sizes["gfmc_npair"])),
+        rounds=1, iterations=1)
+    paper = PAPER["gfmc"]
+    # Serial primal within ~2x of the paper's 0.655 s.
+    assert exp.primal_serial_time == pytest.approx(paper.primal_serial, rel=1.2)
+    # The adjoint costs more than the primal (taping of the overwritten
+    # spin indices and coefficients; paper factor ~3.4).
+    assert exp.adjoint_serial_time > 1.3 * exp.primal_serial_time
+    # FormAD at 18 threads beats the best reduction by > 5x (paper 5.88x).
+    formad_best = exp.adjoints["formad"].best()
+    assert exp.adjoints["reduction"].best() > 5 * formad_best
+    # Atomics at least 10x slower than the serial adjoint somewhere.
+    assert max(exp.adjoints["atomic"].times.values()) > 4 * exp.adjoint_serial_time
+
+
+@pytest.mark.figure("fig8")
+def test_fig8_speedups(benchmark, experiment):
+    exp = experiment
+    primal_sp = benchmark.pedantic(exp.primal_speedups, rounds=1, iterations=1)
+    formad_sp = exp.adjoint_speedups("formad")
+    # Paper: primal 7.35x, FormAD 8.39x at 18 threads; load imbalance
+    # keeps both well below ideal.
+    assert 4 < primal_sp[18] < 14
+    assert 5 < formad_sp[18] < 14
+    assert formad_sp[18] > primal_sp[18] * 0.8
+    # Reduction peaks at a low thread count and stays ~1x.
+    red_sp = exp.adjoint_speedups("reduction")
+    best_threads = max(red_sp, key=red_sp.get)
+    assert best_threads <= 4
+    assert red_sp[best_threads] < 2.0
+    assert red_sp[18] < red_sp[best_threads]
+    # Atomics never approach serial performance.
+    assert max(exp.adjoint_speedups("atomic").values()) < 0.5

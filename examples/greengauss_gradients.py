@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Green-Gauss gradients (§7.4): differentiate an unstructured PDE
+kernel and compare the safeguard strategies' simulated performance.
+
+The edge loop updates both endpoint nodes of every edge through the
+mesh connectivity (``edge2nodes``); a 2-coloring makes the primal
+race-free. FormAD proves the adjoint safe *despite* the data-dependent
+indices — then we sweep thread counts for all four adjoint builds on
+the simulated 18-core machine and print the Fig. 9/10 comparison.
+"""
+
+import numpy as np
+
+from repro.experiments import (format_figure_pair, greengauss_spec,
+                               run_kernel_experiment)
+from repro import analyze_formad, differentiate, run_procedure
+from repro.programs import build_greengauss, make_linear_mesh
+
+
+def correctness_check() -> None:
+    """Validate the FormAD adjoint's gradient on a small mesh."""
+    proc = build_greengauss(applications=1)
+    mesh = make_linear_mesh(64, seed=1)
+    adj = differentiate(proc, ["dv"], ["grad"], strategy="formad")
+
+    rng = np.random.default_rng(2)
+    seed = rng.standard_normal(64)
+    bindings = dict(mesh)
+    bindings[adj.adjoint_name("grad")] = seed.copy()
+    bindings[adj.adjoint_name("dv")] = np.zeros(64)
+    grad_dv = run_procedure(adj.procedure, bindings) \
+        .array(adj.adjoint_name("dv")).data
+
+    direction = rng.standard_normal(64)
+    eps = 1e-6
+    hi = run_procedure(proc, {**mesh, "dv": mesh["dv"] + eps * direction})
+    lo = run_procedure(proc, {**mesh, "dv": mesh["dv"] - eps * direction})
+    fd = float(seed @ (hi.array("grad").data - lo.array("grad").data)) / (2 * eps)
+    ad = float(direction @ grad_dv)
+    print(f"dot-product test: FD={fd:.8f} adjoint={ad:.8f}")
+    assert abs(fd - ad) / max(abs(fd), 1e-12) < 1e-6
+
+
+def main() -> None:
+    proc = build_greengauss()
+    (analysis,) = analyze_formad(proc, ["dv"], ["grad"])
+    print("FormAD on the colored edge loop:")
+    for verdict in analysis.verdicts.values():
+        print(f"  {verdict}")
+    print(f"  (knowledge: {analysis.stats.model_size} assertions, "
+          f"{analysis.stats.exploitation_checks} questions — paper Table 1: "
+          f"5 / 3)\n")
+
+    correctness_check()
+
+    print("\nSimulated §7.4 performance comparison (paper Figs. 9/10):\n")
+    exp = run_kernel_experiment(greengauss_spec(nnodes=10_000))
+    print(format_figure_pair(exp, "FormAD 24.32s @18, reductions best 85.77s, "
+                                  "atomics 386s at 1 thread"))
+
+
+if __name__ == "__main__":
+    main()

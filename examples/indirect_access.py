@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""The paper's Figure 2, end to end.
+
+The primal loop writes through an indirection table ``c``::
+
+    !$omp parallel do
+    do i = 1, n
+      y(c(i)) = x(c(i) + 7)
+    end do
+
+Classical dependence analysis cannot prove anything about ``c``; FormAD
+instead *assumes the primal is correctly parallelized*, extracts the
+knowledge ``c(i') ≠ c(i)`` for ``i' ≠ i``, and uses it to prove that the
+adjoint increments ``xb(c(i) + 7)`` can never collide — so the adjoint
+parallel loop needs no atomics (the right-hand side of Fig. 2).
+
+This script shows each stage: the knowledge, the solver questions, the
+generated adjoint, and a dynamic race check on concrete data.
+"""
+
+import numpy as np
+
+from repro import differentiate, format_procedure, parse_procedure
+from repro.analysis import ActivityAnalysis
+from repro.formad import FormADEngine
+from repro.runtime import detect_races
+from repro.smt import SAT, Solver, TApp, Int
+
+FIG2 = """
+subroutine fig2(x, y, c, n)
+  integer, intent(in) :: n
+  real, intent(in) :: x(2000)
+  real, intent(out) :: y(1000)
+  integer, intent(in) :: c(1000)
+
+  !$omp parallel do
+  do i = 1, n
+    y(c(i)) = x(c(i) + 7)
+  end do
+end subroutine fig2
+"""
+
+
+def solver_level_walkthrough() -> None:
+    """The Fig. 2 reasoning expressed directly against the SMT solver."""
+    print("--- solver-level walkthrough " + "-" * 38)
+    i, ip = Int("i"), Int("ip")
+    c_i, c_ip = TApp("c", (i,)), TApp("c", (ip,))
+    solver = Solver()
+    solver.add(ip.ne(i))        # two threads never share a counter value
+    solver.add(c_ip.ne(c_i))    # knowledge: primal writes are disjoint
+    print(f"knowledge consistent?            {solver.check()}")
+    solver.push()
+    solver.add((c_ip + 7).eq(c_i + 7))  # can the adjoint increments collide?
+    print(f"xb(c(i')+7) == xb(c(i)+7)?       {solver.check()}  "
+          f"(UNSAT = provably disjoint)")
+    solver.pop()
+
+
+def main() -> None:
+    proc = parse_procedure(FIG2)
+
+    solver_level_walkthrough()
+
+    print("\n--- FormAD engine on the real loop " + "-" * 32)
+    activity = ActivityAnalysis(proc, ["x"], ["y"])
+    engine = FormADEngine(proc, activity)
+    (analysis,) = engine.analyze_all()
+    print(f"knowledge assertions (incl. root axiom): {analysis.stats.model_size}")
+    print(f"exploitation queries:                    "
+          f"{analysis.stats.exploitation_checks}")
+    for verdict in analysis.verdicts.values():
+        print(f"verdict: {verdict}")
+
+    print("\n--- generated adjoint (Fig. 2, right) " + "-" * 29)
+    adj = differentiate(proc, ["x"], ["y"], strategy="formad")
+    print(format_procedure(adj.procedure))
+
+    print("\n--- dynamic race check on concrete data " + "-" * 27)
+    rng = np.random.default_rng(0)
+    n = 1000
+    bindings = {
+        "x": rng.standard_normal(2000),
+        "y": np.zeros(n),
+        "c": rng.permutation(n) + 1,
+        "n": n,
+        adj.adjoint_name("x"): np.zeros(2000),
+        adj.adjoint_name("y"): np.ones(n),
+    }
+    report = detect_races(adj.procedure, bindings)
+    print(report)
+    assert report.race_free
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Legacy setup shim so `pip install -e .` works offline (no wheel pkg)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "FormAD: automatic differentiation of parallel loops with formal "
+        "methods (ICPP 2022 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

@@ -1,0 +1,92 @@
+"""FormAD reproduction: automatic differentiation of parallel loops
+with formal methods (Hückelheim & Hascoët, ICPP 2022).
+
+The top-level API covers the common workflow::
+
+    from repro import parse_procedure, differentiate, analyze_formad
+
+    proc = parse_procedure(source)            # Fortran-flavored input
+    result = differentiate(proc, ["x"], ["y"], strategy="formad")
+    print(format_procedure(result.procedure)) # the adjoint code
+
+Strategies mirror the paper's program versions: ``"serial"``,
+``"atomic"``, ``"reduction"``, ``"formad"`` (and ``"shared"``, which
+drops every safeguard without proof — only for experiments).
+"""
+
+from typing import List, Optional, Sequence
+
+from .ir import (Procedure, Program, ProcedureBuilder, format_procedure,
+                 parse_expression, parse_procedure, parse_program, validate)
+from .ad import (ALL_ATOMIC, ALL_REDUCTION, ALL_SHARED, GuardKind,
+                 GuardPolicy, ReverseResult, TangentResult,
+                 differentiate_reverse, differentiate_tangent)
+from .analysis import ActivityAnalysis
+from .formad import (AnalysisReport, FormADEngine, FormADGuardPolicy,
+                     LoopAnalysis, PrimalRaceError, format_table1)
+from .runtime import (BROADWELL_18, MachineModel, Memory, detect_races,
+                      profile_run, run_procedure, simulate_thread_sweep)
+
+__version__ = "1.0.0"
+
+#: Strategy names accepted by :func:`differentiate`.
+STRATEGIES = ("serial", "atomic", "reduction", "shared", "formad")
+
+
+def differentiate(
+    proc: Procedure,
+    independents: Sequence[str],
+    dependents: Sequence[str],
+    *,
+    strategy: str = "formad",
+    fallback: GuardKind = GuardKind.ATOMIC,
+) -> ReverseResult:
+    """Reverse-differentiate *proc* with the given safeguard strategy.
+
+    ``strategy`` is one of :data:`STRATEGIES`; ``fallback`` applies only
+    to ``"formad"`` and guards the arrays whose safety could not be
+    proven.
+    """
+    if strategy == "serial":
+        return differentiate_reverse(proc, independents, dependents,
+                                     serial=True)
+    if strategy == "atomic":
+        return differentiate_reverse(proc, independents, dependents,
+                                     policy=ALL_ATOMIC)
+    if strategy == "reduction":
+        return differentiate_reverse(proc, independents, dependents,
+                                     policy=ALL_REDUCTION)
+    if strategy == "shared":
+        return differentiate_reverse(proc, independents, dependents,
+                                     policy=ALL_SHARED)
+    if strategy == "formad":
+        policy = FormADGuardPolicy(proc, independents, dependents,
+                                   fallback=fallback)
+        return differentiate_reverse(proc, independents, dependents,
+                                     policy=policy)
+    raise ValueError(f"unknown strategy {strategy!r}; pick from {STRATEGIES}")
+
+
+def analyze_formad(
+    proc: Procedure,
+    independents: Sequence[str],
+    dependents: Sequence[str],
+) -> List[LoopAnalysis]:
+    """Run the FormAD analysis on every parallel loop of *proc*."""
+    activity = ActivityAnalysis(proc, independents, dependents)
+    return FormADEngine(proc, activity).analyze_all()
+
+
+__all__ = [
+    "Procedure", "Program", "ProcedureBuilder", "format_procedure",
+    "parse_expression", "parse_procedure", "parse_program", "validate",
+    "ALL_ATOMIC", "ALL_REDUCTION", "ALL_SHARED", "GuardKind", "GuardPolicy",
+    "ReverseResult", "differentiate_reverse",
+    "TangentResult", "differentiate_tangent",
+    "ActivityAnalysis",
+    "AnalysisReport", "FormADEngine", "FormADGuardPolicy", "LoopAnalysis",
+    "PrimalRaceError", "format_table1",
+    "BROADWELL_18", "MachineModel", "Memory", "detect_races", "profile_run",
+    "run_procedure", "simulate_thread_sweep",
+    "STRATEGIES", "differentiate", "analyze_formad", "__version__",
+]

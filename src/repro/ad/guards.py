@@ -1,0 +1,53 @@
+"""Safeguard policies for adjoint parallel loops.
+
+The AD engine asks a :class:`GuardPolicy` what to do with each adjoint
+increment to a *shared* array inside an adjoint parallel loop:
+
+* ``SHARED`` — plain update, no safeguard (only FormAD proves this);
+* ``ATOMIC`` — ``!$omp atomic`` on each increment (paper: "Adjoint
+  Atomic");
+* ``REDUCTION`` — privatize the adjoint array in a ``reduction(+)``
+  clause (paper: "Adjoint Reduction").
+
+Policies correspond to the paper's program versions; the FormAD policy
+(deciding SHARED per proven-safe array) lives in :mod:`repro.formad`
+and implements the same interface.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..ir.stmt import Loop
+
+
+class GuardKind(enum.Enum):
+    SHARED = "shared"
+    ATOMIC = "atomic"
+    REDUCTION = "reduction"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class GuardPolicy:
+    """Decides the safeguard per (parallel loop, primal array)."""
+
+    def decide(self, loop: Loop, primal_array: str) -> GuardKind:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class ConstantPolicy(GuardPolicy):
+    """Always answers the same kind (paper's atomic/reduction versions)."""
+
+    kind: GuardKind
+
+    def decide(self, loop: Loop, primal_array: str) -> GuardKind:
+        return self.kind
+
+
+ALL_ATOMIC = ConstantPolicy(GuardKind.ATOMIC)
+ALL_REDUCTION = ConstantPolicy(GuardKind.REDUCTION)
+ALL_SHARED = ConstantPolicy(GuardKind.SHARED)

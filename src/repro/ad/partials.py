@@ -1,0 +1,163 @@
+"""Symbolic partial derivatives of right-hand sides.
+
+Given an assignment's RHS and a *seed* expression (the adjoint of the
+assignment's target), produce one contribution per active reference:
+``refb += contribution``. This implements the local rule of the paper's
+§4.1 — the Jacobian row of one instruction — with the chain rule folded
+in syntactically.
+
+Non-smooth intrinsics (``abs``, ``max``, ``min``) produce *guarded*
+contributions: the emitter wraps them in ``if`` statements replaying
+the primal's branch of the kink, which is the standard AD convention.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Set
+
+from ..ir.expr import (ArrayRef, BinOp, Call, Compare, Const, Expr, Logical,
+                       Op, UnOp, Var)
+
+
+class NotDifferentiableError(TypeError):
+    """The expression contains an operation with no derivative rule."""
+
+
+@dataclass(frozen=True)
+class Contribution:
+    """One adjoint increment: ``adjoint(ref) += expr`` (under ``guard``)."""
+
+    ref: Var | ArrayRef
+    expr: Expr
+    guard: Optional[Expr] = None  # a logical expression, or None
+
+
+def partials(
+    expr: Expr,
+    seed: Expr,
+    is_active: Callable[[str], bool],
+) -> List[Contribution]:
+    """Adjoint contributions of ``expr`` with respect to each active
+    reference it contains, with *seed* as the incoming adjoint.
+
+    ``is_active`` decides by name which references carry derivatives.
+    """
+    out: List[Contribution] = []
+    _walk(expr, seed, None, is_active, out)
+    return out
+
+
+def _guarded(guard: Optional[Expr], extra: Optional[Expr]) -> Optional[Expr]:
+    if guard is None:
+        return extra
+    if extra is None:
+        return guard
+    return guard.logical_and(extra)
+
+
+def _walk(expr: Expr, seed: Expr, guard: Optional[Expr],
+          is_active: Callable[[str], bool], out: List[Contribution]) -> None:
+    if isinstance(expr, Const):
+        return
+    if isinstance(expr, (Var, ArrayRef)):
+        if is_active(expr.name):
+            out.append(Contribution(expr, seed, guard))
+        return
+    if isinstance(expr, BinOp):
+        l, r = expr.left, expr.right
+        if expr.op is Op.ADD:
+            _walk(l, seed, guard, is_active, out)
+            _walk(r, seed, guard, is_active, out)
+        elif expr.op is Op.SUB:
+            _walk(l, seed, guard, is_active, out)
+            _walk(r, UnOp(Op.NEG, seed), guard, is_active, out)
+        elif expr.op is Op.MUL:
+            _walk(l, BinOp(Op.MUL, seed, r), guard, is_active, out)
+            _walk(r, BinOp(Op.MUL, seed, l), guard, is_active, out)
+        elif expr.op is Op.DIV:
+            _walk(l, BinOp(Op.DIV, seed, r), guard, is_active, out)
+            # d(l/r)/dr = -l/r**2
+            _walk(r, UnOp(Op.NEG, BinOp(Op.DIV, BinOp(Op.MUL, seed, l),
+                                        BinOp(Op.MUL, r, r))),
+                  guard, is_active, out)
+        elif expr.op is Op.POW:
+            # d(b**e)/db = e * b**(e-1); exponent assumed inactive
+            # (active exponents need log(b) and are rejected below).
+            _walk(l, BinOp(Op.MUL, seed,
+                           BinOp(Op.MUL, r, BinOp(Op.POW, l,
+                                                  BinOp(Op.SUB, r, Const(1))))),
+                  guard, is_active, out)
+            if _mentions_active(r, is_active):
+                raise NotDifferentiableError(
+                    f"active exponent in {expr}: not supported")
+        else:  # pragma: no cover - NEG is a UnOp
+            raise NotDifferentiableError(f"operator {expr.op}")
+        return
+    if isinstance(expr, UnOp):
+        _walk(expr.operand, UnOp(Op.NEG, seed), guard, is_active, out)
+        return
+    if isinstance(expr, Call):
+        _walk_call(expr, seed, guard, is_active, out)
+        return
+    if isinstance(expr, (Compare, Logical)):
+        # Boolean subexpressions carry no derivative, but an active
+        # operand inside one marks a non-differentiable dependency the
+        # caller might care about; the standard convention is a zero
+        # partial, so we simply stop here.
+        return
+    raise NotDifferentiableError(f"cannot differentiate {expr!r}")  # pragma: no cover
+
+
+def _walk_call(call: Call, seed: Expr, guard: Optional[Expr],
+               is_active: Callable[[str], bool], out: List[Contribution]) -> None:
+    name = call.func
+    args = call.args
+    a = args[0]
+    if name == "sin":
+        _walk(a, BinOp(Op.MUL, seed, Call("cos", (a,))), guard, is_active, out)
+    elif name == "cos":
+        _walk(a, UnOp(Op.NEG, BinOp(Op.MUL, seed, Call("sin", (a,)))),
+              guard, is_active, out)
+    elif name == "tan":
+        cos_a = Call("cos", (a,))
+        _walk(a, BinOp(Op.DIV, seed, BinOp(Op.MUL, cos_a, cos_a)),
+              guard, is_active, out)
+    elif name == "exp":
+        _walk(a, BinOp(Op.MUL, seed, Call("exp", (a,))), guard, is_active, out)
+    elif name == "log":
+        _walk(a, BinOp(Op.DIV, seed, a), guard, is_active, out)
+    elif name == "sqrt":
+        _walk(a, BinOp(Op.DIV, seed,
+                       BinOp(Op.MUL, Const(2.0), Call("sqrt", (a,)))),
+              guard, is_active, out)
+    elif name == "tanh":
+        t = Call("tanh", (a,))
+        _walk(a, BinOp(Op.MUL, seed,
+                       BinOp(Op.SUB, Const(1.0), BinOp(Op.MUL, t, t))),
+              guard, is_active, out)
+    elif name == "abs":
+        _walk(a, seed, _guarded(guard, a.ge(0.0)), is_active, out)
+        _walk(a, UnOp(Op.NEG, seed), _guarded(guard, a.lt(0.0)), is_active, out)
+    elif name in ("max", "min"):
+        if len(args) != 2:
+            raise NotDifferentiableError(f"{name} with {len(args)} args")
+        b = args[1]
+        first_wins = a.ge(b) if name == "max" else a.le(b)
+        second_wins = a.lt(b) if name == "max" else a.gt(b)
+        _walk(a, seed, _guarded(guard, first_wins), is_active, out)
+        _walk(b, seed, _guarded(guard, second_wins), is_active, out)
+    elif name == "real":
+        # Conversion is the identity on already-real (active) data.
+        _walk(a, seed, guard, is_active, out)
+    elif name in ("int", "mod", "sign"):
+        if any(_mentions_active(arg, is_active) for arg in args):
+            raise NotDifferentiableError(
+                f"intrinsic {name!r} applied to an active expression")
+    else:
+        raise NotDifferentiableError(f"no derivative rule for {name!r}")
+
+
+def _mentions_active(expr: Expr, is_active: Callable[[str], bool]) -> bool:
+    from ..ir.expr import names_in
+    return any(is_active(n) for n in names_in(expr))

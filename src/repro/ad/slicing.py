@@ -1,0 +1,117 @@
+"""Adjoint slicing: drop primal computation the adjoint never needs.
+
+Tapenade prunes, from the generated adjoint routine, primal statements
+whose results are neither taped, nor read by any partial, nor used for
+control flow — that is why the paper's serial adjoint of the (linear)
+stencil is *cheaper* than the primal (1.58 s vs 2.05 s): the adjoint
+routine contains essentially only the reverse sweep.
+
+The pass removes, to a fixpoint:
+
+* assignments to primal-named variables that nothing in the remaining
+  procedure reads (exact-increment self-reads do not count as reads,
+  matching the to-be-recorded filter);
+* control structures that became empty (an ``if`` with two empty
+  branches, a loop with an empty body whose counter is not read later).
+
+Adjoint-named variables (the results callers read) are never removed.
+Note the sliced routine intentionally does not recompute the primal
+outputs — the Tapenade contract for ``foo_b``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set
+
+from ..ir.expr import Var
+from ..ir.program import Procedure
+from ..ir.stmt import Assign, If, Loop, Pop, Push, Stmt
+from .reverse import _compute_read_names
+
+
+def _sweep(body: List[Stmt], reads: Set[str], protected: Set[str],
+           unshadowed: Set[str] = frozenset()) -> bool:
+    """One removal pass over *body*; returns True if anything changed."""
+    changed = False
+    kept: List[Stmt] = []
+    for stmt in body:
+        if isinstance(stmt, Assign):
+            name = stmt.target.name
+            if name not in reads and name not in protected:
+                changed = True
+                continue
+            kept.append(stmt)
+        elif isinstance(stmt, If):
+            changed |= _sweep(stmt.then_body, reads, protected, unshadowed)
+            changed |= _sweep(stmt.else_body, reads, protected, unshadowed)
+            if not stmt.then_body and not stmt.else_body:
+                changed = True
+                continue
+            kept.append(stmt)
+        elif isinstance(stmt, Loop):
+            changed |= _sweep(stmt.body, reads, protected, unshadowed)
+            if not stmt.body and stmt.var not in unshadowed:
+                # The counter's post-loop value is only observable by
+                # reads outside loops that redefine it.
+                changed = True
+                continue
+            kept.append(stmt)
+        else:  # Push / Pop always stay: the tape protocol needs them.
+            kept.append(stmt)
+    body[:] = kept
+    return changed
+
+
+def slice_adjoint(proc: Procedure, protected: Sequence[str]) -> int:
+    """Slice *proc* in place; returns the number of removal rounds.
+
+    *protected* lists names whose assignments must survive — the
+    adjoint variables, whose final values are the routine's results.
+    """
+    protected_set = set(protected)
+    rounds = 0
+    for rounds in range(1, 100):
+        reads = _compute_read_names(proc)
+        unshadowed = _unshadowed_counter_reads(proc)
+        if not _sweep(proc.body, reads, protected_set, unshadowed):
+            break
+    return rounds
+
+
+def _unshadowed_counter_reads(proc: Procedure) -> Set[str]:
+    """Names read somewhere *not* enclosed by a loop using that same
+    name as its counter (such enclosed reads see the enclosing loop's
+    own counter value, so an earlier empty loop's final counter value
+    is unobservable through them)."""
+    from ..ir.expr import names_in
+    out: Set[str] = set()
+
+    def expr_reads(e, shadow: Set[str]) -> None:
+        out.update(names_in(e) - shadow)
+
+    def visit(body, shadow: Set[str]) -> None:
+        for stmt in body:
+            if isinstance(stmt, Assign):
+                expr_reads(stmt.value, shadow)
+                from ..ir.expr import ArrayRef
+                if isinstance(stmt.target, ArrayRef):
+                    for idx in stmt.target.indices:
+                        expr_reads(idx, shadow)
+            elif isinstance(stmt, If):
+                expr_reads(stmt.cond, shadow)
+                visit(stmt.then_body, shadow)
+                visit(stmt.else_body, shadow)
+            elif isinstance(stmt, Loop):
+                for e in (stmt.start, stmt.stop, stmt.step):
+                    expr_reads(e, shadow)
+                visit(stmt.body, shadow | {stmt.var})
+            elif isinstance(stmt, Push):
+                expr_reads(stmt.value, shadow)
+            elif isinstance(stmt, Pop):
+                from ..ir.expr import ArrayRef
+                if isinstance(stmt.target, ArrayRef):
+                    for idx in stmt.target.indices:
+                        expr_reads(idx, shadow)
+
+    visit(proc.body, set())
+    return out

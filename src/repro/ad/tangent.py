@@ -1,0 +1,191 @@
+"""Forward (tangent) mode source transformation.
+
+An extension beyond the paper (its §8 mentions tangent-friendly
+parallelism implicitly): the tangent of an assignment is emitted right
+*before* the primal statement, with the same control structure. Forward
+mode needs no data-flow reversal, so tangents of parallel loops are
+trivially parallel: the tangent writes mirror the primal writes, whose
+disjointness across iterations is exactly the correct-parallelization
+assumption — no atomics, no reductions, no FormAD queries needed. This
+module exists both as a usable feature and as an independent oracle for
+the reverse mode (forward-over-reverse consistency tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.activity import ActivityAnalysis
+from ..ir.expr import ArrayRef, BinOp, Const, Expr, Op, Var
+from ..ir.program import Param, Procedure
+from ..ir.simplify import simplify
+from ..ir.stmt import Assign, If, Loop, Pop, Push, Stmt
+from ..ir.types import Intent, REAL, Type
+from .partials import Contribution, partials
+
+#: Scratch accumulator for guarded tangent contributions.
+TMP_TAN = "ad_tmpd"
+
+
+@dataclass
+class TangentResult:
+    """The generated tangent procedure plus naming metadata."""
+
+    procedure: Procedure
+    tangent_of: Dict[str, str]
+    activity: ActivityAnalysis
+
+    def tangent_name(self, primal: str) -> str:
+        return self.tangent_of[primal]
+
+
+def differentiate_tangent(
+    proc: Procedure,
+    independents: Sequence[str],
+    dependents: Sequence[str],
+    *,
+    name_suffix: str = "_d",
+) -> TangentResult:
+    """Differentiate *proc* in forward mode.
+
+    The caller seeds the tangents of the independents and reads the
+    tangents of the dependents after the call (all tangent arguments
+    are ``intent(inout)``).
+    """
+    activity = ActivityAnalysis(proc, independents, dependents)
+    t = _TangentTransformer(proc, activity)
+    tangent = t.build(proc.name + name_suffix)
+    return TangentResult(tangent, dict(t.tangent_of), activity)
+
+
+class _TangentTransformer:
+    def __init__(self, proc: Procedure, activity: ActivityAnalysis) -> None:
+        self.proc = proc
+        self.activity = activity
+        self.tangent_of: Dict[str, str] = {}
+        self.new_locals: Dict[str, Type] = {}
+        self._needs_tmp = False
+        self._loop_private_extra: set[str] = set()
+        self._loop: Optional[Loop] = None
+
+    # ------------------------------------------------------------------
+    def tangent(self, name: str) -> str:
+        tan = self.tangent_of.get(name)
+        if tan is None:
+            tan = name + "d"
+            while self.proc.has_symbol(tan) or tan in self.tangent_of.values() \
+                    or tan in self.new_locals:
+                tan += "0"
+            self.tangent_of[name] = tan
+        return tan
+
+    def tangent_ref(self, ref: Var | ArrayRef) -> Var | ArrayRef:
+        if isinstance(ref, Var):
+            return Var(self.tangent(ref.name))
+        return ArrayRef(self.tangent(ref.name), ref.indices)
+
+    # ------------------------------------------------------------------
+    def build(self, name: str) -> Procedure:
+        body = self.transform_body(self.proc.body)
+        # Requested independents/dependents always get tangent
+        # parameters, even if activity finds them inactive (dependents
+        # whose tangent the kernel never writes keep their seed).
+        wants_tangent = self.activity.active \
+            | set(self.activity.independents) | set(self.activity.dependents)
+        params: List[Param] = []
+        for p in self.proc.params:
+            params.append(p)
+            if p.name in wants_tangent:
+                params.append(Param(self.tangent(p.name), p.type, Intent.INOUT))
+        locals_: Dict[str, Type] = dict(self.proc.locals)
+        for lname, ltype in self.proc.locals.items():
+            if lname in self.activity.active:
+                locals_[self.tangent(lname)] = ltype
+        locals_.update(self.new_locals)
+        return Procedure(name, params, locals_, body)
+
+    def transform_body(self, body: Sequence[Stmt]) -> List[Stmt]:
+        out: List[Stmt] = []
+        for stmt in body:
+            out.extend(self.transform_stmt(stmt))
+        return out
+
+    def transform_stmt(self, stmt: Stmt) -> List[Stmt]:
+        if isinstance(stmt, Assign):
+            return self.transform_assign(stmt)
+        if isinstance(stmt, If):
+            return [If(stmt.cond, self.transform_body(stmt.then_body),
+                       self.transform_body(stmt.else_body))]
+        if isinstance(stmt, Loop):
+            return self.transform_loop(stmt)
+        if isinstance(stmt, (Push, Pop)):
+            raise TypeError("cannot differentiate code that already contains "
+                            "tape operations")
+        raise TypeError(f"cannot differentiate {stmt!r}")  # pragma: no cover
+
+    def transform_assign(self, stmt: Assign) -> List[Stmt]:
+        out: List[Stmt] = []
+        if stmt.target.name in self.activity.active:
+            out.extend(self.tangent_of_assign(stmt))
+        out.append(Assign(stmt.target, stmt.value, atomic=stmt.atomic))
+        return out
+
+    def tangent_of_assign(self, stmt: Assign) -> List[Stmt]:
+        is_active = lambda n: n in self.activity.active
+        conts = partials(stmt.value, Const(1.0), is_active)
+        td = self.tangent_ref(stmt.target)
+        if any(c.guard is not None for c in conts):
+            # Kinked intrinsics: accumulate in a temp under guards.
+            tmp = Var(TMP_TAN)
+            self.new_locals[TMP_TAN] = REAL
+            if self._loop is not None:
+                self._loop_private_extra.add(TMP_TAN)
+            out: List[Stmt] = [Assign(tmp, Const(0.0))]
+            for c in conts:
+                inc = Assign(tmp, BinOp(Op.ADD, tmp, self._term(c)))
+                out.append(If(c.guard, [inc]) if c.guard is not None else inc)
+            out.append(Assign(td, tmp))
+            return out
+        expr: Expr = Const(0.0)
+        for c in conts:
+            expr = BinOp(Op.ADD, expr, self._term(c))
+        return [Assign(td, simplify(expr))]
+
+    def _term(self, cont: Contribution) -> Expr:
+        return simplify(BinOp(Op.MUL, cont.expr, self.tangent_ref(cont.ref)))
+
+    def transform_loop(self, loop: Loop) -> List[Stmt]:
+        outer = self._loop
+        if loop.parallel:
+            self._loop = loop
+            self._loop_private_extra = set()
+        body = self.transform_body(loop.body)
+        if not loop.parallel:
+            self._loop = outer
+            return [Loop(loop.var, loop.start, loop.stop, loop.step, body)]
+        private = list(loop.private)
+        for name in loop.private:
+            if name in self.activity.active:
+                tan = self.tangent(name)
+                if tan not in private:
+                    private.append(tan)
+        for name in sorted(self._loop_private_extra):
+            if name not in private:
+                private.append(name)
+        reduction = list(loop.reduction)
+        for op, name in loop.reduction:
+            # The tangent of a reduction accumulator accumulates too.
+            if name in self.activity.active:
+                if op != "+":
+                    from .partials import NotDifferentiableError
+                    raise NotDifferentiableError(
+                        f"tangent of a {op!r}-reduction over active "
+                        f"variable {name!r} is not supported")
+                entry = ("+", self.tangent(name))
+                if entry not in reduction:
+                    reduction.append(entry)
+        self._loop = outer
+        self._loop_private_extra = set()
+        return [Loop(loop.var, loop.start, loop.stop, loop.step, body,
+                     parallel=True, private=private, reduction=reduction)]

@@ -1,0 +1,14 @@
+"""Program analyses feeding the AD engine and FormAD: activity (§5.4),
+array-reference collection, and exact-increment detection."""
+
+from .activity import ActivityAnalysis
+from .increments import IncrementInfo, is_increment, match_increment
+from .references import (AccessKind, ArrayAccess, RegionReferences,
+                         collect_region_references)
+
+__all__ = [
+    "ActivityAnalysis",
+    "IncrementInfo", "is_increment", "match_increment",
+    "AccessKind", "ArrayAccess", "RegionReferences",
+    "collect_region_references",
+]

@@ -1,0 +1,67 @@
+"""Detection of exact increment statements (paper §5.4, Fig. 1 right).
+
+A statement ``x = x + e`` (or ``x = x - e``, or ``x(i) = x(i) + e``)
+where ``e`` does not reference ``x``'s memory is an *increment*. Its
+adjoint only **reads** the adjoint of ``x`` (``eb = eb + xb*...``) and
+neither overwrites nor increments it, which removes reference pairs
+from FormAD's conflict analysis and lets the AD engine skip the
+save/restore of the overwritten value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..ir.expr import (ArrayRef, BinOp, Expr, Op, UnOp, Var,
+                       references_location)
+from ..ir.stmt import Assign, Stmt
+
+
+@dataclass(frozen=True)
+class IncrementInfo:
+    """The decomposition of ``target = target ± delta``."""
+
+    target: Var | ArrayRef
+    delta: Expr
+    negated: bool  # True for ``target = target - delta``
+
+
+def match_increment(stmt: Stmt) -> Optional[IncrementInfo]:
+    """Return the increment decomposition of *stmt*, or ``None``.
+
+    Recognized shapes (with ``t`` the syntactically identical target):
+
+    * ``t = t + e`` and ``t = e + t``
+    * ``t = t - e``
+
+    ``e`` must not reference the target's array/variable at all, else
+    the "the rest is independent of t" reading is unsound and we
+    conservatively refuse.
+    """
+    if not isinstance(stmt, Assign):
+        return None
+    value = stmt.value
+    target = stmt.target
+    if not isinstance(value, BinOp) or value.op not in (Op.ADD, Op.SUB):
+        return None
+    if value.op is Op.ADD:
+        if value.left == target:
+            rest = value.right
+        elif value.right == target:
+            rest = value.left
+        else:
+            return None
+        negated = False
+    else:  # SUB: only t - e keeps the increment reading
+        if value.left != target:
+            return None
+        rest = value.right
+        negated = True
+    if references_location(rest, target):
+        return None
+    return IncrementInfo(target, rest, negated)
+
+
+def is_increment(stmt: Stmt) -> bool:
+    return match_increment(stmt) is not None

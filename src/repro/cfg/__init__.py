@@ -1,0 +1,21 @@
+"""Control-flow analyses: CFG, dominators, reaching definitions,
+instance numbering (§5.2), and control contexts (§5.1)."""
+
+from .graph import CFG, Node, NodeKind, build_cfg
+from .dominators import (dominates, dominator_tree_children,
+                         immediate_dominators, immediate_postdominators)
+from .defuse import (Definition, ENTRY_DEF, ReachingDefinitions,
+                     compute_reaching_definitions)
+from .instances import (InstanceNumbering, number_instances,
+                        number_instances_for_loop)
+from .contexts import Context, ContextMap, build_contexts
+
+__all__ = [
+    "CFG", "Node", "NodeKind", "build_cfg",
+    "dominates", "dominator_tree_children", "immediate_dominators",
+    "immediate_postdominators",
+    "Definition", "ENTRY_DEF", "ReachingDefinitions",
+    "compute_reaching_definitions",
+    "InstanceNumbering", "number_instances", "number_instances_for_loop",
+    "Context", "ContextMap", "build_contexts",
+]

@@ -1,0 +1,108 @@
+"""Control contexts (paper §5.1).
+
+A *context* represents the set of control decisions that lead to
+executing an instruction. Knowledge extracted from a pair of references
+is attached to the innermost context guaranteed to execute both; during
+exploitation, a question about a pair may only use knowledge attached
+to the common root of their contexts.
+
+Our IR is fully structured (``if``/``do`` only), so contexts form a
+tree built directly from the AST: the region body is the *root*
+context, each branch of an ``if`` opens a child context, and the body
+of a nested sequential loop opens a child context (its body may execute
+zero times, so statements inside are only *may*-executed relative to
+the loop's own context). This is exactly the recursive construction the
+paper describes for well-structured code; the dominator-based
+construction for arbitrary CFGs coincides with it on structured input
+(tested against :mod:`repro.cfg.dominators`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from ..ir.stmt import Assign, If, Loop, Pop, Push, Stmt
+
+
+@dataclass
+class Context:
+    """A node in the context tree."""
+
+    label: str
+    parent: Optional["Context"] = None
+    children: List["Context"] = field(default_factory=list)
+    depth: int = 0
+
+    def child(self, label: str) -> "Context":
+        c = Context(label, self, depth=self.depth + 1)
+        self.children.append(c)
+        return c
+
+    def ancestors(self) -> Iterator["Context"]:
+        """This context and all its ancestors, innermost first."""
+        node: Optional[Context] = self
+        while node is not None:
+            yield node
+            node = node.parent
+
+    def includes(self, other: "Context") -> bool:
+        """True if every iteration executing *other* executes *self*
+        (i.e. *self* is *other* or an ancestor of it)."""
+        return any(a is self for a in other.ancestors())
+
+    def common_root(self, other: "Context") -> "Context":
+        """Deepest context including both *self* and *other*."""
+        mine = list(self.ancestors())
+        mine_set = {id(c) for c in mine}
+        for c in other.ancestors():
+            if id(c) in mine_set:
+                return c
+        raise ValueError("contexts belong to different trees")  # pragma: no cover
+
+    def path(self) -> str:
+        return "/".join(reversed([c.label for c in self.ancestors()]))
+
+    def __repr__(self) -> str:
+        return f"<Context {self.path()}>"
+
+
+@dataclass
+class ContextMap:
+    """The context tree of one region plus a statement→context map."""
+
+    root: Context
+    of_stmt: Dict[int, Context]
+
+    def context_of(self, stmt: Stmt) -> Context:
+        return self.of_stmt[stmt.uid]
+
+    def all_contexts(self) -> List[Context]:
+        out: List[Context] = []
+        stack = [self.root]
+        while stack:
+            c = stack.pop()
+            out.append(c)
+            stack.extend(reversed(c.children))
+        return out
+
+
+def build_contexts(body: Sequence[Stmt], root_label: str = "root") -> ContextMap:
+    """Build the context tree for a region body (e.g. a parallel loop)."""
+    root = Context(root_label)
+    of_stmt: Dict[int, Context] = {}
+
+    def visit(stmts: Sequence[Stmt], ctx: Context) -> None:
+        for stmt in stmts:
+            of_stmt[stmt.uid] = ctx
+            if isinstance(stmt, If):
+                visit(stmt.then_body, ctx.child(f"if{stmt.uid}/then"))
+                if stmt.else_body:
+                    visit(stmt.else_body, ctx.child(f"if{stmt.uid}/else"))
+            elif isinstance(stmt, Loop):
+                visit(stmt.body, ctx.child(f"do{stmt.uid}"))
+            elif not isinstance(stmt, (Assign, Push, Pop)):  # pragma: no cover
+                raise TypeError(f"cannot build context for {stmt!r}")
+
+    visit(body, root)
+    return ContextMap(root, of_stmt)

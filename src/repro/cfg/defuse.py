@@ -1,0 +1,99 @@
+"""Reaching definitions and def-use chains for scalar variables.
+
+Used by the instance numbering of §5.2: "two uses of one variable get
+the same instance number when they are reached by the same set of
+Def-Use chains". We compute, for every CFG node and scalar variable,
+the set of definition sites (statement uids, plus a synthetic ``ENTRY``
+definition for the value flowing in from outside the analyzed region)
+that reach the node's *inputs*.
+
+Only scalar definitions matter for instance numbering (array elements
+are handled by the index-expression machinery itself), so array writes
+are not tracked here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from ..ir.expr import Var
+from ..ir.stmt import Assign, If, Loop, Pop, Push, Stmt
+from .graph import CFG, Node, NodeKind
+
+#: Synthetic definition site: the value a variable has on region entry.
+ENTRY_DEF = -1
+
+#: A definition is (variable name, site uid); site is ENTRY_DEF or a
+#: statement uid (Assign to scalar, Pop to scalar, Loop counter update).
+Definition = Tuple[str, int]
+
+
+def _defs_of_node(node: Node) -> List[Definition]:
+    stmt = node.stmt
+    if stmt is None:
+        return []
+    if node.kind is NodeKind.STMT:
+        if isinstance(stmt, Assign) and isinstance(stmt.target, Var):
+            return [(stmt.target.name, stmt.uid)]
+        if isinstance(stmt, Pop) and isinstance(stmt.target, Var):
+            return [(stmt.target.name, stmt.uid)]
+        return []
+    if node.kind is NodeKind.LOOPHEAD:
+        assert isinstance(stmt, Loop)
+        # The loop head (re)defines the counter on every visit.
+        return [(stmt.var, stmt.uid)]
+    return []
+
+
+@dataclass
+class ReachingDefinitions:
+    """Per-node IN sets of reaching definitions."""
+
+    cfg: CFG
+    node_in: Dict[int, FrozenSet[Definition]]
+    node_out: Dict[int, FrozenSet[Definition]]
+
+    def reaching_at(self, node_id: int, var: str) -> FrozenSet[int]:
+        """Definition sites of *var* reaching the inputs of *node_id*."""
+        return frozenset(site for name, site in self.node_in[node_id]
+                         if name == var)
+
+    def reaching_at_stmt(self, stmt: Stmt, var: str) -> FrozenSet[int]:
+        return self.reaching_at(self.cfg.stmt_node(stmt), var)
+
+
+def compute_reaching_definitions(
+    cfg: CFG, variables: Sequence[str]
+) -> ReachingDefinitions:
+    """Standard forward may-analysis over the CFG.
+
+    *variables* lists the scalar names whose entry values should be
+    seeded with the synthetic :data:`ENTRY_DEF` site.
+    """
+    entry_defs = frozenset((v, ENTRY_DEF) for v in variables)
+    node_in: Dict[int, FrozenSet[Definition]] = {n.id: frozenset() for n in cfg.nodes}
+    node_out: Dict[int, FrozenSet[Definition]] = {n.id: frozenset() for n in cfg.nodes}
+    node_in[cfg.entry] = entry_defs
+    node_out[cfg.entry] = entry_defs
+
+    order = cfg.reverse_postorder()
+    changed = True
+    while changed:
+        changed = False
+        for nid in order:
+            if nid == cfg.entry:
+                continue
+            in_set: Set[Definition] = set()
+            for p in cfg.preds[nid]:
+                in_set |= node_out[p]
+            in_frozen = frozenset(in_set)
+            node = cfg.node(nid)
+            kills = {name for name, _ in _defs_of_node(node)}
+            out_set = frozenset(d for d in in_frozen if d[0] not in kills) \
+                | frozenset(_defs_of_node(node))
+            if in_frozen != node_in[nid] or out_set != node_out[nid]:
+                node_in[nid] = in_frozen
+                node_out[nid] = out_set
+                changed = True
+    return ReachingDefinitions(cfg, node_in, node_out)

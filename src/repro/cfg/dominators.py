@@ -1,0 +1,87 @@
+"""Dominator and post-dominator analysis.
+
+The paper (§5.1) derives control *contexts* from the pre-existing
+dominator / post-dominator analysis of Tapenade. We implement the
+classic iterative algorithm of Cooper, Harvey & Kennedy on the CFG's
+reverse postorder; graphs here are loop-body sized, so the simple
+O(N²)-ish iteration is more than fast enough.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .graph import CFG
+
+
+def immediate_dominators(cfg: CFG) -> Dict[int, Optional[int]]:
+    """``idom[n]`` for every node reachable from the entry.
+
+    The entry maps to ``None``.
+    """
+    order = cfg.reverse_postorder()
+    position = {nid: i for i, nid in enumerate(order)}
+    idom: Dict[int, Optional[int]] = {cfg.entry: cfg.entry}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while position[a] > position[b]:
+                a = idom[a]  # type: ignore[assignment]
+            while position[b] > position[a]:
+                b = idom[b]  # type: ignore[assignment]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for nid in order:
+            if nid == cfg.entry:
+                continue
+            preds = [p for p in cfg.preds[nid] if p in idom]
+            if not preds:
+                continue
+            new_idom = preds[0]
+            for p in preds[1:]:
+                new_idom = intersect(new_idom, p)
+            if idom.get(nid) != new_idom:
+                idom[nid] = new_idom
+                changed = True
+    result = dict(idom)
+    result[cfg.entry] = None
+    return result
+
+
+def immediate_postdominators(cfg: CFG) -> Dict[int, Optional[int]]:
+    """``ipdom[n]`` on the reversed CFG (exit maps to ``None``)."""
+    reversed_cfg = _reverse(cfg)
+    ipdom = immediate_dominators(reversed_cfg)
+    return ipdom
+
+
+def _reverse(cfg: CFG) -> CFG:
+    rev = CFG()
+    rev.nodes = cfg.nodes
+    rev.succs = {n: list(ps) for n, ps in cfg.preds.items()}
+    rev.preds = {n: list(ss) for n, ss in cfg.succs.items()}
+    rev.entry = cfg.exit
+    rev.exit = cfg.entry
+    rev.node_of_stmt = cfg.node_of_stmt
+    return rev
+
+
+def dominates(idom: Dict[int, Optional[int]], a: int, b: int) -> bool:
+    """True if *a* dominates *b* (reflexive)."""
+    node: Optional[int] = b
+    while node is not None:
+        if node == a:
+            return True
+        node = idom.get(node)
+    return False
+
+
+def dominator_tree_children(idom: Dict[int, Optional[int]]) -> Dict[int, List[int]]:
+    children: Dict[int, List[int]] = {}
+    for node, parent in idom.items():
+        if parent is not None:
+            children.setdefault(parent, []).append(node)
+    return children

@@ -1,0 +1,147 @@
+"""Control-flow graph construction for structured statement bodies.
+
+The CFG is the substrate for dominator analysis (contexts, §5.1 of the
+paper) and reaching definitions (instance numbering, §5.2). One node is
+created per simple statement; ``If`` contributes a *branch* node and a
+*merge* node, ``Loop`` contributes a *head* node (the test) that also
+serves as the back-edge target.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from ..ir.stmt import Assign, If, Loop, Pop, Push, Stmt
+
+
+class NodeKind(enum.Enum):
+    ENTRY = "entry"
+    EXIT = "exit"
+    STMT = "stmt"        # Assign / Push / Pop
+    BRANCH = "branch"    # the test of an If
+    MERGE = "merge"      # the join point after an If
+    LOOPHEAD = "loophead"  # the test/increment point of a Loop
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class Node:
+    id: int
+    kind: NodeKind
+    stmt: Optional[Stmt] = None
+
+    def __repr__(self) -> str:
+        tag = f" {self.stmt!r}" if self.stmt is not None else ""
+        return f"<node {self.id} {self.kind}{tag}>"
+
+
+class CFG:
+    """A control-flow graph with entry and exit nodes."""
+
+    def __init__(self) -> None:
+        self.nodes: List[Node] = []
+        self.succs: Dict[int, List[int]] = {}
+        self.preds: Dict[int, List[int]] = {}
+        self.entry: int = -1
+        self.exit: int = -1
+        #: statement uid -> node id (for STMT / BRANCH / LOOPHEAD nodes)
+        self.node_of_stmt: Dict[int, int] = {}
+
+    def new_node(self, kind: NodeKind, stmt: Optional[Stmt] = None) -> int:
+        node = Node(len(self.nodes), kind, stmt)
+        self.nodes.append(node)
+        self.succs[node.id] = []
+        self.preds[node.id] = []
+        if stmt is not None and kind in (NodeKind.STMT, NodeKind.BRANCH,
+                                         NodeKind.LOOPHEAD):
+            self.node_of_stmt[stmt.uid] = node.id
+        return node.id
+
+    def add_edge(self, src: int, dst: int) -> None:
+        if dst not in self.succs[src]:
+            self.succs[src].append(dst)
+            self.preds[dst].append(src)
+
+    def node(self, node_id: int) -> Node:
+        return self.nodes[node_id]
+
+    def stmt_node(self, stmt: Stmt) -> int:
+        return self.node_of_stmt[stmt.uid]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def reverse_postorder(self) -> List[int]:
+        """Nodes in reverse postorder from the entry (good for forward
+        dataflow convergence)."""
+        seen: set[int] = set()
+        order: List[int] = []
+
+        def visit(node_id: int) -> None:
+            stack = [(node_id, iter(self.succs[node_id]))]
+            seen.add(node_id)
+            while stack:
+                nid, it = stack[-1]
+                advanced = False
+                for succ in it:
+                    if succ not in seen:
+                        seen.add(succ)
+                        stack.append((succ, iter(self.succs[succ])))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(nid)
+                    stack.pop()
+
+        visit(self.entry)
+        return list(reversed(order))
+
+
+def build_cfg(body: Sequence[Stmt]) -> CFG:
+    """Build the CFG of a statement list (e.g. a parallel loop body)."""
+    cfg = CFG()
+    cfg.entry = cfg.new_node(NodeKind.ENTRY)
+    cfg.exit = cfg.new_node(NodeKind.EXIT)
+    frontier = _lower_body(cfg, body, [cfg.entry])
+    for nid in frontier:
+        cfg.add_edge(nid, cfg.exit)
+    return cfg
+
+
+def _lower_body(cfg: CFG, body: Sequence[Stmt], frontier: List[int]) -> List[int]:
+    """Lower *body*, connecting from all nodes in *frontier*; returns the
+    new frontier (nodes whose control falls through to what follows)."""
+    for stmt in body:
+        if isinstance(stmt, (Assign, Push, Pop)):
+            nid = cfg.new_node(NodeKind.STMT, stmt)
+            for f in frontier:
+                cfg.add_edge(f, nid)
+            frontier = [nid]
+        elif isinstance(stmt, If):
+            test = cfg.new_node(NodeKind.BRANCH, stmt)
+            for f in frontier:
+                cfg.add_edge(f, test)
+            then_out = _lower_body(cfg, stmt.then_body, [test])
+            else_out = _lower_body(cfg, stmt.else_body, [test])
+            merge = cfg.new_node(NodeKind.MERGE)
+            for nid in then_out + else_out:
+                cfg.add_edge(nid, merge)
+            # An empty else-branch falls straight from the test; that
+            # edge is created by _lower_body returning [test] unchanged,
+            # but guard against duplicates when both branches are empty.
+            frontier = [merge]
+        elif isinstance(stmt, Loop):
+            head = cfg.new_node(NodeKind.LOOPHEAD, stmt)
+            for f in frontier:
+                cfg.add_edge(f, head)
+            body_out = _lower_body(cfg, stmt.body, [head])
+            for nid in body_out:
+                cfg.add_edge(nid, head)  # back edge
+            frontier = [head]
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"cannot lower statement {stmt!r}")
+    return frontier

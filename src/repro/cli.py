@@ -1,0 +1,136 @@
+"""Command-line interface — a Tapenade-flavored front end.
+
+::
+
+    python -m repro analyze kernel.f90 -i x -o y
+    python -m repro differentiate kernel.f90 -i x -o y --strategy formad
+    python -m repro tangent kernel.f90 -i x -o y
+    python -m repro experiments
+
+``analyze`` prints the FormAD verdicts and Table-1 statistics for every
+parallel loop; ``differentiate``/``tangent`` print generated Fortran-
+flavored source to stdout (or ``-O out.f90``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from . import (STRATEGIES, analyze_formad, differentiate,
+               differentiate_tangent, format_procedure)
+from .ad import GuardKind
+from .formad import format_verdicts
+from .ir import ParseError, parse_program
+
+
+def _add_io_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("file", help="source file in the Fortran-flavored "
+                                "mini-language")
+    p.add_argument("-i", "--independents", required=True,
+                   help="comma-separated independent inputs")
+    p.add_argument("-o", "--dependents", required=True,
+                   help="comma-separated dependent outputs")
+    p.add_argument("--head", default=None,
+                   help="procedure to differentiate (default: the only "
+                        "procedure, or the first one)")
+
+
+def _load(args) -> "Procedure":
+    with open(args.file) as fh:
+        program = parse_program(fh.read())
+    procs = list(program)
+    if not procs:
+        raise SystemExit("no procedures found")
+    if args.head is None:
+        return procs[0]
+    try:
+        return program[args.head]
+    except KeyError:
+        names = ", ".join(p.name for p in procs)
+        raise SystemExit(f"no procedure {args.head!r}; available: {names}")
+
+
+def _names(text: str) -> List[str]:
+    return [n.strip() for n in text.split(",") if n.strip()]
+
+
+def _emit(text: str, out: Optional[str]) -> None:
+    if out is None:
+        print(text)
+    else:
+        with open(out, "w") as fh:
+            fh.write(text + "\n")
+        print(f"wrote {out}", file=sys.stderr)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="FormAD: automatic differentiation of parallel loops "
+                    "with formal methods (ICPP 2022 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="run the FormAD analysis only")
+    _add_io_args(p)
+
+    p = sub.add_parser("differentiate", help="generate the reverse-mode "
+                                             "(adjoint) procedure")
+    _add_io_args(p)
+    p.add_argument("--strategy", choices=STRATEGIES, default="formad")
+    p.add_argument("--fallback", choices=["atomic", "reduction"],
+                   default="atomic",
+                   help="safeguard for arrays FormAD cannot prove safe")
+    p.add_argument("-O", "--output", default=None, help="output file")
+
+    p = sub.add_parser("tangent", help="generate the forward-mode "
+                                       "(tangent) procedure")
+    _add_io_args(p)
+    p.add_argument("-O", "--output", default=None, help="output file")
+
+    sub.add_parser("experiments", help="regenerate EXPERIMENTS.md "
+                                       "(Table 1 and Figures 3-10)")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "experiments":
+        from .experiments.report import main as experiments_main
+        experiments_main()
+        return 0
+    try:
+        proc = _load(args)
+        independents = _names(args.independents)
+        dependents = _names(args.dependents)
+        if args.command == "analyze":
+            analyses = analyze_formad(proc, independents, dependents)
+            if not analyses:
+                print("no parallel loops found")
+                return 0
+            for analysis in analyses:
+                print(format_verdicts(analysis))
+                s = analysis.stats
+                print(f"  stats: time={s.time_seconds:.3f}s "
+                      f"model_size={s.model_size} queries={s.queries} "
+                      f"exprs={s.unique_exprs} loc={s.region_loc}")
+            return 0
+        if args.command == "differentiate":
+            result = differentiate(proc, independents, dependents,
+                                   strategy=args.strategy,
+                                   fallback=GuardKind(args.fallback))
+            _emit(format_procedure(result.procedure), args.output)
+            return 0
+        if args.command == "tangent":
+            result = differentiate_tangent(proc, independents, dependents)
+            _emit(format_procedure(result.procedure), args.output)
+            return 0
+    except (ParseError, KeyError, TypeError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return 0  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Experiment harness: regenerates every table and figure of §7."""
+
+from .paper_reference import (PAPER, PAPER_LBM_OFFENDING,
+                              PAPER_LBM_SAFE_OFFSETS, PAPER_TABLE1,
+                              PAPER_THREADS, PaperKernelNumbers)
+from .specs import (ALL_FIGURE_SPECS, KernelSpec, gfmc_spec, gfmc_star_spec,
+                    greengauss_spec, large_stencil_spec, lbm_spec,
+                    small_stencil_spec)
+from .harness import (ADJOINT_STRATEGIES, KernelExperiment, VariantResult,
+                      format_figure_pair, run_kernel_experiment)
+from .table1 import (TABLE1_PROBLEMS, format_table1_with_reference,
+                     run_table1)
+from .lbm_listing import LBMListing, run_lbm_listing, safe_offsets_from_listing
+
+__all__ = [
+    "PAPER", "PAPER_LBM_OFFENDING", "PAPER_LBM_SAFE_OFFSETS", "PAPER_TABLE1",
+    "PAPER_THREADS", "PaperKernelNumbers",
+    "ALL_FIGURE_SPECS", "KernelSpec", "gfmc_spec", "gfmc_star_spec",
+    "greengauss_spec", "large_stencil_spec", "lbm_spec",
+    "small_stencil_spec",
+    "ADJOINT_STRATEGIES", "KernelExperiment", "VariantResult",
+    "format_figure_pair", "run_kernel_experiment",
+    "TABLE1_PROBLEMS", "format_table1_with_reference", "run_table1",
+    "LBMListing", "run_lbm_listing", "safe_offsets_from_listing",
+]

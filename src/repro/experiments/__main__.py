@@ -1,0 +1,7 @@
+"""``python -m repro.experiments`` — regenerate every table and figure,
+writing EXPERIMENTS.md to the current directory."""
+
+from .report import main
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,175 @@
+"""The experiment harness: program versions, thread sweeps, speedups.
+
+For each kernel the paper compares five program versions (§7):
+
+* **Primal** — the original parallel function (plus its pragma-free
+  serial build as the speedup baseline);
+* **Adjoint Serial** — reverse mode, no OpenMP pragmas;
+* **Adjoint FormAD** — safeguards dropped where proven safe;
+* **Adjoint Atomic** — every shared adjoint increment atomic;
+* **Adjoint Reduction** — shared adjoint arrays privatized.
+
+Each version is interpreted once at reduced size under the cost tracer,
+then extrapolated to the paper's problem size and simulated across
+thread counts. Speedups divide the respective *serial* version's time,
+exactly like the paper ("when we report parallel speedup numbers, we
+use the serial version without any OpenMP pragmas as the baseline").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from .. import differentiate
+from ..ad import GuardKind, ReverseResult
+from ..ir.program import Procedure
+from ..ir.stmt import strip_parallel
+from ..runtime import BROADWELL_18, MachineModel, profile_run
+from ..runtime.costmodel import total_time
+from .paper_reference import PAPER_THREADS
+from .specs import KernelSpec
+
+#: The adjoint strategies measured by the figures.
+ADJOINT_STRATEGIES = ("formad", "atomic", "reduction")
+
+
+def _serialized(proc: Procedure) -> Procedure:
+    return Procedure(proc.name + "_serial", list(proc.params),
+                     dict(proc.locals), strip_parallel(proc.body))
+
+
+def _adjoint_bindings(spec: KernelSpec, adj: ReverseResult) -> Dict[str, object]:
+    bindings = dict(spec.bindings)
+    for name in set(spec.independents) | set(spec.dependents):
+        bname = adj.adjoint_name(name)
+        base = np.asarray(bindings[name], dtype=float)
+        if name in spec.dependents:
+            seed = np.ones(base.shape) if base.shape else 1.0
+        else:
+            seed = np.zeros(base.shape) if base.shape else 0.0
+        bindings[bname] = seed
+    return bindings
+
+
+@dataclass
+class VariantResult:
+    """Simulated wall times of one program version."""
+
+    label: str
+    times: Dict[int, float]          # threads -> seconds (parallel builds)
+    serial_time: Optional[float] = None  # pragma-free build (baseline)
+
+    def best(self) -> float:
+        return min(self.times.values()) if self.times else float("inf")
+
+    def best_threads(self) -> int:
+        return min(self.times, key=self.times.get)
+
+    def speedups(self, baseline: float) -> Dict[int, float]:
+        return {t: baseline / v for t, v in self.times.items()}
+
+
+@dataclass
+class KernelExperiment:
+    """All program versions of one kernel (one paper figure pair)."""
+
+    spec: KernelSpec
+    threads: Sequence[int]
+    primal: VariantResult
+    adjoints: Dict[str, VariantResult]
+    adjoint_serial_time: float
+
+    @property
+    def primal_serial_time(self) -> float:
+        assert self.primal.serial_time is not None
+        return self.primal.serial_time
+
+    def primal_speedups(self) -> Dict[int, float]:
+        return self.primal.speedups(self.primal_serial_time)
+
+    def adjoint_speedups(self, strategy: str) -> Dict[int, float]:
+        return self.adjoints[strategy].speedups(self.adjoint_serial_time)
+
+
+def _simulate_parallel(proc: Procedure, bindings: Mapping[str, object],
+                       spec: KernelSpec, threads: Sequence[int],
+                       machine: MachineModel) -> Dict[int, float]:
+    run = profile_run(proc, bindings)
+    return {
+        t: total_time(run.profile, machine, t, iter_scale=spec.iter_scale,
+                      invocation_scale=spec.invocation_scale,
+                      elem_scale=spec.elem_scale)
+        for t in threads
+    }
+
+
+def _simulate_serial(proc: Procedure, bindings: Mapping[str, object],
+                     spec: KernelSpec, machine: MachineModel) -> float:
+    """A pragma-free build: every op lands in the serial segment, which
+    must be scaled by both the trip-count and repetition factors."""
+    run = profile_run(proc, bindings)
+    assert not run.profile.parallel_loops
+    return (run.profile.serial.serial_seconds(machine)
+            * spec.iter_scale * spec.invocation_scale)
+
+
+def run_kernel_experiment(
+    spec: KernelSpec,
+    *,
+    threads: Sequence[int] = PAPER_THREADS,
+    machine: MachineModel = BROADWELL_18,
+    strategies: Sequence[str] = ADJOINT_STRATEGIES,
+) -> KernelExperiment:
+    """Build, differentiate, interpret, and simulate one kernel."""
+    primal_times = _simulate_parallel(spec.proc, spec.bindings, spec,
+                                      threads, machine)
+    primal_serial = _simulate_serial(_serialized(spec.proc), spec.bindings,
+                                     spec, machine)
+    primal = VariantResult("primal", primal_times, primal_serial)
+
+    adj_serial = differentiate(spec.proc, spec.independents, spec.dependents,
+                               strategy="serial")
+    adjoint_serial_time = _simulate_serial(
+        adj_serial.procedure, _adjoint_bindings(spec, adj_serial), spec, machine)
+
+    adjoints: Dict[str, VariantResult] = {}
+    for strategy in strategies:
+        adj = differentiate(spec.proc, spec.independents, spec.dependents,
+                            strategy=strategy)
+        times = _simulate_parallel(adj.procedure,
+                                   _adjoint_bindings(spec, adj),
+                                   spec, threads, machine)
+        adjoints[strategy] = VariantResult(f"adjoint-{strategy}", times)
+
+    return KernelExperiment(spec, list(threads), primal, adjoints,
+                            adjoint_serial_time)
+
+
+def format_figure_pair(exp: KernelExperiment, paper_caption: str = "") -> str:
+    """Text rendering of one absolute-time + speedup figure pair."""
+    lines = [f"=== {exp.spec.name} ==="]
+    if paper_caption:
+        lines.append(f"(paper: {paper_caption})")
+    lines.append(f"primal serial:   {exp.primal_serial_time:10.3f} s")
+    lines.append(f"adjoint serial:  {exp.adjoint_serial_time:10.3f} s")
+    header = "threads      " + "".join(f"{t:>12d}" for t in exp.threads)
+    lines.append(header)
+
+    def row(label: str, times: Dict[int, float]) -> str:
+        return f"{label:<13}" + "".join(f"{times[t]:>12.3f}" for t in exp.threads)
+
+    lines.append(row("primal", exp.primal.times))
+    for strategy, variant in exp.adjoints.items():
+        lines.append(row(f"adj-{strategy}", variant.times))
+    lines.append("-- speedups vs the respective serial build --")
+
+    def srow(label: str, sp: Dict[int, float]) -> str:
+        return f"{label:<13}" + "".join(f"{sp[t]:>12.2f}" for t in exp.threads)
+
+    lines.append(srow("primal", exp.primal_speedups()))
+    for strategy in exp.adjoints:
+        lines.append(srow(f"adj-{strategy}", exp.adjoint_speedups(strategy)))
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""§7.3 regeneration: the LBM rejection listing.
+
+The paper prints the set of known-safe write expressions FormAD builds
+for the LBM kernel (19 expressions of the form
+``(dir_0 + n_cell_entries_0 * off + i_0)``), and the offending adjoint
+increment expression (``eb_0 + n_cell_entries_0*0 + i_0``) that is not
+a member of that set — the reason no safeguard is removed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .. import analyze_formad
+from ..formad import LoopAnalysis
+from ..programs import build_lbm
+from .paper_reference import PAPER_LBM_OFFENDING, PAPER_LBM_SAFE_OFFSETS
+
+
+@dataclass
+class LBMListing:
+    analysis: LoopAnalysis
+    safe_writes: List[str]
+    offending: List[str]
+    srcgrid_safe: bool
+
+    def render(self) -> str:
+        lines = ["known-safe write expressions (from the primal):"]
+        lines += [f"  {e}" for e in self.safe_writes]
+        lines.append("")
+        lines.append("adjoint increment expression(s) not in this set:")
+        lines += [f"  {e}" for e in self.offending] or ["  (none)"]
+        lines.append("")
+        verdict = ("srcgrid adjoint UNSAFE: safeguards kept"
+                   if not self.srcgrid_safe else "srcgrid adjoint safe (?)")
+        lines.append(verdict)
+        return "\n".join(lines)
+
+
+def run_lbm_listing() -> LBMListing:
+    (analysis,) = analyze_formad(build_lbm(), ["srcgrid"], ["dstgrid"])
+    return LBMListing(
+        analysis=analysis,
+        safe_writes=list(analysis.safe_write_expressions),
+        offending=list(analysis.offending_expressions),
+        srcgrid_safe=analysis.verdicts["srcgrid"].safe,
+    )
+
+
+def safe_offsets_from_listing(listing: LBMListing) -> Dict[str, int]:
+    """Extract (direction, offset) pairs from the rendered expressions,
+    for comparison with the paper's listed set."""
+    import re
+    out: Dict[str, int] = {}
+    for expr in listing.safe_writes:
+        m = re.match(
+            r"\((\w+)_\d+ \+ (?:n_cell_entries_\d+\*(-?\d+) \+ )?i_\d+\)|"
+            r"\((\w+)_\d+ \+ i_\d+\)", expr)
+        if m:
+            if m.group(1):
+                out[m.group(1)] = int(m.group(2)) if m.group(2) else 0
+            else:
+                out[m.group(3)] = 0
+    return out

@@ -1,0 +1,86 @@
+"""The paper's reported numbers (§7), as data.
+
+Used by EXPERIMENTS.md generation and by the benchmark assertions that
+check the reproduced *shapes*: who wins, by roughly what factor, and
+where the crossovers fall. Absolute agreement is not expected — the
+substrate here is a simulator, not the authors' Broadwell testbed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+#: Thread counts the paper sweeps.
+PAPER_THREADS = (1, 2, 4, 8, 18)
+
+
+@dataclass(frozen=True)
+class PaperKernelNumbers:
+    """Anchor times (seconds) and speedups reported in §7."""
+
+    primal_serial: float
+    primal_parallel_best: float          # at 18 threads
+    adjoint_serial: float
+    adjoint_formad_best: float           # at 18 threads
+    adjoint_atomic_best: float           # best across threads
+    adjoint_reduction_best: float
+    primal_speedup_18: float
+    formad_speedup_18: float
+    notes: str = ""
+
+
+PAPER = {
+    # Figure 3/5 captions.
+    "stencil_small": PaperKernelNumbers(
+        primal_serial=2.05, primal_parallel_best=0.146,
+        adjoint_serial=1.58, adjoint_formad_best=0.116,
+        adjoint_atomic_best=40.7, adjoint_reduction_best=3.65,
+        primal_speedup_18=13.4, formad_speedup_18=13.6,
+        notes="atomic/reduction best at 1 thread; never beat serial"),
+    # Figure 4/6 captions.
+    "stencil_large": PaperKernelNumbers(
+        primal_serial=8.72, primal_parallel_best=0.651,
+        adjoint_serial=7.16, adjoint_formad_best=0.578,
+        adjoint_atomic_best=95.8, adjoint_reduction_best=16.5,
+        primal_speedup_18=13.12, formad_speedup_18=12.4,
+        notes="atomic/reduction best at 1 thread; never beat serial"),
+    # Figure 7/8 captions.
+    "gfmc": PaperKernelNumbers(
+        primal_serial=0.655, primal_parallel_best=0.655 / 7.35,
+        adjoint_serial=2.23, adjoint_formad_best=0.266,
+        adjoint_atomic_best=33.9, adjoint_reduction_best=1.56,
+        primal_speedup_18=7.35, formad_speedup_18=8.39,
+        notes="reduction peaks at 1.43x on 4 threads; atomics 10-100x "
+              "slower than serial"),
+    # Figure 9/10 captions.
+    "greengauss": PaperKernelNumbers(
+        primal_serial=9.064, primal_parallel_best=9.064 / 4.0,
+        adjoint_serial=66.84, adjoint_formad_best=24.32,
+        adjoint_atomic_best=386.0, adjoint_reduction_best=85.77,
+        primal_speedup_18=4.0, formad_speedup_18=66.84 / 24.32,
+        notes="memory bound; FormAD 2.75x over serial adjoint; atomics "
+              "slow down further with threads"),
+}
+
+#: Table 1 of the paper: (time s, model size, queries, exprs, loc).
+PAPER_TABLE1 = {
+    "stencil 1": (0.677, 5, 3, 2, 3),
+    "stencil 8": (1.033, 82, 82, 9, 17),
+    "GFMC": (4.145, 65, 772, 8, 54),
+    "GFMC*": (3.125, 65, 261, 8, 65),
+    "LBM": (3.938, 362, 364, 19, 82),
+    "GreenGauss": (0.621, 5, 3, 2, 7),
+}
+
+#: §7.3: the 19 known-safe write expressions of the LBM listing (as
+#: (base scalar, multiplier of n_cell_entries) pairs).
+PAPER_LBM_SAFE_OFFSETS = {
+    "w": -1, "se": -119, "c": 0, "nb": -14280, "s": -120, "sb": -14520,
+    "eb": -14399, "et": 14401, "nt": 14520, "t": 14400, "ne": 121,
+    "b": -14400, "wb": -14401, "wt": 14399, "sw": -121, "e": 1,
+    "st": 14280, "nw": 119, "n": 120,
+}
+
+#: §7.3: the offending adjoint increment expression.
+PAPER_LBM_OFFENDING = ("eb", 0)

@@ -1,0 +1,119 @@
+"""Kernel specifications for the experiment harness.
+
+Each spec bundles: how to build the reduced-size kernel that the
+interpreter actually executes, its workload, the active variables, and
+the scale factors that extrapolate the profiled run to the paper's
+problem sizes (the *structure* — per-iteration operation mix, load
+imbalance, safeguard counts — is preserved; only trip counts and
+repetition counts are scaled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Sequence, Tuple
+
+from ..ir.program import Procedure
+from ..programs import (PAPER_APPLICATIONS, PAPER_NODES, PAPER_POINTS,
+                        PAPER_REPS, PAPER_SWEEPS, build_gfmc, build_gfmc_star,
+                        build_greengauss, build_lbm, build_stencil,
+                        make_gfmc_workload, make_lbm_workload,
+                        make_linear_mesh, make_stencil_workload)
+
+
+@dataclass
+class KernelSpec:
+    """One benchmark kernel, reduced for interpretation."""
+
+    name: str
+    proc: Procedure
+    bindings: Dict[str, object]
+    independents: List[str]
+    dependents: List[str]
+    #: Trip-count multiplier per parallel loop (paper size / reduced).
+    iter_scale: float
+    #: Whole-execution repetition multiplier (paper sweeps / profiled).
+    invocation_scale: float
+
+    @property
+    def elem_scale(self) -> float:
+        """Privatized reduction arrays grow with the problem size."""
+        return self.iter_scale
+
+
+def small_stencil_spec(n: int = 20_000) -> KernelSpec:
+    return KernelSpec(
+        name="stencil_small",
+        proc=build_stencil(1, sweeps=1, name="stencil_small"),
+        bindings=make_stencil_workload(1, n),
+        independents=["uold"], dependents=["unew"],
+        iter_scale=PAPER_POINTS / n,
+        invocation_scale=PAPER_SWEEPS,
+    )
+
+
+def large_stencil_spec(n: int = 6_000) -> KernelSpec:
+    return KernelSpec(
+        name="stencil_large",
+        proc=build_stencil(8, sweeps=1, name="stencil_large"),
+        bindings=make_stencil_workload(8, n),
+        independents=["uold"], dependents=["unew"],
+        iter_scale=PAPER_POINTS / n,
+        invocation_scale=PAPER_SWEEPS,
+    )
+
+
+def gfmc_spec(npair: int = 60, nwalk: int = 16, ngroups_max: int = 40) -> KernelSpec:
+    paper_npair = 250
+    return KernelSpec(
+        name="gfmc",
+        proc=build_gfmc(reps=1),
+        bindings=make_gfmc_workload(npair, nwalk, ngroups_max, imbalance=1.2),
+        independents=["cl", "cr"], dependents=["cl", "cr"],
+        iter_scale=paper_npair / npair,
+        invocation_scale=PAPER_REPS,
+    )
+
+
+def gfmc_star_spec(npair: int = 60, nwalk: int = 16, ngroups_max: int = 40) -> KernelSpec:
+    paper_npair = 250
+    return KernelSpec(
+        name="gfmc_star",
+        proc=build_gfmc_star(reps=1),
+        bindings=make_gfmc_workload(npair, nwalk, ngroups_max, imbalance=1.2),
+        independents=["cl", "cr"], dependents=["cl", "cr"],
+        iter_scale=paper_npair / npair,
+        invocation_scale=PAPER_REPS,
+    )
+
+
+def greengauss_spec(nnodes: int = 20_000) -> KernelSpec:
+    return KernelSpec(
+        name="greengauss",
+        proc=build_greengauss(applications=1),
+        bindings=make_linear_mesh(nnodes),
+        independents=["dv"], dependents=["grad"],
+        iter_scale=PAPER_NODES / nnodes,
+        invocation_scale=PAPER_APPLICATIONS,
+    )
+
+
+def lbm_spec(ncells: int = 400) -> KernelSpec:
+    # The paper has no LBM performance figure (FormAD changes nothing);
+    # this spec exists for analysis and ablation purposes.
+    return KernelSpec(
+        name="lbm",
+        proc=build_lbm(sweeps=1),
+        bindings=make_lbm_workload(ncells),
+        independents=["srcgrid"], dependents=["dstgrid"],
+        iter_scale=120 * 120 * 150 / ncells,
+        invocation_scale=1.0,
+    )
+
+
+ALL_FIGURE_SPECS: Dict[str, Callable[[], KernelSpec]] = {
+    "stencil_small": small_stencil_spec,
+    "stencil_large": large_stencil_spec,
+    "gfmc": gfmc_spec,
+    "greengauss": greengauss_spec,
+}

@@ -1,0 +1,378 @@
+"""The FormAD engine: buildModel / testVar (paper §5.5).
+
+Phase 1 (*knowledge extraction*) turns the assumed-correct primal
+parallelization into per-context disjointness assertions. This module
+then builds one solver per control context — a context's model holds
+the root axiom ``i ≠ i'`` plus every fact attached to it or inherited
+from its ancestors — asserting satisfiability after every addition (a
+failing check means the *primal* was racy: :class:`PrimalRaceError`).
+
+Phase 2 (*knowledge exploitation*) derives, for each active shared
+array, the index tuples its adjoint will write and read:
+
+* a plain primal **read** becomes an adjoint *increment* (write),
+* a plain primal **write** becomes an adjoint *load + zero* (write),
+* a primal **exact increment** becomes an adjoint *read only* (§5.4).
+
+For every pair of future adjoint references with at least one write,
+the solver is asked — under the knowledge of the pair's common-root
+context — whether the primed and unprimed index tuples can coincide.
+``UNSAT`` proves the pair conflict-free; anything else (including
+solver resource exhaustion) keeps the safeguards in place.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..analysis.activity import ActivityAnalysis
+from ..analysis.references import (AccessKind, ArrayAccess, RegionReferences,
+                                   collect_region_references)
+from ..cfg.contexts import Context
+from ..cfg.instances import number_instances
+from ..ir.printer import format_stmt
+from ..ir.program import Procedure
+from ..ir.stmt import Assign, Loop
+from ..smt.solver import SAT, UNSAT, Solver
+from ..smt.terms import And, FAtom, Rel, Term
+from .knowledge import KnowledgeBase, extract_knowledge, is_atomic_access
+from .translate import IndexTranslator, UntranslatableError, render_term
+
+
+class PrimalRaceError(RuntimeError):
+    """The knowledge base is inconsistent: the primal parallel loop
+    cannot be race-free (or FormAD itself is buggy — paper §5.5)."""
+
+
+@dataclass
+class AnalysisStats:
+    """The Table-1 columns for one analyzed parallel region."""
+
+    time_seconds: float = 0.0
+    model_size: int = 0            # assertions incl. the root axiom
+    consistency_checks: int = 0    # buildModel's per-add SAT checks
+    exploitation_checks: int = 0   # testVar question checks
+    unique_exprs: int = 0
+    region_loc: int = 0
+    skipped_pairs: int = 0
+
+    @property
+    def queries(self) -> int:
+        return self.consistency_checks + self.exploitation_checks
+
+
+@dataclass
+class ArrayVerdict:
+    """FormAD's answer for one adjoint array in one region."""
+
+    array: str
+    safe: bool
+    pairs_total: int = 0
+    pairs_proven: int = 0
+    reason: str = ""
+
+    def __str__(self) -> str:
+        state = "safe (shared)" if self.safe else f"unsafe ({self.reason})"
+        return f"{self.array}: {state} [{self.pairs_proven}/{self.pairs_total}]"
+
+
+@dataclass
+class LoopAnalysis:
+    """Complete FormAD result for one parallel loop."""
+
+    loop: Loop
+    verdicts: Dict[str, ArrayVerdict]
+    stats: AnalysisStats
+    safe_write_expressions: List[str] = field(default_factory=list)
+    offending_expressions: List[str] = field(default_factory=list)
+
+    def safe_arrays(self) -> Set[str]:
+        return {name for name, v in self.verdicts.items() if v.safe}
+
+    @property
+    def all_safe(self) -> bool:
+        return all(v.safe for v in self.verdicts.values())
+
+
+@dataclass
+class _QuestionRef:
+    """One unique future adjoint reference (already translated)."""
+
+    plain: Tuple[Term, ...]
+    primed: Tuple[Term, ...]
+    context: Context
+    rendering: str
+
+
+class _ZeroInstances:
+    """Degenerate instance numbering for the §5.2 ablation: every use
+    of a variable maps to instance 0."""
+
+    def instance_at(self, stmt, var: str) -> int:
+        return 0
+
+    def qualified_name(self, stmt, var: str) -> str:
+        return f"{var}_0"
+
+
+def _render_tuple(terms: Sequence[Term]) -> str:
+    if len(terms) == 1:
+        return render_term(terms[0])
+    return "(" + ", ".join(render_term(t) for t in terms) + ")"
+
+
+class FormADEngine:
+    """Analyzes the parallel loops of one procedure.
+
+    The ``use_*`` flags disable individual analysis ingredients for
+    ablation studies (see ``benchmarks/test_ablations.py``):
+
+    * ``use_increment_detection`` — §5.4: with it off, primal exact
+      increments are treated as plain read+write, so their adjoints
+      count as writes and the pair count grows;
+    * ``use_activity`` — §5.4: with it off, every real array is tested,
+      not only the active ones;
+    * ``use_instances`` — §5.2: with it off, every use of a scalar gets
+      instance 0. **Unsound** — knowledge about one definition would be
+      applied to another; kept only to demonstrate why the paper needs
+      instance numbering (the tests show a wrong proof without it);
+    * ``use_contexts`` — §5.1: with it off, all knowledge attaches to
+      the root context. **Unsound** for may-executed branches, kept for
+      the same demonstrative purpose.
+    """
+
+    def __init__(
+        self,
+        proc: Procedure,
+        activity: ActivityAnalysis,
+        *,
+        max_theory_checks: int = 20000,
+        node_budget: int = 2000,
+        use_increment_detection: bool = True,
+        use_activity: bool = True,
+        use_instances: bool = True,
+        use_contexts: bool = True,
+    ) -> None:
+        self.proc = proc
+        self.activity = activity
+        self.max_theory_checks = max_theory_checks
+        self.node_budget = node_budget
+        self.use_increment_detection = use_increment_detection
+        self.use_activity = use_activity
+        self.use_instances = use_instances
+        self.use_contexts = use_contexts
+        self._cache: Dict[int, LoopAnalysis] = {}
+
+    def analyze_all(self) -> List[LoopAnalysis]:
+        return [self.analyze_loop(loop) for loop in self.proc.parallel_loops()]
+
+    def analyze_loop(self, loop: Loop) -> LoopAnalysis:
+        cached = self._cache.get(loop.uid)
+        if cached is None:
+            cached = self._analyze(loop)
+            self._cache[loop.uid] = cached
+        return cached
+
+    # ------------------------------------------------------------------
+    def _new_solver(self) -> Solver:
+        return Solver(max_theory_checks=self.max_theory_checks,
+                      node_budget=self.node_budget)
+
+    def _analyze(self, loop: Loop) -> LoopAnalysis:
+        start = time.perf_counter()
+        stats = AnalysisStats()
+        refs = collect_region_references(loop.body)
+        if self.use_instances:
+            instancer = number_instances(loop.body, list(self.proc.scalars()))
+        else:
+            instancer = _ZeroInstances()
+        assigned_scalars = self._scalars_assigned_in(loop)
+        primed = frozenset(loop.private_names() | assigned_scalars)
+        written_arrays = frozenset(
+            name for name in refs.arrays()
+            if any(a.kind.is_write for a in refs.of_array(name)))
+        translator = IndexTranslator(instancer, primed, written_arrays)
+
+        kb = extract_knowledge(refs, translator,
+                               use_contexts=self.use_contexts)
+        stats.skipped_pairs = kb.skipped_pairs
+        stats.model_size = 1 + kb.size
+
+        axiom = self._root_axiom(loop, translator)
+        models = self._build_models(refs.contexts.root, kb, axiom, stats)
+
+        verdicts: Dict[str, ArrayVerdict] = {}
+        safe_writes: List[str] = []
+        offending: List[str] = []
+        # Paper Table 1: "number of unique index expressions included in
+        # the model" — the knowledge side (LBM: the 19 safe write
+        # expressions), not the question expressions.
+        unique_exprs: Set[str] = set()
+        for fact in kb.facts:
+            unique_exprs.add(_render_tuple(fact.right))
+
+        from ..ir.types import Kind
+        for array in refs.arrays():
+            if self.use_activity:
+                if array not in self.activity.active:
+                    continue
+            else:
+                if not (self.proc.has_symbol(array)
+                        and self.proc.type_of(array).kind is Kind.REAL):
+                    continue
+            verdict = self._test_array(array, refs, translator, models,
+                                       stats, unique_exprs, offending)
+            verdicts[array] = verdict
+
+        # The paper's LBM listing: the set of known-safe write
+        # expressions extracted from the primal.
+        seen: Set[str] = set()
+        for fact in kb.facts:
+            r = _render_tuple(fact.right)
+            if r not in seen:
+                seen.add(r)
+                safe_writes.append(r)
+
+        stats.unique_exprs = len(unique_exprs)
+        stats.region_loc = max(0, len(format_stmt(loop)) - 2)
+        stats.time_seconds = time.perf_counter() - start
+        return LoopAnalysis(loop, verdicts, stats, safe_writes, offending)
+
+    def _scalars_assigned_in(self, loop: Loop) -> Set[str]:
+        from ..ir.expr import Var
+        from ..ir.stmt import walk_stmts
+        out: Set[str] = set()
+        for stmt in walk_stmts(loop.body):
+            if isinstance(stmt, Assign) and isinstance(stmt.target, Var):
+                out.add(stmt.target.name)
+            elif isinstance(stmt, Loop):
+                out.add(stmt.var)
+        return out
+
+    def _root_axiom(self, loop: Loop, translator: IndexTranslator) -> FAtom:
+        """``i' ≠ i``: two threads never share a counter value (§5.3)."""
+        from ..ir.expr import Var
+        body = loop.body
+        if body:
+            stmt = body[0]
+            plain = translator.translate(Var(loop.var), stmt, primed=False)
+            prime = translator.translate(Var(loop.var), stmt, primed=True)
+        else:  # pragma: no cover - empty parallel loops are pointless
+            from ..smt.terms import TVar
+            plain, prime = TVar(f"{loop.var}_0"), TVar(f"{loop.var}_0'")
+        return FAtom(Rel.NE, prime, plain)
+
+    def _build_models(self, root: Context, kb: KnowledgeBase, axiom: FAtom,
+                      stats: AnalysisStats) -> Dict[int, Solver]:
+        """The paper's recursive buildModel: one solver per context, each
+        addition followed by a satisfiability safeguard check."""
+        models: Dict[int, Solver] = {}
+        by_context: Dict[int, List] = {}
+        for fact in kb.facts:
+            by_context.setdefault(id(fact.context), []).append(fact)
+
+        def rec(ctx: Context, inherited: List) -> None:
+            solver = self._new_solver()
+            solver.add(axiom)
+            for formula in inherited:
+                solver.add(formula)
+            own = by_context.get(id(ctx), [])
+            for fact in own:
+                solver.add(fact.formula)
+                stats.consistency_checks += 1
+                if solver.check() is not SAT:
+                    raise PrimalRaceError(
+                        f"inconsistent knowledge while adding {fact}: the "
+                        f"primal parallel loop cannot be correctly "
+                        f"parallelized")
+            models[id(ctx)] = solver
+            passed = inherited + [f.formula for f in own]
+            for child in ctx.children:
+                rec(child, passed)
+
+        rec(root, [])
+        return models
+
+    def _adjoint_refs(
+        self, array: str, refs: RegionReferences, translator: IndexTranslator,
+    ) -> Tuple[List[_QuestionRef], List[_QuestionRef]]:
+        """Future adjoint (writes, reads) for one array, deduplicated by
+        rendered index tuple + context."""
+        writes: List[_QuestionRef] = []
+        reads: List[_QuestionRef] = []
+        seen: Set[Tuple[str, int, bool]] = set()
+        for access in refs.of_array(array):
+            if is_atomic_access(access):
+                raise UntranslatableError(
+                    f"atomic primal access to active array {array!r}")
+            plain = translator.translate_tuple(access.indices, access.stmt,
+                                               primed=False)
+            prime = translator.translate_tuple(access.indices, access.stmt,
+                                               primed=True)
+            ctx = (refs.context_of(access) if self.use_contexts
+                   else refs.contexts.root)
+            # §5.4: primal exact increments yield read-only adjoints.
+            # With increment detection ablated they count as writes too.
+            is_write = access.kind in (AccessKind.READ, AccessKind.WRITE) \
+                or not self.use_increment_detection
+            key = (_render_tuple(plain), id(ctx), is_write)
+            if key in seen:
+                continue
+            seen.add(key)
+            q = _QuestionRef(plain, prime, ctx, _render_tuple(plain))
+            # read -> adjoint increment (write); write -> adjoint zero
+            # (write); increment -> adjoint read (§5.4).
+            if is_write:
+                writes.append(q)
+            else:
+                reads.append(q)
+        return writes, reads
+
+    def _test_array(
+        self,
+        array: str,
+        refs: RegionReferences,
+        translator: IndexTranslator,
+        models: Dict[int, Solver],
+        stats: AnalysisStats,
+        unique_exprs: Set[str],
+        offending: List[str],
+    ) -> ArrayVerdict:
+        try:
+            writes, reads = self._adjoint_refs(array, refs, translator)
+        except UntranslatableError as exc:
+            return ArrayVerdict(array, False, reason=str(exc))
+        pairs: List[Tuple[_QuestionRef, _QuestionRef]] = []
+        for i, w in enumerate(writes):
+            for other in writes[i:]:
+                pairs.append((w, other))
+            for r in reads:
+                pairs.append((w, r))
+        verdict = ArrayVerdict(array, True, pairs_total=len(pairs))
+        for w, other in pairs:
+            if len(w.plain) != len(other.plain):
+                verdict.safe = False
+                verdict.reason = "rank mismatch"
+                break
+            ctx = w.context.common_root(other.context)
+            solver = models[id(ctx)]
+            question = And(*[FAtom(Rel.EQ, lp, r)
+                             for lp, r in zip(w.primed, other.plain)])
+            solver.push()
+            try:
+                solver.add(question)
+                stats.exploitation_checks += 1
+                result = solver.check()
+            finally:
+                solver.pop()
+            if result is UNSAT:
+                verdict.pairs_proven += 1
+            else:
+                verdict.safe = False
+                verdict.reason = (f"possible conflict between {w.rendering} "
+                                  f"and {other.rendering}")
+                offending.append(other.rendering)
+                break
+        return verdict

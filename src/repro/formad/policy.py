@@ -1,0 +1,51 @@
+"""FormAD as a safeguard policy for the AD engine.
+
+``FormADGuardPolicy`` answers the AD engine's "how do I guard this
+adjoint increment?" question with SHARED whenever the engine proved the
+array conflict-free, and with a configurable fallback (atomics by
+default, as in the paper's generated code) otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from ..ad.guards import GuardKind, GuardPolicy
+from ..analysis.activity import ActivityAnalysis
+from ..ir.program import Procedure
+from ..ir.stmt import Loop
+from .engine import FormADEngine, LoopAnalysis
+
+
+class FormADGuardPolicy(GuardPolicy):
+    """Drop safeguards exactly where FormAD's proof allows it."""
+
+    def __init__(
+        self,
+        proc: Procedure,
+        independents: Sequence[str],
+        dependents: Sequence[str],
+        *,
+        fallback: GuardKind = GuardKind.ATOMIC,
+        max_theory_checks: int = 20000,
+        node_budget: int = 2000,
+    ) -> None:
+        if fallback is GuardKind.SHARED:
+            raise ValueError("the fallback must be a real safeguard")
+        activity = ActivityAnalysis(proc, independents, dependents)
+        self.engine = FormADEngine(proc, activity,
+                                   max_theory_checks=max_theory_checks,
+                                   node_budget=node_budget)
+        self.fallback = fallback
+
+    def decide(self, loop: Loop, primal_array: str) -> GuardKind:
+        analysis = self.engine.analyze_loop(loop)
+        verdict = analysis.verdicts.get(primal_array)
+        if verdict is not None and verdict.safe:
+            return GuardKind.SHARED
+        return self.fallback
+
+    def analyses(self) -> List[LoopAnalysis]:
+        """All analyses performed so far (one per parallel loop)."""
+        return self.engine.analyze_all()

@@ -1,0 +1,42 @@
+"""Mini-language intermediate representation.
+
+A Fortran-flavored imperative language with OpenMP-style parallel
+loops — the substrate on which the AD engine (:mod:`repro.ad`) and the
+FormAD analysis (:mod:`repro.formad`) operate, playing the role
+Tapenade's internal representation plays in the paper.
+"""
+
+from .types import (ArrayType, Dim, INTEGER, Intent, Kind, LOGICAL, REAL,
+                    ScalarType, Type, integer_array, real_array)
+from .expr import (ArrayRef, BinOp, Call, CmpOp, Compare, Const, Expr,
+                   INTRINSICS, Logical, LogicOp, Op, UnOp, Var, arrays_in,
+                   as_expr, children, names_in, rename_arrays, substitute,
+                   variables_in, walk)
+from .stmt import (Assign, If, Loop, Pop, Push, Stmt, copy_body, copy_stmt,
+                   find_parallel_loops, strip_parallel, walk_stmts)
+from .program import Param, Procedure, Program
+from .builder import ProcedureBuilder
+from .printer import format_body, format_expr, format_procedure, format_stmt
+from .parser import ParseError, parse_expression, parse_procedure, parse_program
+from .simplify import simplify
+from .validate import ValidationError, is_valid, validate
+
+__all__ = [
+    # types
+    "ArrayType", "Dim", "INTEGER", "Intent", "Kind", "LOGICAL", "REAL",
+    "ScalarType", "Type", "integer_array", "real_array",
+    # expressions
+    "ArrayRef", "BinOp", "Call", "CmpOp", "Compare", "Const", "Expr",
+    "INTRINSICS", "Logical", "LogicOp", "Op", "UnOp", "Var", "arrays_in",
+    "as_expr", "children", "names_in", "rename_arrays", "substitute",
+    "variables_in", "walk",
+    # statements
+    "Assign", "If", "Loop", "Pop", "Push", "Stmt", "copy_body", "copy_stmt",
+    "find_parallel_loops", "strip_parallel", "walk_stmts",
+    # program
+    "Param", "Procedure", "Program", "ProcedureBuilder",
+    # printing / parsing / validation
+    "format_body", "format_expr", "format_procedure", "format_stmt",
+    "ParseError", "parse_expression", "parse_procedure", "parse_program",
+    "ValidationError", "is_valid", "validate", "simplify",
+]

@@ -1,0 +1,147 @@
+"""Fluent builder for procedures.
+
+The builder keeps a stack of open statement lists so nested control
+structure reads naturally::
+
+    b = ProcedureBuilder("saxpy")
+    x = b.param("x", real_array(100), intent="in")
+    y = b.param("y", real_array(100), intent="inout")
+    a = b.param("a", REAL, intent="in")
+    with b.parallel_do("i", 1, 100) as i:
+        b.assign(y[i], y[i] + a * x[i])
+    proc = b.build()
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from .expr import ArrayRef, Expr, Var, as_expr
+from .program import Param, Procedure
+from .stmt import Assign, If, Loop, Pop, Push, Stmt
+from .types import INTEGER, Intent, REAL, Type
+
+
+class ProcedureBuilder:
+    """Accumulates statements into a :class:`Procedure`."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._params: List[Param] = []
+        self._locals: Dict[str, Type] = {}
+        self._body: List[Stmt] = []
+        self._stack: List[List[Stmt]] = [self._body]
+        self._open_ifs: List[If] = []
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+    def param(self, name: str, type: Type, intent: str | Intent = Intent.INOUT) -> Var:
+        """Declare a parameter; returns a :class:`Var` handle."""
+        if isinstance(intent, str):
+            intent = Intent(intent)
+        self._params.append(Param(name, type, intent))
+        return Var(name)
+
+    def local(self, name: str, type: Type = REAL) -> Var:
+        """Declare a local variable; returns a :class:`Var` handle."""
+        self._locals[name] = type
+        return Var(name)
+
+    def int_local(self, name: str) -> Var:
+        return self.local(name, INTEGER)
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def emit(self, stmt: Stmt) -> Stmt:
+        self._stack[-1].append(stmt)
+        return stmt
+
+    def assign(self, target: Var | ArrayRef, value, *, atomic: bool = False) -> Assign:
+        return self.emit(Assign(target, value, atomic=atomic))  # type: ignore[return-value]
+
+    def push(self, channel: str, value) -> Push:
+        return self.emit(Push(channel, value))  # type: ignore[return-value]
+
+    def pop(self, channel: str, target: Var | ArrayRef) -> Pop:
+        return self.emit(Pop(channel, target))  # type: ignore[return-value]
+
+    @contextmanager
+    def do(self, var: str, start, stop, step=1, *, label: Optional[str] = None) -> Iterator[Var]:
+        """Open a sequential counted loop; yields the counter Var."""
+        body: List[Stmt] = []
+        self._stack.append(body)
+        try:
+            yield Var(var)
+        finally:
+            self._stack.pop()
+        if var not in self._locals and not any(p.name == var for p in self._params):
+            self._locals[var] = INTEGER
+        self.emit(Loop(var, start, stop, step, body, label=label))
+
+    @contextmanager
+    def parallel_do(
+        self,
+        var: str,
+        start,
+        stop,
+        step=1,
+        *,
+        private: Iterable[str] = (),
+        reduction: Iterable[Tuple[str, str]] = (),
+        label: Optional[str] = None,
+    ) -> Iterator[Var]:
+        """Open an ``!$omp parallel do`` loop; yields the counter Var."""
+        body: List[Stmt] = []
+        self._stack.append(body)
+        try:
+            yield Var(var)
+        finally:
+            self._stack.pop()
+        if var not in self._locals and not any(p.name == var for p in self._params):
+            self._locals[var] = INTEGER
+        self.emit(Loop(var, start, stop, step, body, parallel=True,
+                       private=private, reduction=reduction, label=label))
+
+    @contextmanager
+    def if_(self, cond) -> Iterator[None]:
+        """Open an ``if`` branch.  Use :meth:`else_` inside for the
+        alternative::
+
+            with b.if_(x.gt(0)):
+                b.assign(y, x)
+                with b.else_():
+                    b.assign(y, -x)
+        """
+        stmt = If(as_expr(cond), [])
+        self.emit(stmt)
+        # Push the statement's own body list (If copies its arguments).
+        self._stack.append(stmt.then_body)
+        self._open_ifs.append(stmt)
+        try:
+            yield None
+        finally:
+            self._open_ifs.pop()
+            self._stack.pop()
+
+    @contextmanager
+    def else_(self) -> Iterator[None]:
+        if not self._open_ifs:
+            raise RuntimeError("else_ used outside of an if_ block")
+        stmt = self._open_ifs[-1]
+        # Swap the top of the stack from the then-body to the else-body.
+        self._stack.pop()
+        self._stack.append(stmt.else_body)
+        try:
+            yield None
+        finally:
+            self._stack.pop()
+            self._stack.append(stmt.then_body)
+
+    # ------------------------------------------------------------------
+    def build(self) -> Procedure:
+        if len(self._stack) != 1:
+            raise RuntimeError("unbalanced builder blocks")
+        return Procedure(self.name, self._params, self._locals, self._body)

@@ -1,0 +1,153 @@
+"""Fortran-flavored pretty printer for the IR.
+
+Produces text close to the paper's listings, including ``!$omp``
+pragmas, so generated adjoints can be eyeballed against Figures 1/2 of
+the paper. The output round-trips through :mod:`repro.ir.parser`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .expr import (ArrayRef, BinOp, Call, CmpOp, Compare, Const, Expr,
+                   Logical, LogicOp, Op, UnOp, Var)
+from .program import Procedure
+from .stmt import Assign, If, Loop, Pop, Push, Stmt
+from .types import ArrayType, Intent, ScalarType
+
+_PRECEDENCE = {
+    Op.POW: 4,
+    Op.NEG: 3,
+    Op.MUL: 2,
+    Op.DIV: 2,
+    Op.ADD: 1,
+    Op.SUB: 1,
+}
+
+
+def format_expr(expr: Expr, parent_prec: int = 0) -> str:
+    """Render an expression with minimal parentheses."""
+    if isinstance(expr, Const):
+        v = expr.value
+        if isinstance(v, bool):
+            return ".true." if v else ".false."
+        text = repr(v) if isinstance(v, float) else str(v)
+        # Negative literals parenthesize like unary minus does, so the
+        # printed form is a fixpoint under parse -> print.
+        if (isinstance(v, (int, float)) and v < 0) and parent_prec > 0:
+            return f"({text})"
+        return text
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, ArrayRef):
+        return f"{expr.name}({', '.join(format_expr(i) for i in expr.indices)})"
+    if isinstance(expr, BinOp):
+        prec = _PRECEDENCE[expr.op]
+        left = format_expr(expr.left, prec)
+        # The right operand always parenthesizes at equal precedence:
+        # required for - / ** by syntax, and for + * to keep the
+        # floating-point association order faithful under re-parsing
+        # (a + (b + c) must not flatten into (a + b) + c).
+        right = format_expr(expr.right, prec + 1)
+        text = f"{left}{expr.op.value}{right}" if expr.op is Op.POW else f"{left} {expr.op.value} {right}"
+        return f"({text})" if prec < parent_prec else text
+    if isinstance(expr, UnOp):
+        inner = format_expr(expr.operand, _PRECEDENCE[Op.NEG])
+        text = f"-{inner}"
+        return f"({text})" if parent_prec > 0 else text
+    if isinstance(expr, Call):
+        return f"{expr.func}({', '.join(format_expr(a) for a in expr.args)})"
+    if isinstance(expr, Compare):
+        return f"{format_expr(expr.left)} {_fortran_cmp(expr.op)} {format_expr(expr.right)}"
+    if isinstance(expr, Logical):
+        if expr.op is LogicOp.NOT:
+            return f".not. ({format_expr(expr.operands[0])})"
+        return f"({format_expr(expr.operands[0])}) {expr.op.value} ({format_expr(expr.operands[1])})"
+    raise TypeError(f"not an expression: {expr!r}")  # pragma: no cover
+
+
+def _fortran_cmp(op: CmpOp) -> str:
+    return {
+        CmpOp.EQ: ".eq.",
+        CmpOp.NE: ".ne.",
+        CmpOp.LT: ".lt.",
+        CmpOp.LE: ".le.",
+        CmpOp.GT: ".gt.",
+        CmpOp.GE: ".ge.",
+    }[op]
+
+
+def format_stmt(stmt: Stmt, indent: int = 0) -> List[str]:
+    """Render a statement tree as indented source lines."""
+    pad = "  " * indent
+    if isinstance(stmt, Assign):
+        lines = []
+        if stmt.atomic:
+            lines.append(f"{pad}!$omp atomic")
+        lines.append(f"{pad}{format_expr(stmt.target)} = {format_expr(stmt.value)}")
+        return lines
+    if isinstance(stmt, If):
+        lines = [f"{pad}if ({format_expr(stmt.cond)}) then"]
+        for s in stmt.then_body:
+            lines.extend(format_stmt(s, indent + 1))
+        if stmt.else_body:
+            lines.append(f"{pad}else")
+            for s in stmt.else_body:
+                lines.extend(format_stmt(s, indent + 1))
+        lines.append(f"{pad}end if")
+        return lines
+    if isinstance(stmt, Loop):
+        lines = []
+        if stmt.parallel:
+            clauses = ""
+            if stmt.private:
+                clauses += f" private({', '.join(stmt.private)})"
+            for op, name in stmt.reduction:
+                clauses += f" reduction({op}:{name})"
+            lines.append(f"{pad}!$omp parallel do{clauses}")
+        step = ""
+        if not (isinstance(stmt.step, Const) and stmt.step.value == 1):
+            step = f", {format_expr(stmt.step)}"
+        lines.append(f"{pad}do {stmt.var} = {format_expr(stmt.start)}, {format_expr(stmt.stop)}{step}")
+        for s in stmt.body:
+            lines.extend(format_stmt(s, indent + 1))
+        lines.append(f"{pad}end do")
+        return lines
+    if isinstance(stmt, Push):
+        return [f"{pad}call push('{stmt.channel}', {format_expr(stmt.value)})"]
+    if isinstance(stmt, Pop):
+        return [f"{pad}call pop('{stmt.channel}', {format_expr(stmt.target)})"]
+    raise TypeError(f"not a statement: {stmt!r}")  # pragma: no cover
+
+
+def format_body(body: Sequence[Stmt], indent: int = 0) -> str:
+    lines: List[str] = []
+    for stmt in body:
+        lines.extend(format_stmt(stmt, indent))
+    return "\n".join(lines)
+
+
+def _format_decl(name: str, type_, intent: Intent | None = None) -> str:
+    attrs = ""
+    if intent is not None and intent is not Intent.LOCAL:
+        attrs = f", intent({intent.value})"
+    if isinstance(type_, ArrayType):
+        dims = ", ".join(str(d) for d in type_.dims)
+        return f"  {type_.kind}{attrs} :: {name}({dims})"
+    assert isinstance(type_, ScalarType)
+    return f"  {type_.kind}{attrs} :: {name}"
+
+
+def format_procedure(proc: Procedure) -> str:
+    """Render the full procedure, declarations included."""
+    args = ", ".join(p.name for p in proc.params)
+    lines = [f"subroutine {proc.name}({args})"]
+    for p in proc.params:
+        lines.append(_format_decl(p.name, p.type, p.intent))
+    for name, type_ in sorted(proc.locals.items()):
+        lines.append(_format_decl(name, type_))
+    if proc.params or proc.locals:
+        lines.append("")
+    lines.append(format_body(proc.body, indent=1))
+    lines.append(f"end subroutine {proc.name}")
+    return "\n".join(lines)

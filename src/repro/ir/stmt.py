@@ -1,0 +1,239 @@
+"""Statement AST for the mini-language.
+
+Statements have *identity* semantics (two structurally equal statements
+are still distinct program points), because every static analysis in
+this package keys facts by program point. Each statement gets a unique
+``uid`` at construction.
+
+The statement set mirrors what the paper's benchmarks need:
+
+* ``Assign`` — possibly marked ``atomic`` (OpenMP ``!$omp atomic``).
+* ``If`` — structured two-way branch.
+* ``Loop`` — counted ``do`` loop; ``parallel=True`` models an
+  ``!$omp parallel do`` with ``private`` / ``reduction`` clauses.
+* ``Push`` / ``Pop`` — tape operations emitted by the AD engine
+  (Tapenade's PUSH/POP primitives).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from .expr import ArrayRef, Const, Expr, Op, UnOp, Var, as_expr
+
+_uid_counter = itertools.count(1)
+
+
+class Stmt:
+    """Base class for all statements."""
+
+    __slots__ = ("uid",)
+
+    def __init__(self) -> None:
+        self.uid: int = next(_uid_counter)
+
+    # Identity-based equality/hash inherited from object is intended.
+
+    def child_bodies(self) -> Tuple[List["Stmt"], ...]:
+        """Nested statement lists (empty for simple statements)."""
+        return ()
+
+
+class Assign(Stmt):
+    """``target = value`` where target is a scalar or array element.
+
+    ``atomic=True`` renders as an ``!$omp atomic`` update; the runtime
+    charges the atomic latency for it.
+    """
+
+    __slots__ = ("target", "value", "atomic")
+
+    def __init__(self, target: Var | ArrayRef, value, *, atomic: bool = False) -> None:
+        super().__init__()
+        if not isinstance(target, (Var, ArrayRef)):
+            raise TypeError(f"assignment target must be Var or ArrayRef, got {target!r}")
+        self.target = target
+        self.value: Expr = as_expr(value)
+        self.atomic = bool(atomic)
+
+    def __repr__(self) -> str:
+        pre = "atomic " if self.atomic else ""
+        return f"<{pre}{self.target} = {self.value}>"
+
+
+class If(Stmt):
+    """A structured two-way conditional."""
+
+    __slots__ = ("cond", "then_body", "else_body")
+
+    def __init__(self, cond, then_body: Sequence[Stmt], else_body: Sequence[Stmt] = ()) -> None:
+        super().__init__()
+        self.cond: Expr = as_expr(cond)
+        self.then_body: List[Stmt] = list(then_body)
+        self.else_body: List[Stmt] = list(else_body)
+
+    def child_bodies(self) -> Tuple[List[Stmt], ...]:
+        return (self.then_body, self.else_body)
+
+    def __repr__(self) -> str:
+        return f"<if {self.cond} then[{len(self.then_body)}] else[{len(self.else_body)}]>"
+
+
+class Loop(Stmt):
+    """A counted ``do`` loop; optionally an OpenMP ``parallel do``.
+
+    ``reduction`` holds ``(op, varname)`` pairs, e.g. ``("+", "s")``.
+    Per the OpenMP standard the loop counter of a parallel loop is
+    implicitly private; it does not need to be listed in ``private``.
+    """
+
+    __slots__ = ("var", "start", "stop", "step", "body", "parallel",
+                 "private", "reduction", "nowait", "label")
+
+    def __init__(
+        self,
+        var: str,
+        start,
+        stop,
+        step=1,
+        body: Sequence[Stmt] = (),
+        *,
+        parallel: bool = False,
+        private: Iterable[str] = (),
+        reduction: Iterable[Tuple[str, str]] = (),
+        nowait: bool = False,
+        label: Optional[str] = None,
+    ) -> None:
+        super().__init__()
+        if not isinstance(var, str) or not var:
+            raise TypeError(f"loop variable must be a name, got {var!r}")
+        self.var = var
+        self.start: Expr = as_expr(start)
+        self.stop: Expr = as_expr(stop)
+        self.step: Expr = as_expr(step)
+        self.body: List[Stmt] = list(body)
+        self.parallel = bool(parallel)
+        self.private: Tuple[str, ...] = tuple(private)
+        self.reduction: Tuple[Tuple[str, str], ...] = tuple(tuple(r) for r in reduction)
+        self.nowait = bool(nowait)
+        self.label = label
+
+    @property
+    def step_const(self) -> Optional[int]:
+        """The step as an integer if it is a literal, else ``None``."""
+        step = self.step
+        neg = False
+        while isinstance(step, UnOp) and step.op is Op.NEG:
+            neg = not neg
+            step = step.operand
+        if isinstance(step, Const) and step.is_integer:
+            value = int(step.value)
+            return -value if neg else value
+        return None
+
+    def private_names(self) -> set[str]:
+        """All names private to each thread: clause vars + loop counter."""
+        names = set(self.private) | {self.var}
+        names.update(name for _, name in self.reduction)
+        return names
+
+    def child_bodies(self) -> Tuple[List[Stmt], ...]:
+        return (self.body,)
+
+    def __repr__(self) -> str:
+        tag = "parallel do" if self.parallel else "do"
+        return f"<{tag} {self.var}={self.start},{self.stop},{self.step} body[{len(self.body)}]>"
+
+
+class Push(Stmt):
+    """Push the value of an expression onto a named tape channel.
+
+    Channels are resolved by the runtime; inside a parallel loop each
+    iteration owns a separate stack, mirroring Tapenade's per-thread
+    tapes while remaining deterministic under simulation.
+    """
+
+    __slots__ = ("channel", "value")
+
+    def __init__(self, channel: str, value) -> None:
+        super().__init__()
+        self.channel = channel
+        self.value: Expr = as_expr(value)
+
+    def __repr__(self) -> str:
+        return f"<push[{self.channel}] {self.value}>"
+
+
+class Pop(Stmt):
+    """Pop the top of a tape channel into a scalar or array element."""
+
+    __slots__ = ("channel", "target")
+
+    def __init__(self, channel: str, target: Var | ArrayRef) -> None:
+        super().__init__()
+        if not isinstance(target, (Var, ArrayRef)):
+            raise TypeError(f"pop target must be Var or ArrayRef, got {target!r}")
+        self.channel = channel
+        self.target = target
+
+    def __repr__(self) -> str:
+        return f"<pop[{self.channel}] -> {self.target}>"
+
+
+def walk_stmts(body: Sequence[Stmt]) -> Iterator[Stmt]:
+    """Yield every statement in *body*, recursively, pre-order."""
+    for stmt in body:
+        yield stmt
+        for child in stmt.child_bodies():
+            yield from walk_stmts(child)
+
+
+def find_parallel_loops(body: Sequence[Stmt]) -> List[Loop]:
+    """All ``parallel do`` loops in *body* (outermost occurrences too)."""
+    return [s for s in walk_stmts(body) if isinstance(s, Loop) and s.parallel]
+
+
+def copy_stmt(stmt: Stmt) -> Stmt:
+    """Deep-copy a statement tree, assigning fresh uids."""
+    if isinstance(stmt, Assign):
+        return Assign(stmt.target, stmt.value, atomic=stmt.atomic)
+    if isinstance(stmt, If):
+        return If(stmt.cond, [copy_stmt(s) for s in stmt.then_body],
+                  [copy_stmt(s) for s in stmt.else_body])
+    if isinstance(stmt, Loop):
+        return Loop(stmt.var, stmt.start, stmt.stop, stmt.step,
+                    [copy_stmt(s) for s in stmt.body], parallel=stmt.parallel,
+                    private=stmt.private, reduction=stmt.reduction,
+                    nowait=stmt.nowait, label=stmt.label)
+    if isinstance(stmt, Push):
+        return Push(stmt.channel, stmt.value)
+    if isinstance(stmt, Pop):
+        return Pop(stmt.channel, stmt.target)
+    raise TypeError(f"not a statement: {stmt!r}")  # pragma: no cover
+
+
+def copy_body(body: Sequence[Stmt]) -> List[Stmt]:
+    """Deep-copy a statement list with fresh uids."""
+    return [copy_stmt(s) for s in body]
+
+
+def strip_parallel(body: Sequence[Stmt]) -> List[Stmt]:
+    """Deep-copy *body* with every OpenMP pragma removed: parallel
+    loops become plain loops (clauses dropped), atomics become plain
+    assignments. This is the paper's "serial version (without any
+    OpenMP pragmas)" used as the speedup baseline."""
+    out: List[Stmt] = []
+    for stmt in body:
+        if isinstance(stmt, Assign):
+            out.append(Assign(stmt.target, stmt.value, atomic=False))
+        elif isinstance(stmt, If):
+            out.append(If(stmt.cond, strip_parallel(stmt.then_body),
+                          strip_parallel(stmt.else_body)))
+        elif isinstance(stmt, Loop):
+            out.append(Loop(stmt.var, stmt.start, stmt.stop, stmt.step,
+                            strip_parallel(stmt.body), parallel=False,
+                            label=stmt.label))
+        else:
+            out.append(copy_stmt(stmt))
+    return out

@@ -1,0 +1,162 @@
+"""Type system for the mini-language IR.
+
+The language is deliberately Fortran-flavored: it has scalar types
+(``real``, ``integer``, ``logical``) and rectangular arrays with
+per-dimension lower/upper bounds (default lower bound 1, as in Fortran).
+Only the features exercised by the FormAD paper are modeled; in
+particular there is no aliasing between distinct array variables
+(paper §3, limitations).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+
+class Kind(enum.Enum):
+    """Scalar kinds supported by the mini-language."""
+
+    REAL = "real"
+    INTEGER = "integer"
+    LOGICAL = "logical"
+
+    @property
+    def is_differentiable(self) -> bool:
+        """Only real-valued data carries derivatives (paper §5.4)."""
+        return self is Kind.REAL
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class ScalarType:
+    """A scalar variable type."""
+
+    kind: Kind
+
+    @property
+    def is_array(self) -> bool:
+        return False
+
+    @property
+    def is_differentiable(self) -> bool:
+        return self.kind.is_differentiable
+
+    @property
+    def rank(self) -> int:
+        return 0
+
+    def __str__(self) -> str:
+        return str(self.kind)
+
+
+@dataclass(frozen=True)
+class Dim:
+    """One array dimension with inclusive integer bounds.
+
+    ``upper`` may be ``None`` for assumed-size dimensions (bounds known
+    only at run time); such dimensions get their extent from the bound
+    storage when a procedure is executed.
+    """
+
+    lower: int = 1
+    upper: Optional[int] = None
+
+    @property
+    def extent(self) -> Optional[int]:
+        if self.upper is None:
+            return None
+        return self.upper - self.lower + 1
+
+    def __str__(self) -> str:
+        hi = "*" if self.upper is None else str(self.upper)
+        if self.lower == 1:
+            return hi
+        return f"{self.lower}:{hi}"
+
+
+@dataclass(frozen=True)
+class ArrayType:
+    """A rectangular array type with explicit dimensions."""
+
+    kind: Kind
+    dims: Tuple[Dim, ...]
+
+    def __init__(self, kind: Kind, dims: Sequence[Dim | int | tuple | None]):
+        object.__setattr__(self, "kind", kind)
+        norm = []
+        for d in dims:
+            if isinstance(d, Dim):
+                norm.append(d)
+            elif d is None:
+                norm.append(Dim(1, None))
+            elif isinstance(d, int):
+                norm.append(Dim(1, d))
+            elif isinstance(d, tuple) and len(d) == 2:
+                norm.append(Dim(int(d[0]), None if d[1] is None else int(d[1])))
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"bad dimension spec: {d!r}")
+        if not norm:
+            raise ValueError("arrays must have at least one dimension")
+        object.__setattr__(self, "dims", tuple(norm))
+
+    @property
+    def is_array(self) -> bool:
+        return True
+
+    @property
+    def is_differentiable(self) -> bool:
+        return self.kind.is_differentiable
+
+    @property
+    def rank(self) -> int:
+        return len(self.dims)
+
+    @property
+    def shape(self) -> Tuple[Optional[int], ...]:
+        return tuple(d.extent for d in self.dims)
+
+    def __str__(self) -> str:
+        dims = ", ".join(str(d) for d in self.dims)
+        return f"{self.kind}({dims})"
+
+
+Type = ScalarType | ArrayType
+
+#: Convenience singletons, used pervasively by builders and tests.
+REAL = ScalarType(Kind.REAL)
+INTEGER = ScalarType(Kind.INTEGER)
+LOGICAL = ScalarType(Kind.LOGICAL)
+
+
+def real_array(*dims) -> ArrayType:
+    """Shorthand for a ``real`` array type: ``real_array(10, (0, 5))``."""
+    return ArrayType(Kind.REAL, dims)
+
+
+def integer_array(*dims) -> ArrayType:
+    """Shorthand for an ``integer`` array type."""
+    return ArrayType(Kind.INTEGER, dims)
+
+
+class Intent(enum.Enum):
+    """Dataflow intent of a procedure argument (Fortran ``intent``)."""
+
+    IN = "in"
+    OUT = "out"
+    INOUT = "inout"
+    LOCAL = "local"
+
+    @property
+    def is_input(self) -> bool:
+        return self in (Intent.IN, Intent.INOUT)
+
+    @property
+    def is_output(self) -> bool:
+        return self in (Intent.OUT, Intent.INOUT)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

@@ -1,0 +1,154 @@
+"""Semantic validation of procedures.
+
+Checks the assumptions the rest of the pipeline relies on:
+
+* every referenced name is declared;
+* array references have the declared rank, scalars are not indexed;
+* loop counters are integers and are not assigned inside their loop
+  (required by the Fortran/OpenMP rules the paper assumes);
+* ``private``/``reduction`` clause names are declared scalars or arrays;
+* intrinsic calls have a valid arity;
+* logical conditions are used only where conditions are expected.
+
+Violations raise :class:`ValidationError` with all collected messages.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .expr import (ArrayRef, BinOp, Call, Compare, Const, Expr, INTRINSICS,
+                   Logical, UnOp, Var, walk)
+from .program import Procedure
+from .stmt import Assign, If, Loop, Pop, Push, Stmt, walk_stmts
+from .types import ArrayType, Kind, ScalarType
+
+
+class ValidationError(ValueError):
+    """Raised when a procedure fails semantic validation."""
+
+    def __init__(self, proc_name: str, problems: Sequence[str]) -> None:
+        self.problems = list(problems)
+        bullet = "\n  - ".join(self.problems)
+        super().__init__(f"procedure {proc_name!r} is invalid:\n  - {bullet}")
+
+
+class _Validator:
+    def __init__(self, proc: Procedure) -> None:
+        self.proc = proc
+        self.problems: List[str] = []
+
+    def error(self, message: str) -> None:
+        self.problems.append(message)
+
+    # ------------------------------------------------------------------
+    def check_expr(self, expr: Expr) -> None:
+        # `size(a)` legitimately names an array without indices.
+        size_args = {e.args[0] for e in walk(expr)
+                     if isinstance(e, Call) and e.func == "size"}
+        for e in walk(expr):
+            if isinstance(e, Var):
+                if not self.proc.has_symbol(e.name):
+                    self.error(f"undeclared variable {e.name!r}")
+                elif self.proc.type_of(e.name).is_array and e not in size_args:
+                    self.error(f"array {e.name!r} used without indices")
+            elif isinstance(e, ArrayRef):
+                if not self.proc.has_symbol(e.name):
+                    self.error(f"undeclared array {e.name!r}")
+                else:
+                    type_ = self.proc.type_of(e.name)
+                    if not type_.is_array:
+                        self.error(f"scalar {e.name!r} indexed like an array")
+                    elif len(e.indices) != type_.rank:
+                        self.error(
+                            f"array {e.name!r} has rank {type_.rank} but is "
+                            f"indexed with {len(e.indices)} subscripts")
+            elif isinstance(e, Call):
+                if e.func == "size":
+                    continue
+                arity = INTRINSICS.get(e.func)
+                if arity is None:
+                    self.error(f"unknown intrinsic {e.func!r}")
+                elif arity == -1:
+                    if len(e.args) < 2:
+                        self.error(f"intrinsic {e.func!r} needs at least 2 arguments")
+                elif len(e.args) != arity:
+                    self.error(f"intrinsic {e.func!r} expects {arity} argument(s), "
+                               f"got {len(e.args)}")
+
+    def check_condition(self, expr: Expr) -> None:
+        self.check_expr(expr)
+        if not isinstance(expr, (Compare, Logical)) and not (
+            isinstance(expr, Var)
+            and self.proc.has_symbol(expr.name)
+            and isinstance(self.proc.type_of(expr.name), ScalarType)
+            and self.proc.type_of(expr.name).kind is Kind.LOGICAL
+        ) and not (isinstance(expr, Const) and isinstance(expr.value, bool)):
+            self.error(f"condition {expr} is not a logical expression")
+
+    # ------------------------------------------------------------------
+    def check_body(self, body: Sequence[Stmt], loop_counters: frozenset[str]) -> None:
+        for stmt in body:
+            if isinstance(stmt, Assign):
+                if stmt.target.name in loop_counters:
+                    self.error(f"loop counter {stmt.target.name!r} assigned in loop body")
+                self.check_expr(stmt.target)
+                self.check_expr(stmt.value)
+            elif isinstance(stmt, If):
+                self.check_condition(stmt.cond)
+                self.check_body(stmt.then_body, loop_counters)
+                self.check_body(stmt.else_body, loop_counters)
+            elif isinstance(stmt, Loop):
+                self.check_loop(stmt, loop_counters)
+            elif isinstance(stmt, Push):
+                self.check_expr(stmt.value)
+            elif isinstance(stmt, Pop):
+                self.check_expr(stmt.target)
+            else:  # pragma: no cover - defensive
+                self.error(f"unknown statement type {type(stmt).__name__}")
+
+    def check_loop(self, loop: Loop, outer_counters: frozenset[str]) -> None:
+        if not self.proc.has_symbol(loop.var):
+            self.error(f"undeclared loop counter {loop.var!r}")
+        else:
+            type_ = self.proc.type_of(loop.var)
+            if type_.is_array or type_.kind is not Kind.INTEGER:
+                self.error(f"loop counter {loop.var!r} must be an integer scalar")
+        if loop.var in outer_counters:
+            self.error(f"loop counter {loop.var!r} reused by a nested loop")
+        for e in (loop.start, loop.stop, loop.step):
+            self.check_expr(e)
+        if isinstance(loop.step, Const) and loop.step.value == 0:
+            self.error("loop step must be nonzero")
+        for name in loop.private:
+            if not self.proc.has_symbol(name):
+                self.error(f"private clause names undeclared variable {name!r}")
+        for op, name in loop.reduction:
+            if op not in ("+", "*", "max", "min"):
+                self.error(f"unsupported reduction operator {op!r}")
+            if not self.proc.has_symbol(name):
+                self.error(f"reduction clause names undeclared variable {name!r}")
+        if loop.parallel:
+            for inner in walk_stmts(loop.body):
+                if isinstance(inner, Loop) and inner.parallel:
+                    self.error(
+                        f"nested parallel loop over {inner.var!r} inside the "
+                        f"parallel loop over {loop.var!r} (not supported)")
+        self.check_body(loop.body, outer_counters | {loop.var})
+
+
+def validate(proc: Procedure) -> None:
+    """Validate *proc*, raising :class:`ValidationError` on problems."""
+    v = _Validator(proc)
+    v.check_body(proc.body, frozenset())
+    if v.problems:
+        raise ValidationError(proc.name, v.problems)
+
+
+def is_valid(proc: Procedure) -> bool:
+    """Non-raising variant of :func:`validate`."""
+    try:
+        validate(proc)
+    except ValidationError:
+        return False
+    return True

@@ -1,0 +1,94 @@
+"""High-level simulation entry points.
+
+Combines the interpreter, cost tracer, machine model, and race detector
+into the calls the experiment harness uses:
+
+* :func:`profile_run` — execute once, returning final memory plus the
+  operation profile;
+* :func:`simulate_thread_sweep` — turn a profile into simulated wall
+  times for a list of thread counts;
+* :func:`detect_races` — execute once under the race detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..ir.program import Procedure
+from ..ir.stmt import Loop
+from .costmodel import (CostTracer, ExecutionProfile, total_time)
+from .interp import Interpreter, Tracer
+from .machine import BROADWELL_18, MachineModel
+from .memory import Memory
+from .racecheck import Race, RaceDetector
+
+
+def _loop_counter_names(proc: Procedure) -> List[str]:
+    return [s.var for s in proc.statements() if isinstance(s, Loop)]
+
+
+def _array_sizes(memory: Memory) -> Dict[str, int]:
+    return {name: storage.size for name, storage in memory.arrays.items()}
+
+
+@dataclass
+class ProfiledRun:
+    """One execution with its cost profile."""
+
+    memory: Memory
+    profile: ExecutionProfile
+
+    def simulated_seconds(self, threads: int,
+                          machine: MachineModel = BROADWELL_18) -> float:
+        return total_time(self.profile, machine, threads)
+
+
+def profile_run(
+    proc: Procedure,
+    bindings: Mapping[str, object] = (),
+    extents: Mapping[str, Sequence[int]] = (),
+) -> ProfiledRun:
+    """Run *proc* once under the cost tracer."""
+    memory = Memory.for_procedure(proc, bindings, extents)
+    tracer = CostTracer(_loop_counter_names(proc), _array_sizes(memory))
+    Interpreter(proc, memory, tracer).run()
+    return ProfiledRun(memory, tracer.profile)
+
+
+def simulate_thread_sweep(
+    run: ProfiledRun,
+    threads: Sequence[int],
+    machine: MachineModel = BROADWELL_18,
+) -> Dict[int, float]:
+    """Simulated wall time for each thread count."""
+    return {t: run.simulated_seconds(t, machine) for t in threads}
+
+
+@dataclass
+class RaceReport:
+    races: List[Race]
+    memory: Memory
+
+    @property
+    def race_free(self) -> bool:
+        return not self.races
+
+    def __str__(self) -> str:
+        if self.race_free:
+            return "no races detected"
+        lines = [f"{len(self.races)} race(s) detected:"]
+        lines += [f"  {r}" for r in self.races[:10]]
+        return "\n".join(lines)
+
+
+def detect_races(
+    proc: Procedure,
+    bindings: Mapping[str, object] = (),
+    extents: Mapping[str, Sequence[int]] = (),
+) -> RaceReport:
+    """Run *proc* once under the dynamic race detector."""
+    memory = Memory.for_procedure(proc, bindings, extents)
+    detector = RaceDetector()
+    Interpreter(proc, memory, detector).run()
+    return RaceReport(detector.races, memory)

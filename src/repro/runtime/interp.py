@@ -1,0 +1,319 @@
+"""Reference interpreter for the mini-language.
+
+Executes procedures over a :class:`~repro.runtime.memory.Memory`. The
+interpreter is the semantic ground truth: AD correctness tests compare
+interpreted adjoints against finite differences, and the parallel
+executor drives it iteration-by-iteration to attribute costs and detect
+races.
+
+Parallel loops are executed sequentially in iteration order (which is a
+valid schedule; correct parallel programs are schedule-independent).
+A :class:`Tracer` receives fine-grained events — operation counts,
+memory accesses with thread attribution, tape traffic — so cost models
+and race detectors can observe execution without touching semantics.
+
+Tape semantics: ``push``/``pop`` operate on named channels. Inside a
+parallel loop every iteration owns an independent stack (keyed by the
+loop counter's value), mirroring Tapenade's per-thread stacks while
+staying deterministic; outside parallel loops a channel is one global
+stack.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..ir.expr import (ArrayRef, BinOp, Call, CmpOp, Compare, Const, Expr,
+                       Logical, LogicOp, Op, UnOp, Var)
+from ..ir.program import Procedure
+from ..ir.stmt import Assign, If, Loop, Pop, Push, Stmt
+from .memory import ArrayStorage, Memory
+
+
+class TapeError(RuntimeError):
+    """Pop from an empty tape channel (an AD engine bug if it happens)."""
+
+
+class InterpreterError(RuntimeError):
+    """A runtime semantic error (bad intrinsic argument, etc.)."""
+
+
+class Tracer:
+    """Event sink; the default implementation ignores everything."""
+
+    def on_flop(self, n: int = 1) -> None: ...
+
+    def on_intrinsic(self, name: str) -> None: ...
+
+    def on_read(self, array: str, flat: int, ref=None) -> None: ...
+
+    def on_write(self, array: str, flat: int, *, atomic: bool, ref=None) -> None: ...
+
+    def on_scalar_read(self, name: str) -> None: ...
+
+    def on_scalar_write(self, name: str) -> None: ...
+
+    def on_push(self) -> None: ...
+
+    def on_pop(self) -> None: ...
+
+    def on_atomic_begin(self, array: str, flat: int) -> None: ...
+
+    def on_atomic_end(self) -> None: ...
+
+    def on_parallel_loop_begin(self, loop: Loop, iterations: Sequence[int]) -> None: ...
+
+    def on_parallel_iteration_begin(self, loop: Loop, value: int) -> None: ...
+
+    def on_parallel_iteration_end(self, loop: Loop, value: int) -> None: ...
+
+    def on_parallel_loop_end(self, loop: Loop) -> None: ...
+
+
+NULL_TRACER = Tracer()
+
+
+def loop_iterations(start: int, stop: int, step: int) -> List[int]:
+    """Fortran do-loop trip values."""
+    if step == 0:
+        raise InterpreterError("loop step is zero")
+    trips = (stop - start + step) // step
+    if trips <= 0:
+        return []
+    return [start + k * step for k in range(trips)]
+
+
+_UNARY_INTRINSICS: Dict[str, Callable[[float], float]] = {
+    "sin": math.sin, "cos": math.cos, "tan": math.tan,
+    "exp": math.exp, "log": math.log, "sqrt": math.sqrt,
+    "tanh": math.tanh, "abs": abs,
+}
+
+
+class Interpreter:
+    """Executes one procedure invocation."""
+
+    def __init__(self, proc: Procedure, memory: Memory,
+                 tracer: Tracer = NULL_TRACER) -> None:
+        self.proc = proc
+        self.memory = memory
+        self.tracer = tracer
+        self.tape: Dict[Tuple[str, Optional[int]], List[float]] = {}
+        self._par_key: Optional[int] = None
+        self._in_parallel: Optional[Loop] = None
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def run(self) -> Memory:
+        self.exec_body(self.proc.body)
+        return self.memory
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def exec_body(self, body: Sequence[Stmt]) -> None:
+        for stmt in body:
+            self.exec_stmt(stmt)
+
+    def exec_stmt(self, stmt: Stmt) -> None:
+        if isinstance(stmt, Assign):
+            if stmt.atomic and isinstance(stmt.target, ArrayRef):
+                self._exec_atomic_update(stmt)
+                return
+            value = self.eval(stmt.value)
+            self.store(stmt.target, value, atomic=stmt.atomic)
+        elif isinstance(stmt, If):
+            if self.eval(stmt.cond):
+                self.exec_body(stmt.then_body)
+            else:
+                self.exec_body(stmt.else_body)
+        elif isinstance(stmt, Loop):
+            if stmt.parallel:
+                self.exec_parallel_loop(stmt)
+            else:
+                self.exec_sequential_loop(stmt)
+        elif isinstance(stmt, Push):
+            value = self.eval(stmt.value)
+            self.tape.setdefault((stmt.channel, self._par_key), []).append(value)
+            self.tracer.on_push()
+        elif isinstance(stmt, Pop):
+            stack = self.tape.get((stmt.channel, self._par_key))
+            if not stack:
+                raise TapeError(
+                    f"pop from empty tape channel {stmt.channel!r} "
+                    f"(iteration key {self._par_key!r})")
+            self.tracer.on_pop()
+            self.store(stmt.target, stack.pop(), atomic=False)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"cannot execute {stmt!r}")
+
+    def exec_sequential_loop(self, loop: Loop) -> None:
+        start = int(self.eval(loop.start))
+        stop = int(self.eval(loop.stop))
+        step = int(self.eval(loop.step))
+        values = loop_iterations(start, stop, step)
+        for v in values:
+            self.memory.set_scalar(loop.var, v)
+            self.exec_body(loop.body)
+        # Fortran: counter holds the first value past the last iteration.
+        self.memory.set_scalar(loop.var, start + len(values) * step)
+
+    def exec_parallel_loop(self, loop: Loop) -> None:
+        if self._in_parallel is not None:
+            raise InterpreterError("nested parallel loops are not supported")
+        start = int(self.eval(loop.start))
+        stop = int(self.eval(loop.stop))
+        step = int(self.eval(loop.step))
+        values = loop_iterations(start, stop, step)
+        self.tracer.on_parallel_loop_begin(loop, values)
+        self._in_parallel = loop
+        try:
+            for v in values:
+                self._par_key = v
+                self.memory.set_scalar(loop.var, v)
+                self.tracer.on_parallel_iteration_begin(loop, v)
+                self.exec_body(loop.body)
+                self.tracer.on_parallel_iteration_end(loop, v)
+        finally:
+            self._par_key = None
+            self._in_parallel = None
+        self.tracer.on_parallel_loop_end(loop)
+
+    def _exec_atomic_update(self, stmt: Assign) -> None:
+        """An ``!$omp atomic`` array update: the load of the target
+        location inside the RHS is part of the atomic read-modify-write,
+        so tracers must not see it as an independent plain read."""
+        target = stmt.target
+        assert isinstance(target, ArrayRef)
+        indices = [int(self.eval(i)) for i in target.indices]
+        storage = self.memory.array(target.name)
+        flat = storage.flat_index(indices)
+        self.tracer.on_atomic_begin(target.name, flat)
+        try:
+            value = self.eval(stmt.value)
+        finally:
+            self.tracer.on_atomic_end()
+        storage.set(indices, value)
+        self.tracer.on_write(target.name, flat, atomic=True, ref=target)
+
+    # ------------------------------------------------------------------
+    # Loads and stores
+    # ------------------------------------------------------------------
+    def store(self, target: Var | ArrayRef, value, *, atomic: bool) -> None:
+        if isinstance(target, Var):
+            self.memory.set_scalar(target.name, value)
+            self.tracer.on_scalar_write(target.name)
+        else:
+            indices = [int(self.eval(i)) for i in target.indices]
+            storage = self.memory.array(target.name)
+            storage.set(indices, value)
+            self.tracer.on_write(target.name, storage.flat_index(indices),
+                                 atomic=atomic, ref=target)
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def eval(self, expr: Expr):
+        if isinstance(expr, Const):
+            return expr.value
+        if isinstance(expr, Var):
+            self.tracer.on_scalar_read(expr.name)
+            return self.memory.get_scalar(expr.name)
+        if isinstance(expr, ArrayRef):
+            indices = [int(self.eval(i)) for i in expr.indices]
+            storage = self.memory.array(expr.name)
+            self.tracer.on_read(expr.name, storage.flat_index(indices), ref=expr)
+            return storage.get(indices)
+        if isinstance(expr, BinOp):
+            left = self.eval(expr.left)
+            right = self.eval(expr.right)
+            self.tracer.on_flop()
+            if expr.op is Op.ADD:
+                return left + right
+            if expr.op is Op.SUB:
+                return left - right
+            if expr.op is Op.MUL:
+                return left * right
+            if expr.op is Op.DIV:
+                if isinstance(left, int) and isinstance(right, int):
+                    # Fortran integer division truncates toward zero.
+                    q = abs(left) // abs(right)
+                    return q if (left >= 0) == (right >= 0) else -q
+                return left / right
+            if expr.op is Op.POW:
+                return left ** right
+            raise InterpreterError(f"bad binary op {expr.op}")  # pragma: no cover
+        if isinstance(expr, UnOp):
+            self.tracer.on_flop()
+            return -self.eval(expr.operand)
+        if isinstance(expr, Call):
+            return self.eval_call(expr)
+        if isinstance(expr, Compare):
+            left = self.eval(expr.left)
+            right = self.eval(expr.right)
+            self.tracer.on_flop()
+            return {
+                CmpOp.EQ: left == right, CmpOp.NE: left != right,
+                CmpOp.LT: left < right, CmpOp.LE: left <= right,
+                CmpOp.GT: left > right, CmpOp.GE: left >= right,
+            }[expr.op]
+        if isinstance(expr, Logical):
+            if expr.op is LogicOp.NOT:
+                return not self.eval(expr.operands[0])
+            left = self.eval(expr.operands[0])
+            if expr.op is LogicOp.AND:
+                return bool(left) and bool(self.eval(expr.operands[1]))
+            return bool(left) or bool(self.eval(expr.operands[1]))
+        raise TypeError(f"cannot evaluate {expr!r}")  # pragma: no cover
+
+    def eval_call(self, call: Call):
+        self.tracer.on_intrinsic(call.func)
+        if call.func == "size":
+            # size(a[, dim]) takes the array *name*, which must not be
+            # evaluated as data.
+            name = call.args[0]
+            if not isinstance(name, (Var, ArrayRef)):
+                raise InterpreterError("size() expects an array name")
+            storage = self.memory.array(name.name)
+            if len(call.args) >= 2:
+                axis = int(self.eval(call.args[1])) - 1
+                return storage.shape[axis]
+            return storage.size
+        args = [self.eval(a) for a in call.args]
+        fn = _UNARY_INTRINSICS.get(call.func)
+        if fn is not None:
+            try:
+                return fn(args[0])
+            except ValueError as exc:
+                raise InterpreterError(f"{call.func}({args[0]}): {exc}") from exc
+        if call.func == "max":
+            return max(args)
+        if call.func == "min":
+            return min(args)
+        if call.func == "mod":
+            a, b = args
+            return math.fmod(a, b) if isinstance(a, float) or isinstance(b, float) \
+                else int(math.fmod(a, b))
+        if call.func == "int":
+            return int(args[0])
+        if call.func == "real":
+            return float(args[0])
+        if call.func == "sign":
+            a, b = args
+            return abs(a) if b >= 0 else -abs(a)
+        raise InterpreterError(f"unknown intrinsic {call.func!r}")
+
+
+def run_procedure(
+    proc: Procedure,
+    bindings: Mapping[str, object] = (),
+    extents: Mapping[str, Sequence[int]] = (),
+    tracer: Tracer = NULL_TRACER,
+) -> Memory:
+    """Allocate memory, run, return the final memory."""
+    memory = Memory.for_procedure(proc, bindings, extents)
+    Interpreter(proc, memory, tracer).run()
+    return memory

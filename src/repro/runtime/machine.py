@@ -1,0 +1,110 @@
+"""The simulated machine model.
+
+One place holds every calibration constant of the virtual SMP node the
+experiments run on. The constants are anchored to the paper's test
+system (dual-socket Broadwell, threads pinned to one 18-core socket)
+via the *serial primal* times of §7 only; every other effect — atomic
+contention growing with thread count, reduction privatization/merge
+volume, bandwidth saturation of gather-heavy loops, fork/join overhead
+— follows structurally from the operation counts of the program under
+simulation, not from per-figure fitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Cost constants of the simulated shared-memory node (seconds)."""
+
+    #: Number of physical cores available to the OpenMP runtime.
+    max_threads: int = 18
+
+    #: One floating-point add/mul, amortized (superscalar, cached code).
+    flop_s: float = 0.06e-9
+
+    #: One streaming (unit-stride / loop-affine) array access.
+    stream_mem_s: float = 0.11e-9
+
+    #: One gather/scatter (data-dependent index) array access.
+    gather_mem_s: float = 1.2e-9
+
+    #: One scalar (register-resident) access.
+    scalar_s: float = 0.012e-9
+
+    #: One transcendental intrinsic call (exp, sin, ...).
+    intrinsic_s: float = 4.0e-9
+
+    #: One tape push or pop (store/load plus pointer bump).
+    tape_s: float = 1.0e-9
+
+    #: One *uncontended* atomic read-modify-write.
+    atomic_s: float = 12.0e-9
+
+    #: Extra latency factor per additional contending thread: an atomic
+    #: costs ``atomic_s * (1 + atomic_contention * (threads - 1))``.
+    atomic_contention: float = 3.0
+
+    #: Per-element cost of initializing a privatized reduction copy.
+    reduction_init_s: float = 0.5e-9
+
+    #: Per-element, per-thread cost of merging privatized copies back
+    #: into the shared array (performed after the loop, bandwidth-bound
+    #: and effectively serialized on the shared destination).
+    reduction_merge_s: float = 1.0e-9
+
+    #: Fork/join overhead of one parallel region: base plus a small
+    #: per-thread term (thread wakeup/barrier).
+    fork_join_base_s: float = 1.0e-6
+    fork_join_per_thread_s: float = 0.2e-6
+
+    #: Threads beyond which *streaming* memory traffic stops scaling
+    #: (shared LLC/DRAM bandwidth; prefetch-friendly loops scale well).
+    stream_bw_threads: int = 14
+
+    #: All-core turbo penalty: with every core active the clock drops
+    #: to ~1/(1+penalty) of the single-core turbo (Broadwell AVX bins).
+    turbo_penalty: float = 0.25
+
+    #: Time to transfer one 64-byte cache line from shared memory. The
+    #: gather *bandwidth* floor is (distinct lines touched) x this:
+    #: random accesses with high line reuse (GFMC's walker blocks) keep
+    #: scaling, while low-reuse sweeps over large footprints (the
+    #: Green-Gauss node arrays) saturate early, exactly as in §7.4.
+    dram_line_s: float = 1.1e-9
+
+    def fork_join_cost(self, threads: int) -> float:
+        """Overhead of one parallel region instance."""
+        return self.fork_join_base_s + self.fork_join_per_thread_s * threads
+
+    def frequency_factor(self, threads: int) -> float:
+        """Per-core slowdown when *threads* cores are active."""
+        if self.max_threads <= 1:
+            return 1.0
+        return 1.0 + self.turbo_penalty * (threads - 1) / (self.max_threads - 1)
+
+    def atomic_cost(self, count: int, threads: int) -> float:
+        """Total wall time consumed by *count* atomics spread over
+        *threads* threads, including contention."""
+        if count == 0:
+            return 0.0
+        per_op = self.atomic_s * (1.0 + self.atomic_contention * (threads - 1))
+        return count * per_op / threads
+
+    def reduction_cost(self, array_elems: int, threads: int) -> float:
+        """Privatize + merge cost for one reduction array over one
+        parallel region instance."""
+        if threads <= 1:
+            # Even single-threaded OpenMP reductions materialize the
+            # private copy and merge it back.
+            return array_elems * (self.reduction_init_s + self.reduction_merge_s)
+        init = array_elems * self.reduction_init_s  # each thread in parallel
+        merge = array_elems * threads * self.reduction_merge_s
+        return init + merge
+
+
+#: The model used by the experiment harness (paper test system).
+BROADWELL_18 = MachineModel()

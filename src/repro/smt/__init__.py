@@ -1,0 +1,36 @@
+"""From-scratch SMT solver for QF_UFLIA.
+
+Stands in for Z3 (paper §6 uses Z3 4.8.15 through its Java API): linear
+integer arithmetic via rational simplex + branch & bound, disjunctions
+via a model-guided clause search, and uninterpreted functions via
+Ackermann elimination. The :class:`Solver` facade mirrors the Z3 subset
+the paper's pseudo-code calls (``add`` / ``push`` / ``pop`` / ``check``).
+"""
+
+from .terms import (And, FAtom, FAnd, FFalse, FNot, FOr, Formula, FTrue,
+                    Int, NonLinearTermError, Not, Or, Rel, TAdd, TApp,
+                    TConst, Term, TMul, TVar, as_term, formula_apps,
+                    formula_atoms, formula_vars, term_apps, term_vars,
+                    walk_term, TRUE, FALSE)
+from .linform import Constraint, LinForm, TrivialConstraint, canonicalize, linearize
+from .simplex import ResourceError, SimplexSolver
+from .intsolver import IntCheckOutcome, Result, check_int
+from .ackermann import AckermannResult, ackermannize
+from .clausify import Clause, ClausifyBudgetError, clausify, clausify_all, to_nnf
+from .search import SearchOutcome, SearchStats, search
+from .solver import SAT, UNKNOWN, UNSAT, Solver, SolverStats, prove_distinct
+
+__all__ = [
+    "And", "FAtom", "FAnd", "FFalse", "FNot", "FOr", "Formula", "FTrue",
+    "Int", "NonLinearTermError", "Not", "Or", "Rel", "TAdd", "TApp",
+    "TConst", "Term", "TMul", "TVar", "as_term", "formula_apps",
+    "formula_atoms", "formula_vars", "term_apps", "term_vars", "walk_term",
+    "TRUE", "FALSE",
+    "Constraint", "LinForm", "TrivialConstraint", "canonicalize", "linearize",
+    "ResourceError", "SimplexSolver",
+    "IntCheckOutcome", "Result", "check_int",
+    "AckermannResult", "ackermannize",
+    "Clause", "ClausifyBudgetError", "clausify", "clausify_all", "to_nnf",
+    "SearchOutcome", "SearchStats", "search",
+    "SAT", "UNKNOWN", "UNSAT", "Solver", "SolverStats", "prove_distinct",
+]

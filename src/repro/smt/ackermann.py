@@ -1,0 +1,113 @@
+"""Ackermann elimination of uninterpreted functions.
+
+Every distinct application ``f(t_1, ..., t_n)`` appearing in the input
+formulas is replaced by a fresh integer variable ``!f@k``. Functional
+consistency is restored by adding, for every pair of applications of
+the same function symbol, the congruence axiom
+
+    t_1 = u_1 ∧ ... ∧ t_n = u_n  →  !f@j = !f@k
+
+Applications may be nested (``mss(1, ig, c(i))``); inner applications
+are eliminated first so the arguments of the rewritten terms are pure
+linear terms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from .terms import (And, FAnd, FAtom, FFalse, FNot, FOr, Formula, FTrue,
+                    Not, Or, TAdd, TApp, TConst, Term, TMul, TVar)
+
+
+@dataclass
+class AckermannResult:
+    """Rewritten formulas plus the congruence side conditions."""
+
+    formulas: List[Formula]
+    congruence: List[Formula]
+    app_names: Dict[TApp, str] = field(default_factory=dict)
+
+    @property
+    def all_formulas(self) -> List[Formula]:
+        return self.formulas + self.congruence
+
+
+class _Ackermannizer:
+    def __init__(self) -> None:
+        # Keyed by the *rewritten* application (pure-linear arguments),
+        # so syntactically identical applications share one variable.
+        self._cache: Dict[TApp, TVar] = {}
+        self._by_func: Dict[Tuple[str, int], List[TApp]] = {}
+        self._counter = 0
+
+    def rewrite_term(self, term: Term) -> Term:
+        if isinstance(term, (TConst, TVar)):
+            return term
+        if isinstance(term, TAdd):
+            parts = tuple(self.rewrite_term(t) for t in term.terms)
+            if all(a is b for a, b in zip(parts, term.terms)):
+                return term  # identity-preserving: keeps caches effective
+            return TAdd(parts)
+        if isinstance(term, TMul):
+            inner = self.rewrite_term(term.term)
+            return term if inner is term.term else TMul(term.coeff, inner)
+        if isinstance(term, TApp):
+            rewritten = TApp(term.func, tuple(self.rewrite_term(a) for a in term.args))
+            var = self._cache.get(rewritten)
+            if var is None:
+                var = TVar(f"!{term.func}@{self._counter}")
+                self._counter += 1
+                self._cache[rewritten] = var
+                self._by_func.setdefault((term.func, len(term.args)), []).append(rewritten)
+            return var
+        raise TypeError(f"not a term: {term!r}")  # pragma: no cover
+
+    def rewrite_formula(self, formula: Formula) -> Formula:
+        if isinstance(formula, FAtom):
+            left = self.rewrite_term(formula.left)
+            right = self.rewrite_term(formula.right)
+            if left is formula.left and right is formula.right:
+                return formula
+            return FAtom(formula.rel, left, right)
+        if isinstance(formula, FAnd):
+            return And(*(self.rewrite_formula(f) for f in formula.operands))
+        if isinstance(formula, FOr):
+            return Or(*(self.rewrite_formula(f) for f in formula.operands))
+        if isinstance(formula, FNot):
+            return Not(self.rewrite_formula(formula.operand))
+        if isinstance(formula, (FTrue, FFalse)):
+            return formula
+        raise TypeError(f"not a formula: {formula!r}")  # pragma: no cover
+
+    def congruence_axioms(self) -> List[Formula]:
+        axioms: List[Formula] = []
+        for apps in self._by_func.values():
+            for j in range(len(apps)):
+                for k in range(j + 1, len(apps)):
+                    a, b = apps[j], apps[k]
+                    va, vb = self._cache[a], self._cache[b]
+                    args_differ = [arg_a.ne(arg_b)
+                                   for arg_a, arg_b in zip(a.args, b.args)
+                                   if arg_a != arg_b]
+                    if not args_differ:
+                        # Identical rewritten arguments cannot happen for
+                        # distinct cache entries, but guard anyway.
+                        axioms.append(va.eq(vb))  # pragma: no cover
+                        continue
+                    axioms.append(Or(*args_differ, va.eq(vb)))
+        return axioms
+
+
+def ackermannize(formulas: List[Formula]) -> AckermannResult:
+    """Eliminate UF applications from *formulas*.
+
+    Returns the rewritten formulas and the congruence clauses; the
+    conjunction of both is equisatisfiable with the input.
+    """
+    ack = _Ackermannizer()
+    rewritten = [ack.rewrite_formula(f) for f in formulas]
+    result = AckermannResult(rewritten, ack.congruence_axioms())
+    result.app_names = {app: var.name for app, var in ack._cache.items()}
+    return result

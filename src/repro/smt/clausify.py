@@ -1,0 +1,106 @@
+"""Conversion of formulas to clause form.
+
+The pipeline is NNF → disequality splitting → CNF by distribution.
+FormAD's formulas are shallow (knowledge assertions are disjunctions of
+atoms, questions are conjunctions of atoms), so naive distribution is
+fine; a blow-up guard raises :class:`ClausifyBudgetError` if a
+pathological input is ever fed in, which the solver maps to UNKNOWN.
+
+The output is a list of clauses; each clause is a tuple of *positive*
+:class:`~repro.smt.terms.FAtom` literals with relations restricted to
+``LE``/``LT``/``GE``/``GT``/``EQ`` (``NE`` is split into ``LT ∨ GT``,
+valid over the integers; negations are folded into the relation).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Sequence, Tuple
+
+from .terms import (FAnd, FAtom, FFalse, FNot, FOr, Formula, FTrue, Rel)
+
+Clause = Tuple[FAtom, ...]
+
+
+class ClausifyBudgetError(RuntimeError):
+    """CNF distribution exceeded the clause budget."""
+
+
+def to_nnf(formula: Formula, negate: bool = False) -> Formula:
+    """Negation normal form with negations folded into atom relations."""
+    if isinstance(formula, FAtom):
+        return FAtom(formula.rel.negate(), formula.left, formula.right) if negate else formula
+    if isinstance(formula, FNot):
+        return to_nnf(formula.operand, not negate)
+    if isinstance(formula, FAnd):
+        parts = tuple(to_nnf(f, negate) for f in formula.operands)
+        return FOr(parts) if negate else FAnd(parts)
+    if isinstance(formula, FOr):
+        parts = tuple(to_nnf(f, negate) for f in formula.operands)
+        return FAnd(parts) if negate else FOr(parts)
+    if isinstance(formula, FTrue):
+        return FFalse() if negate else formula
+    if isinstance(formula, FFalse):
+        return FTrue() if negate else formula
+    raise TypeError(f"not a formula: {formula!r}")  # pragma: no cover
+
+
+def split_atom(atom: FAtom) -> Tuple[FAtom, ...]:
+    """Replace NE by its integer case split; pass other atoms through."""
+    if atom.rel is Rel.NE:
+        return (FAtom(Rel.LT, atom.left, atom.right),
+                FAtom(Rel.GT, atom.left, atom.right))
+    return (atom,)
+
+
+@lru_cache(maxsize=100_000)
+def _clausify_cached(formula: Formula, max_clauses: int) -> Tuple[Clause, ...]:
+    return tuple(_cnf(to_nnf(formula), max_clauses))
+
+
+def clausify(formula: Formula, *, max_clauses: int = 100_000) -> List[Clause]:
+    """CNF clauses for *formula*. ``[]`` means trivially true; a clause
+    ``()`` (empty) means trivially false. Cached per formula — solvers
+    re-translate their assertion stacks on every check."""
+    return list(_clausify_cached(formula, max_clauses))
+
+
+def _cnf(formula: Formula, budget: int) -> List[Clause]:
+    if isinstance(formula, FTrue):
+        return []
+    if isinstance(formula, FFalse):
+        return [()]
+    if isinstance(formula, FAtom):
+        return [split_atom(formula)]
+    if isinstance(formula, FAnd):
+        out: List[Clause] = []
+        for f in formula.operands:
+            out.extend(_cnf(f, budget))
+            if len(out) > budget:
+                raise ClausifyBudgetError(f"more than {budget} clauses")
+        return out
+    if isinstance(formula, FOr):
+        # Distribute: clauses(A ∨ B) = {a ∪ b : a ∈ clauses(A), b ∈ clauses(B)}
+        acc: List[Clause] = [()]
+        for f in formula.operands:
+            sub = _cnf(f, budget)
+            if not sub:  # operand is true ⇒ whole disjunction true
+                return []
+            nxt: List[Clause] = []
+            for a in acc:
+                for b in sub:
+                    nxt.append(a + b)
+                    if len(nxt) > budget:
+                        raise ClausifyBudgetError(f"more than {budget} clauses")
+            acc = nxt
+        return acc
+    raise TypeError(f"not an NNF formula: {formula!r}")  # pragma: no cover
+
+
+def clausify_all(formulas: Sequence[Formula], *, max_clauses: int = 100_000) -> List[Clause]:
+    out: List[Clause] = []
+    for f in formulas:
+        out.extend(clausify(f, max_clauses=max_clauses))
+        if len(out) > max_clauses:
+            raise ClausifyBudgetError(f"more than {max_clauses} clauses")
+    return out

@@ -1,0 +1,285 @@
+"""Model-guided clause search (the DPLL(T) layer).
+
+Decides satisfiability of ``base ∧ clauses`` over the integers, where
+*base* is a conjunction of canonical constraints and each clause is a
+disjunction of atoms.
+
+The search is model-guided: solve the LIA conjunction of the currently
+asserted constraints; if the resulting integer model already satisfies
+every clause we are done (SAT). Otherwise pick the first clause whose
+literals are all false under the model and branch on its literals —
+once a literal from a clause is asserted, that clause stays satisfied
+on the whole subtree, so the branch depth is bounded by the number of
+clauses. UNSAT requires every branch to be LIA-refuted, keeping the
+overall UNSAT answer a sound proof.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .clausify import Clause
+from .intsolver import Result, check_int
+from .linform import Constraint, TrivialConstraint, canonicalize
+from .presolve import (ConstraintEntailed, PresolveInfeasible,
+                       presolve, reduce_constraint)
+from .terms import FAtom
+
+
+@dataclass
+class SearchStats:
+    """Counters for one :func:`search` call."""
+
+    theory_checks: int = 0
+    branches: int = 0
+
+
+@dataclass
+class SearchOutcome:
+    result: Result
+    model: Optional[Dict[str, int]] = None
+    stats: SearchStats = field(default_factory=SearchStats)
+
+
+class _Budget:
+    def __init__(self, max_theory_checks: int) -> None:
+        self.remaining = max_theory_checks
+
+    def spend(self) -> bool:
+        self.remaining -= 1
+        return self.remaining >= 0
+
+
+@lru_cache(maxsize=200_000)
+def _atom_constraints(atom: FAtom) -> Optional[Tuple[Constraint, ...]]:
+    """Canonical constraints for an atom; None if trivially false and
+    ``()`` if trivially true. Cached — the same atoms recur across
+    thousands of checks in a FormAD analysis."""
+    try:
+        return canonicalize(atom)
+    except TrivialConstraint as t:
+        return () if t.truth else None
+
+
+def _atom_holds(atom: FAtom, model: Dict[str, int]) -> bool:
+    cons = _atom_constraints(atom)
+    if cons is None:
+        return False
+    full_model = dict(model)
+    for c in cons:
+        for name in c.form.variables():
+            full_model.setdefault(name, 0)
+    return all(c.holds(full_model) for c in cons)
+
+
+def _model_satisfies(model: Dict[str, int], base: Sequence[Constraint],
+                     clauses: Sequence[Clause]) -> bool:
+    """Pure evaluation: does *model* (0-defaulted) satisfy everything?"""
+    full = dict(model)
+
+    def constraint_holds(c: Constraint) -> bool:
+        for name in c.form.variables():
+            full.setdefault(name, 0)
+        return c.holds(full)
+
+    if not all(constraint_holds(c) for c in base):
+        return False
+    for clause in clauses:
+        if not any(_atom_holds(atom, full) for atom in clause):
+            return False
+    return True
+
+
+def _spread_model(base: Sequence[Constraint], clauses: Sequence[Clause]) -> Dict[str, int]:
+    """A heuristic all-distinct, widely-spaced assignment.
+
+    Disjointness-dominated problems (FormAD's buildModel consistency
+    checks) are almost always satisfied by giving every variable a
+    distinct huge value; evaluating this guess costs no simplex calls.
+    """
+    names: List[str] = []
+    seen = set()
+    for c in base:
+        for n in c.form.variables():
+            if n not in seen:
+                seen.add(n)
+                names.append(n)
+    for clause in clauses:
+        for atom in clause:
+            cons = _atom_constraints(atom) or ()
+            for c in cons:
+                for n in c.form.variables():
+                    if n not in seen:
+                        seen.add(n)
+                        names.append(n)
+    return {n: (k + 1) * 1_000_003 for k, n in enumerate(names)}
+
+
+def search(
+    base: Sequence[Constraint],
+    clauses: Sequence[Clause],
+    *,
+    max_theory_checks: int = 20000,
+    node_budget: int = 2000,
+    initial_model: Optional[Dict[str, int]] = None,
+) -> SearchOutcome:
+    """Decide ``∧base ∧ ∧clauses`` over the integers.
+
+    ``initial_model`` is an optional warm-start guess (e.g. the model of
+    the previous check on an incrementally-grown assertion set); if it
+    or the spread heuristic satisfies everything, no search runs.
+    """
+    stats = SearchStats()
+    budget = _Budget(max_theory_checks)
+    for guess in ([initial_model] if initial_model else []):
+        if _model_satisfies(guess, base, clauses):
+            return SearchOutcome(Result.SAT, dict(guess), stats)
+    spread = _spread_model(base, clauses)
+    if _model_satisfies(spread, base, clauses):
+        return SearchOutcome(Result.SAT, spread, stats)
+
+    # Preprocess clauses: drop trivially-true ones, strip trivially
+    # false literals, and promote unit clauses into the base.
+    base_list: List[Constraint] = list(base)
+    pending: List[Clause] = []
+    for clause in clauses:
+        literals: List[FAtom] = []
+        trivially_true = False
+        for atom in clause:
+            cons = _atom_constraints(atom)
+            if cons is None:
+                continue  # literal is false, drop it
+            if cons == ():
+                trivially_true = True
+                break
+            literals.append(atom)
+        if trivially_true:
+            continue
+        if not literals:
+            return SearchOutcome(Result.UNSAT, stats=stats)
+        if len(literals) == 1:
+            base_list.extend(_atom_constraints(literals[0]) or ())
+        else:
+            pending.append(tuple(literals))
+
+    # Cheap substitution-based unit propagation: run the equality
+    # presolve on the base once, then push every clause literal through
+    # the substitution chain. A literal collapsing to "false" is
+    # dropped; a clause whose literals all collapse is an outright
+    # refutation; a literal collapsing to "true" discharges its clause.
+    # This is pure arithmetic (no simplex) and catches FormAD's common
+    # UNSAT shape — the asserted question equality directly contradicts
+    # one knowledge clause — without exploring an exponential tree.
+    try:
+        pres = presolve(base_list)
+    except PresolveInfeasible:
+        return SearchOutcome(Result.UNSAT, stats=stats)
+    filtered: List[Clause] = []
+    for clause in pending:
+        kept: List[FAtom] = []
+        entailed = False
+        for atom in clause:
+            cons = _atom_constraints(atom)
+            assert cons  # trivial literals already stripped
+            try:
+                for c in cons:
+                    reduce_constraint(c, pres.substitutions)
+            except PresolveInfeasible:
+                continue  # literal is false under the base equalities
+            except ConstraintEntailed:
+                # Conservative: only single-constraint literals are
+                # certainly entailed when their constraint is.
+                if len(cons) == 1:
+                    entailed = True
+                    break
+                kept.append(atom)
+                continue
+            kept.append(atom)
+        if entailed:
+            continue
+        if not kept:
+            return SearchOutcome(Result.UNSAT, stats=stats)
+        if len(kept) == 1:
+            base_list.extend(_atom_constraints(kept[0]) or ())
+            try:
+                pres = presolve(base_list)
+            except PresolveInfeasible:
+                return SearchOutcome(Result.UNSAT, stats=stats)
+        else:
+            filtered.append(tuple(kept))
+    pending = filtered
+
+    # Stronger (theory-check) unit propagation for small problems only:
+    # each literal costs one simplex solve, which pays off when a few
+    # clauses gate a deep search but is too expensive at LBM scale.
+    if len(pending) <= 60:
+        for _round in range(10):
+            changed = False
+            survivors: List[Clause] = []
+            for clause in pending:
+                kept = []
+                for atom in clause:
+                    cons = _atom_constraints(atom)
+                    assert cons
+                    if not budget.spend():
+                        return SearchOutcome(Result.UNKNOWN, stats=stats)
+                    stats.theory_checks += 1
+                    outcome = check_int(base_list + list(cons),
+                                        node_budget=node_budget)
+                    if outcome.result is not Result.UNSAT:
+                        kept.append(atom)
+                if not kept:
+                    return SearchOutcome(Result.UNSAT, stats=stats)
+                if len(kept) == 1:
+                    base_list.extend(_atom_constraints(kept[0]) or ())
+                    changed = True  # stronger base: re-filter survivors
+                else:
+                    survivors.append(tuple(kept))
+            pending = survivors
+            if not changed:
+                break
+
+    result, model = _search_node(base_list, pending, stats, budget, node_budget)
+    return SearchOutcome(result, model, stats)
+
+
+def _search_node(
+    constraints: List[Constraint],
+    clauses: List[Clause],
+    stats: SearchStats,
+    budget: _Budget,
+    node_budget: int,
+) -> Tuple[Result, Optional[Dict[str, int]]]:
+    if not budget.spend():
+        return Result.UNKNOWN, None
+    stats.theory_checks += 1
+    outcome = check_int(constraints, node_budget=node_budget)
+    if outcome.result is Result.UNSAT:
+        return Result.UNSAT, None
+    if outcome.result is Result.UNKNOWN:
+        return Result.UNKNOWN, None
+    model = outcome.model
+    assert model is not None
+    # Find the first clause falsified by the model.
+    violated: Optional[Clause] = None
+    for clause in clauses:
+        if not any(_atom_holds(atom, model) for atom in clause):
+            violated = clause
+            break
+    if violated is None:
+        return Result.SAT, model
+    saw_unknown = False
+    remaining = [c for c in clauses if c is not violated]
+    stats.branches += 1
+    for atom in violated:
+        cons = _atom_constraints(atom)
+        assert cons  # trivial literals were stripped during preprocessing
+        result, submodel = _search_node(constraints + list(cons), remaining,
+                                        stats, budget, node_budget)
+        if result is Result.SAT:
+            return Result.SAT, submodel
+        if result is Result.UNKNOWN:
+            saw_unknown = True
+    return (Result.UNKNOWN if saw_unknown else Result.UNSAT), None

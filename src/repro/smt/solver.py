@@ -1,0 +1,177 @@
+"""The ``Solver`` facade — the Z3 API subset the paper's pseudo-code uses.
+
+FormAD's algorithms (paper §5.5) call exactly ``Solver()``, ``add``,
+``push``, ``pop``, ``check`` and compare against SAT/UNSAT. This class
+provides that interface on top of the from-scratch QF_UFLIA pipeline:
+
+    assertions --ackermannize--> UF-free formulas
+               --clausify-----> base constraints + clauses
+               --search-------> SAT (with model) / UNSAT / UNKNOWN
+
+``check()`` re-translates the current assertion stack each call; the
+problems FormAD produces are small (the paper's largest model has 362
+assertions) and the paper itself reports whole analyses completing in
+seconds, so clarity wins over incrementality here.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from .ackermann import ackermannize
+from .clausify import Clause, ClausifyBudgetError, clausify_all
+from .intsolver import Result
+from .linform import Constraint, TrivialConstraint, canonicalize
+from .search import SearchOutcome, search
+from .terms import FAtom, Formula, TApp, Term, formula_apps
+
+SAT = Result.SAT
+UNSAT = Result.UNSAT
+UNKNOWN = Result.UNKNOWN
+
+
+@dataclass
+class SolverStats:
+    """Cumulative statistics over the lifetime of a solver instance."""
+
+    checks: int = 0
+    sat: int = 0
+    unsat: int = 0
+    unknown: int = 0
+    theory_checks: int = 0
+    time_seconds: float = 0.0
+
+    def record(self, result: Result, elapsed: float, theory_checks: int) -> None:
+        self.checks += 1
+        self.time_seconds += elapsed
+        self.theory_checks += theory_checks
+        if result is SAT:
+            self.sat += 1
+        elif result is UNSAT:
+            self.unsat += 1
+        else:
+            self.unknown += 1
+
+
+class Solver:
+    """An assertion-stack SMT solver for QF_UFLIA."""
+
+    def __init__(
+        self,
+        *,
+        max_theory_checks: int = 20000,
+        node_budget: int = 2000,
+        max_clauses: int = 100_000,
+    ) -> None:
+        self._stack: List[List[Formula]] = [[]]
+        self._model: Optional[Dict[str, int]] = None
+        self._warm_model: Optional[Dict[str, int]] = None
+        self._app_names: Dict[TApp, str] = {}
+        self.stats = SolverStats()
+        self.max_theory_checks = max_theory_checks
+        self.node_budget = node_budget
+        self.max_clauses = max_clauses
+
+    # ------------------------------------------------------------------
+    # Z3-style interface
+    # ------------------------------------------------------------------
+    def add(self, *formulas: Formula) -> None:
+        """Assert formulas at the current stack level."""
+        for f in formulas:
+            self._stack[-1].append(f)
+        self._model = None
+
+    def push(self) -> None:
+        """Save the assertion state."""
+        self._stack.append([])
+
+    def pop(self, num: int = 1) -> None:
+        """Restore the assertion state ``num`` levels up."""
+        for _ in range(num):
+            if len(self._stack) == 1:
+                raise RuntimeError("pop on an empty solver stack")
+            self._stack.pop()
+        self._model = None
+
+    def assertions(self) -> List[Formula]:
+        return [f for level in self._stack for f in level]
+
+    @property
+    def num_assertions(self) -> int:
+        return sum(len(level) for level in self._stack)
+
+    def check(self) -> Result:
+        """Decide the conjunction of all current assertions."""
+        start = time.perf_counter()
+        outcome = self._check_now()
+        elapsed = time.perf_counter() - start
+        self.stats.record(outcome.result, elapsed, outcome.stats.theory_checks)
+        self._model = outcome.model
+        if outcome.model is not None:
+            # Warm start for the next check on a grown assertion set
+            # (the buildModel pattern: add one fact, re-check).
+            self._warm_model = outcome.model
+        return outcome.result
+
+    def model(self) -> Dict[str, int]:
+        """The integer model of the last SAT check.
+
+        Keys are variable names; Ackermann-introduced names for UF
+        applications look like ``!f@k`` (see :meth:`app_value`).
+        """
+        if self._model is None:
+            raise RuntimeError("model() requires a preceding SAT check")
+        return dict(self._model)
+
+    def app_value(self, app: TApp) -> Optional[int]:
+        """Model value of a UF application from the last SAT check."""
+        name = self._app_names.get(app)
+        if name is None or self._model is None:
+            return None
+        return self._model.get(name, 0)
+
+    # ------------------------------------------------------------------
+    def _check_now(self) -> SearchOutcome:
+        formulas = self.assertions()
+        ack = ackermannize(formulas)
+        self._app_names = ack.app_names
+        try:
+            clauses = clausify_all(ack.all_formulas, max_clauses=self.max_clauses)
+        except ClausifyBudgetError:
+            return SearchOutcome(UNKNOWN)
+        base: List[Constraint] = []
+        pending: List[Clause] = []
+        for clause in clauses:
+            if len(clause) == 1:
+                try:
+                    base.extend(canonicalize(clause[0]))
+                except TrivialConstraint as t:
+                    if not t.truth:
+                        return SearchOutcome(UNSAT)
+            else:
+                pending.append(clause)
+        return search(base, pending,
+                      max_theory_checks=self.max_theory_checks,
+                      node_budget=self.node_budget,
+                      initial_model=self._warm_model)
+
+
+def prove_distinct(solver: Solver, left: Term, right: Term) -> bool:
+    """Convenience: is ``left == right`` impossible under the solver's
+    current assertions? (The FormAD exploitation question.)
+
+    Uses push/pop exactly like the paper's ``testVar``.
+    """
+    solver.push()
+    try:
+        solver.add(_eq(left, right))
+        return solver.check() is UNSAT
+    finally:
+        solver.pop()
+
+
+def _eq(left: Term, right: Term) -> FAtom:
+    from .terms import Rel
+    return FAtom(Rel.EQ, left, right)

@@ -1,0 +1,346 @@
+"""Term and formula language for the SMT solver.
+
+The solver decides **QF_UFLIA**: quantifier-free formulas over linear
+integer arithmetic with uninterpreted functions. This is exactly the
+fragment the paper's FormAD analysis needs — index expressions are
+linear in loop counters and scalars, and data-dependent indirections
+(``c(i)``, ``mss(1, ig, k12)``) become uninterpreted function
+applications whose only known property is functional consistency.
+
+Terms and formulas are immutable, hashable dataclasses with operator
+overloading, mirroring the small slice of the Z3 Python API the paper
+uses (``Int``, arithmetic, ``==``-style comparisons via methods,
+``And``/``Or``/``Not``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Mapping, Sequence, Tuple
+
+
+class _TermOps:
+    """Operator overloading shared by all integer terms."""
+
+    def __add__(self, other) -> "TAdd":
+        return TAdd((self, as_term(other)))
+
+    def __radd__(self, other) -> "TAdd":
+        return TAdd((as_term(other), self))
+
+    def __sub__(self, other) -> "TAdd":
+        return TAdd((self, TMul(-1, as_term(other))))
+
+    def __rsub__(self, other) -> "TAdd":
+        return TAdd((as_term(other), TMul(-1, self)))
+
+    def __mul__(self, other) -> "TMul":
+        if isinstance(other, int):
+            return TMul(other, self)
+        if isinstance(other, TConst):
+            return TMul(other.value, self)
+        if isinstance(self, TConst):
+            return TMul(self.value, as_term(other))
+        raise NonLinearTermError(f"nonlinear product: {self} * {other}")
+
+    def __rmul__(self, other) -> "TMul":
+        return self.__mul__(other)
+
+    def __neg__(self) -> "TMul":
+        return TMul(-1, self)
+
+    # Comparisons produce formulas (atoms).
+    def eq(self, other) -> "FAtom":
+        return FAtom(Rel.EQ, self, as_term(other))
+
+    def ne(self, other) -> "FAtom":
+        return FAtom(Rel.NE, self, as_term(other))
+
+    def le(self, other) -> "FAtom":
+        return FAtom(Rel.LE, self, as_term(other))
+
+    def lt(self, other) -> "FAtom":
+        return FAtom(Rel.LT, self, as_term(other))
+
+    def ge(self, other) -> "FAtom":
+        return FAtom(Rel.GE, self, as_term(other))
+
+    def gt(self, other) -> "FAtom":
+        return FAtom(Rel.GT, self, as_term(other))
+
+
+class NonLinearTermError(TypeError):
+    """Raised when a term falls outside linear integer arithmetic."""
+
+
+@dataclass(frozen=True)
+class TConst(_TermOps):
+    """An integer literal."""
+
+    value: int
+
+    def __post_init__(self):
+        if not isinstance(self.value, int) or isinstance(self.value, bool):
+            raise TypeError(f"TConst needs an int, got {self.value!r}")
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+@dataclass(frozen=True)
+class TVar(_TermOps):
+    """An integer variable."""
+
+    name: str
+
+    def __post_init__(self):
+        if not self.name:
+            raise ValueError("empty variable name")
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class TAdd(_TermOps):
+    """A sum of terms."""
+
+    terms: Tuple["Term", ...]
+
+    def __str__(self) -> str:
+        return "(" + " + ".join(map(str, self.terms)) + ")"
+
+
+@dataclass(frozen=True)
+class TMul(_TermOps):
+    """An integer constant times a term (keeps everything linear)."""
+
+    coeff: int
+    term: "Term"
+
+    def __post_init__(self):
+        if not isinstance(self.coeff, int) or isinstance(self.coeff, bool):
+            raise TypeError(f"TMul coefficient must be int, got {self.coeff!r}")
+
+    def __str__(self) -> str:
+        return f"{self.coeff}*{self.term}"
+
+
+@dataclass(frozen=True)
+class TApp(_TermOps):
+    """An uninterpreted function application ``f(arg_1, ..., arg_n)``.
+
+    Functions are identified by name and arity; applying the same name
+    with different arities is an error caught at solve time.
+    """
+
+    func: str
+    args: Tuple["Term", ...]
+
+    def __post_init__(self):
+        if not self.func:
+            raise ValueError("empty function name")
+        if not self.args:
+            raise ValueError("TApp needs at least one argument")
+
+    def __str__(self) -> str:
+        return f"{self.func}({', '.join(map(str, self.args))})"
+
+
+Term = TConst | TVar | TAdd | TMul | TApp
+
+
+def Int(name: str) -> TVar:
+    """Z3-style constructor for an integer variable."""
+    return TVar(name)
+
+
+def as_term(value) -> Term:
+    if isinstance(value, (TConst, TVar, TAdd, TMul, TApp)):
+        return value
+    if isinstance(value, int) and not isinstance(value, bool):
+        return TConst(value)
+    raise TypeError(f"cannot convert {value!r} to an SMT term")
+
+
+def term_children(term: Term) -> Tuple[Term, ...]:
+    if isinstance(term, (TConst, TVar)):
+        return ()
+    if isinstance(term, TAdd):
+        return term.terms
+    if isinstance(term, TMul):
+        return (term.term,)
+    if isinstance(term, TApp):
+        return term.args
+    raise TypeError(f"not a term: {term!r}")  # pragma: no cover
+
+
+def walk_term(term: Term) -> Iterator[Term]:
+    stack = [term]
+    while stack:
+        t = stack.pop()
+        yield t
+        stack.extend(term_children(t))
+
+
+def term_vars(term: Term) -> set[str]:
+    return {t.name for t in walk_term(term) if isinstance(t, TVar)}
+
+
+def term_apps(term: Term) -> list[TApp]:
+    """All UF applications in *term*, innermost included."""
+    return [t for t in walk_term(term) if isinstance(t, TApp)]
+
+
+# ----------------------------------------------------------------------
+# Formulas
+# ----------------------------------------------------------------------
+
+import enum
+
+
+class Rel(enum.Enum):
+    EQ = "="
+    NE = "!="
+    LE = "<="
+    LT = "<"
+    GE = ">="
+    GT = ">"
+
+    def negate(self) -> "Rel":
+        return {
+            Rel.EQ: Rel.NE, Rel.NE: Rel.EQ,
+            Rel.LE: Rel.GT, Rel.GT: Rel.LE,
+            Rel.LT: Rel.GE, Rel.GE: Rel.LT,
+        }[self]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class FAtom:
+    """An atomic constraint ``left REL right``."""
+
+    rel: Rel
+    left: Term
+    right: Term
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.rel} {self.right})"
+
+
+@dataclass(frozen=True)
+class FAnd:
+    operands: Tuple["Formula", ...]
+
+    def __str__(self) -> str:
+        return "(and " + " ".join(map(str, self.operands)) + ")"
+
+
+@dataclass(frozen=True)
+class FOr:
+    operands: Tuple["Formula", ...]
+
+    def __str__(self) -> str:
+        return "(or " + " ".join(map(str, self.operands)) + ")"
+
+
+@dataclass(frozen=True)
+class FNot:
+    operand: "Formula"
+
+    def __str__(self) -> str:
+        return f"(not {self.operand})"
+
+
+@dataclass(frozen=True)
+class FTrue:
+    def __str__(self) -> str:
+        return "true"
+
+
+@dataclass(frozen=True)
+class FFalse:
+    def __str__(self) -> str:
+        return "false"
+
+
+Formula = FAtom | FAnd | FOr | FNot | FTrue | FFalse
+
+TRUE = FTrue()
+FALSE = FFalse()
+
+
+def And(*operands: Formula) -> Formula:
+    ops = _flatten(operands, FAnd)
+    if any(isinstance(o, FFalse) for o in ops):
+        return FALSE
+    ops = tuple(o for o in ops if not isinstance(o, FTrue))
+    if not ops:
+        return TRUE
+    if len(ops) == 1:
+        return ops[0]
+    return FAnd(ops)
+
+
+def Or(*operands: Formula) -> Formula:
+    ops = _flatten(operands, FOr)
+    if any(isinstance(o, FTrue) for o in ops):
+        return TRUE
+    ops = tuple(o for o in ops if not isinstance(o, FFalse))
+    if not ops:
+        return FALSE
+    if len(ops) == 1:
+        return ops[0]
+    return FOr(ops)
+
+
+def Not(operand: Formula) -> Formula:
+    if isinstance(operand, FTrue):
+        return FALSE
+    if isinstance(operand, FFalse):
+        return TRUE
+    if isinstance(operand, FNot):
+        return operand.operand
+    return FNot(operand)
+
+
+def _flatten(operands: Sequence[Formula], cls) -> Tuple[Formula, ...]:
+    out: list[Formula] = []
+    for op in operands:
+        if isinstance(op, cls):
+            out.extend(op.operands)
+        else:
+            out.append(op)
+    return tuple(out)
+
+
+def formula_atoms(formula: Formula) -> list[FAtom]:
+    """All atoms in a formula, in syntactic order."""
+    out: list[FAtom] = []
+    stack = [formula]
+    while stack:
+        f = stack.pop()
+        if isinstance(f, FAtom):
+            out.append(f)
+        elif isinstance(f, (FAnd, FOr)):
+            stack.extend(reversed(f.operands))
+        elif isinstance(f, FNot):
+            stack.append(f.operand)
+    return out
+
+
+def formula_vars(formula: Formula) -> set[str]:
+    names: set[str] = set()
+    for atom in formula_atoms(formula):
+        names |= term_vars(atom.left) | term_vars(atom.right)
+    return names
+
+
+def formula_apps(formula: Formula) -> list[TApp]:
+    apps: list[TApp] = []
+    for atom in formula_atoms(formula):
+        apps.extend(term_apps(atom.left))
+        apps.extend(term_apps(atom.right))
+    return apps

@@ -1,0 +1,92 @@
+"""Shared helpers: dot-product (adjoint consistency) test via central
+finite differences.
+
+For F mapping the initial values of the active variables to their final
+values, reverse mode must satisfy  ⟨w, J v⟩ = ⟨J^T w, v⟩  for random
+directions v (over the independents) and seeds w (over the dependents).
+The left side is measured with central finite differences on the primal
+interpreter; the right side runs the generated adjoint procedure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.ad import ReverseResult
+from repro.ir import Procedure
+from repro.runtime import Memory, run_procedure
+
+
+def _as_float_map(memory: Memory, names: Sequence[str]) -> Dict[str, np.ndarray]:
+    out = {}
+    for name in names:
+        if name in memory.arrays:
+            out[name] = memory.array(name).data.astype(float).copy()
+        else:
+            out[name] = np.array(float(memory.get_scalar(name)))
+    return out
+
+
+def _perturbed(bindings: Mapping[str, object], directions: Mapping[str, np.ndarray],
+               eps: float) -> Dict[str, object]:
+    out = dict(bindings)
+    for name, v in directions.items():
+        base = np.asarray(out[name], dtype=float)
+        out[name] = base + eps * v
+    return out
+
+
+def dot_product_test(
+    proc: Procedure,
+    adj: ReverseResult,
+    bindings: Mapping[str, object],
+    independents: Sequence[str],
+    dependents: Sequence[str],
+    *,
+    extents: Mapping[str, Sequence[int]] = (),
+    eps: float = 1e-6,
+    rtol: float = 1e-4,
+    seed: int = 0,
+) -> None:
+    """Assert ⟨w, Jv⟩ ≈ ⟨J^T w, v⟩; raises AssertionError otherwise."""
+    rng = np.random.default_rng(seed)
+    directions = {}
+    for name in independents:
+        base = np.asarray(bindings[name], dtype=float)
+        directions[name] = rng.standard_normal(base.shape if base.shape else ())
+    seeds = {}
+    for name in dependents:
+        base = np.asarray(bindings[name], dtype=float)
+        seeds[name] = rng.standard_normal(base.shape if base.shape else ())
+
+    # Left side: central finite differences.
+    plus = run_procedure(proc, _perturbed(bindings, directions, eps), extents)
+    minus = run_procedure(proc, _perturbed(bindings, directions, -eps), extents)
+    y_plus = _as_float_map(plus, dependents)
+    y_minus = _as_float_map(minus, dependents)
+    lhs = 0.0
+    for name in dependents:
+        dy = (y_plus[name] - y_minus[name]) / (2.0 * eps)
+        lhs += float(np.sum(seeds[name] * dy))
+
+    # Right side: one adjoint run.
+    adj_bindings = dict(bindings)
+    for name in set(independents) | set(dependents):
+        bname = adj.adjoint_name(name)
+        base = np.asarray(bindings[name], dtype=float)
+        seed_val = seeds.get(name, np.zeros(base.shape if base.shape else ()))
+        if base.shape == ():
+            adj_bindings[bname] = float(seed_val)
+        else:
+            adj_bindings[bname] = np.array(seed_val, dtype=float)
+    adj_mem = run_procedure(adj.procedure, adj_bindings, extents)
+    grads = _as_float_map(adj_mem, [adj.adjoint_name(n) for n in independents])
+    rhs = 0.0
+    for name in independents:
+        rhs += float(np.sum(directions[name] * grads[adj.adjoint_name(name)]))
+
+    denom = max(abs(lhs), abs(rhs), 1e-12)
+    assert abs(lhs - rhs) / denom < rtol, \
+        f"dot-product test failed: FD={lhs!r} vs adjoint={rhs!r}"

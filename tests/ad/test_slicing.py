@@ -1,0 +1,109 @@
+"""Direct tests for the adjoint slicing pass."""
+
+import numpy as np
+import pytest
+
+from repro import differentiate, parse_procedure
+from repro.ad import differentiate_reverse, ALL_SHARED
+from repro.ir import Assign, Loop, Push, walk_stmts
+from repro.runtime import run_procedure
+
+STENCIL = """
+subroutine sten(uold, unew, n)
+  integer, intent(in) :: n
+  real, intent(in) :: uold(40)
+  real, intent(inout) :: unew(40)
+  !$omp parallel do
+  do i = 2, n - 1
+    unew(i) = unew(i) + 0.3 * uold(i - 1)
+  end do
+end subroutine sten
+"""
+
+CHAIN = """
+subroutine chain(x, y)
+  real, intent(in) :: x
+  real, intent(inout) :: y
+  real :: t
+  t = x * x
+  y = t * t
+end subroutine chain
+"""
+
+
+class TestSlicing:
+    def test_forward_sweep_removed_for_linear_accumulator(self):
+        proc = parse_procedure(STENCIL)
+        adj = differentiate_reverse(proc, ["uold"], ["unew"])
+        # unew is never read: its increments are sliced away, leaving a
+        # single (reverse) parallel loop.
+        loops = [s for s in walk_stmts(adj.procedure.body)
+                 if isinstance(s, Loop) and s.parallel]
+        assert len(loops) == 1
+        writes = [s for s in walk_stmts(adj.procedure.body)
+                  if isinstance(s, Assign) and s.target.name == "unew"]
+        assert not writes
+
+    def test_slicing_can_be_disabled(self):
+        proc = parse_procedure(STENCIL)
+        adj = differentiate_reverse(proc, ["uold"], ["unew"],
+                                    slice_primal=False)
+        loops = [s for s in walk_stmts(adj.procedure.body)
+                 if isinstance(s, Loop) and s.parallel]
+        assert len(loops) == 2  # forward sweep retained
+
+    def test_needed_primal_values_survive(self):
+        proc = parse_procedure(CHAIN)
+        adj = differentiate_reverse(proc, ["x"], ["y"])
+        # t is read by y's partial: its computation must survive.
+        t_writes = [s for s in walk_stmts(adj.procedure.body)
+                    if isinstance(s, Assign) and s.target.name == "t"]
+        assert t_writes
+
+    def test_sliced_and_unsliced_gradients_agree(self):
+        proc = parse_procedure(STENCIL)
+        rng = np.random.default_rng(0)
+        bindings = {"uold": rng.standard_normal(40),
+                    "unew": rng.standard_normal(40), "n": 40}
+        grads = []
+        for flag in (True, False):
+            adj = differentiate_reverse(proc, ["uold"], ["unew"],
+                                        policy=ALL_SHARED, slice_primal=flag)
+            ab = dict(bindings)
+            ab[adj.adjoint_name("unew")] = np.ones(40)
+            ab[adj.adjoint_name("uold")] = np.zeros(40)
+            mem = run_procedure(adj.procedure, ab)
+            grads.append(mem.array(adj.adjoint_name("uold")).data.copy())
+        np.testing.assert_allclose(grads[0], grads[1])
+
+    def test_pushes_keep_their_loops_alive(self):
+        src = """
+subroutine keep(x, y, n)
+  integer, intent(in) :: n
+  real, intent(in) :: x(10)
+  real, intent(inout) :: y(10)
+  real :: t
+  do i = 1, n
+    t = x(i) * 2.0
+    y(i) = t * t
+  end do
+end subroutine keep
+"""
+        proc = parse_procedure(src)
+        adj = differentiate_reverse(proc, ["x"], ["y"])
+        pushes = [s for s in walk_stmts(adj.procedure.body)
+                  if isinstance(s, Push)]
+        assert pushes  # t is overwritten and read: taped
+        loops = [s for s in walk_stmts(adj.procedure.body)
+                 if isinstance(s, Loop)]
+        assert len(loops) == 2  # both sweeps alive
+
+    def test_adjoint_outputs_protected(self):
+        # Even if nothing "reads" xb, its increments are the result and
+        # must never be sliced.
+        proc = parse_procedure(STENCIL)
+        adj = differentiate_reverse(proc, ["uold"], ["unew"])
+        xb_writes = [s for s in walk_stmts(adj.procedure.body)
+                     if isinstance(s, Assign)
+                     and s.target.name == adj.adjoint_name("uold")]
+        assert xb_writes

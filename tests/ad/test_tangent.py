@@ -1,0 +1,212 @@
+"""Forward (tangent) mode: numeric correctness against finite
+differences, structural properties, and forward-vs-reverse consistency
+(⟨w, Jv⟩ computed both ways)."""
+
+import numpy as np
+import pytest
+
+from repro import differentiate, differentiate_tangent, parse_procedure
+from repro.ad import NotDifferentiableError
+from repro.ir import Loop, walk_stmts
+from repro.runtime import detect_races, run_procedure
+
+SAXPY = """
+subroutine saxpy(a, x, y, n)
+  integer, intent(in) :: n
+  real, intent(in) :: a
+  real, intent(in) :: x(50)
+  real, intent(inout) :: y(50)
+  !$omp parallel do
+  do i = 1, n
+    y(i) = y(i) + a * x(i)
+  end do
+end subroutine saxpy
+"""
+
+NONLINEAR = """
+subroutine nl(x, y, n)
+  integer, intent(in) :: n
+  real, intent(in) :: x(10)
+  real, intent(inout) :: y(10)
+  real :: t
+  !$omp parallel do private(t)
+  do i = 1, n
+    t = exp(x(i)) * sin(x(i))
+    y(i) = t * t + sqrt(x(i) + 2.0)
+  end do
+end subroutine nl
+"""
+
+
+def _fd_directional(proc, bindings, name, direction, out_names, eps=1e-6):
+    hi = run_procedure(proc, {**bindings, name: np.asarray(bindings[name]) + eps * direction})
+    lo = run_procedure(proc, {**bindings, name: np.asarray(bindings[name]) - eps * direction})
+    return {o: (hi.array(o).data - lo.array(o).data) / (2 * eps)
+            for o in out_names}
+
+
+class TestNumeric:
+    def test_saxpy_directional_derivative(self):
+        proc = parse_procedure(SAXPY)
+        tan = differentiate_tangent(proc, ["x"], ["y"])
+        rng = np.random.default_rng(0)
+        bindings = {"a": 1.3, "x": rng.standard_normal(50),
+                    "y": rng.standard_normal(50), "n": 50}
+        v = rng.standard_normal(50)
+        tb = dict(bindings)
+        tb[tan.tangent_name("x")] = v.copy()
+        tb[tan.tangent_name("y")] = np.zeros(50)
+        mem = run_procedure(tan.procedure, tb)
+        got = mem.array(tan.tangent_name("y")).data
+        fd = _fd_directional(proc, bindings, "x", v, ["y"])["y"]
+        np.testing.assert_allclose(got, fd, rtol=1e-5, atol=1e-8)
+
+    def test_nonlinear_directional_derivative(self):
+        proc = parse_procedure(NONLINEAR)
+        tan = differentiate_tangent(proc, ["x"], ["y"])
+        rng = np.random.default_rng(1)
+        bindings = {"x": rng.uniform(0.2, 1.0, 10), "y": np.zeros(10), "n": 10}
+        v = rng.standard_normal(10)
+        tb = dict(bindings)
+        tb[tan.tangent_name("x")] = v.copy()
+        tb[tan.tangent_name("y")] = np.zeros(10)
+        mem = run_procedure(tan.procedure, tb)
+        fd = _fd_directional(proc, bindings, "x", v, ["y"])["y"]
+        np.testing.assert_allclose(mem.array(tan.tangent_name("y")).data, fd,
+                                   rtol=1e-4)
+
+    def test_kinked_intrinsics(self):
+        src = """
+subroutine kink(x, y, n)
+  integer, intent(in) :: n
+  real, intent(in) :: x(10)
+  real, intent(inout) :: y(10)
+  do i = 1, n
+    y(i) = abs(x(i)) + max(x(i), 0.5)
+  end do
+end subroutine kink
+"""
+        proc = parse_procedure(src)
+        tan = differentiate_tangent(proc, ["x"], ["y"])
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal(10)
+        x[np.abs(x) < 0.1] += 0.3
+        x[np.abs(x - 0.5) < 0.1] += 0.3
+        bindings = {"x": x, "y": np.zeros(10), "n": 10}
+        v = rng.standard_normal(10)
+        tb = {**bindings, tan.tangent_name("x"): v.copy(),
+              tan.tangent_name("y"): np.zeros(10)}
+        mem = run_procedure(tan.procedure, tb)
+        fd = _fd_directional(proc, bindings, "x", v, ["y"])["y"]
+        np.testing.assert_allclose(mem.array(tan.tangent_name("y")).data, fd,
+                                   rtol=1e-4)
+
+    def test_scalar_reduction_tangent(self):
+        src = """
+subroutine dotsq(x, s, n)
+  integer, intent(in) :: n
+  real, intent(in) :: x(30)
+  real, intent(inout) :: s
+  !$omp parallel do reduction(+:s)
+  do i = 1, n
+    s = s + x(i) * x(i)
+  end do
+end subroutine dotsq
+"""
+        proc = parse_procedure(src)
+        tan = differentiate_tangent(proc, ["x"], ["s"])
+        loop = tan.procedure.parallel_loops()[0]
+        sd = tan.tangent_name("s")
+        assert ("+", sd) in loop.reduction
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal(30)
+        v = rng.standard_normal(30)
+        tb = {"x": x, "s": 0.0, "n": 30,
+              tan.tangent_name("x"): v.copy(), sd: 0.0}
+        mem = run_procedure(tan.procedure, tb)
+        assert mem.get_scalar(sd) == pytest.approx(float(2 * (x * v).sum()),
+                                                   rel=1e-9)
+
+
+class TestForwardReverseConsistency:
+    def test_dot_products_agree(self):
+        # <w, J v> via forward mode == <J^T w, v> via reverse mode.
+        proc = parse_procedure(NONLINEAR)
+        tan = differentiate_tangent(proc, ["x"], ["y"])
+        adj = differentiate(proc, ["x"], ["y"], strategy="serial")
+        rng = np.random.default_rng(4)
+        bindings = {"x": rng.uniform(0.2, 1.0, 10), "y": np.zeros(10), "n": 10}
+        v = rng.standard_normal(10)
+        w = rng.standard_normal(10)
+
+        tb = {**bindings, tan.tangent_name("x"): v.copy(),
+              tan.tangent_name("y"): np.zeros(10)}
+        jv = run_procedure(tan.procedure, tb).array(tan.tangent_name("y")).data
+        forward_dot = float(w @ jv)
+
+        ab = {**bindings, adj.adjoint_name("y"): w.copy(),
+              adj.adjoint_name("x"): np.zeros(10)}
+        jtw = run_procedure(adj.procedure, ab).array(adj.adjoint_name("x")).data
+        reverse_dot = float(v @ jtw)
+
+        assert forward_dot == pytest.approx(reverse_dot, rel=1e-10)
+
+
+class TestStructure:
+    def test_tangent_parallel_loop_unguarded_and_race_free(self):
+        proc = parse_procedure(NONLINEAR)
+        tan = differentiate_tangent(proc, ["x"], ["y"])
+        loops = [s for s in walk_stmts(tan.procedure.body)
+                 if isinstance(s, Loop) and s.parallel]
+        assert len(loops) == 1
+        # Private tangent of the private temp.
+        assert tan.tangent_name("t") in loops[0].private
+        rng = np.random.default_rng(5)
+        tb = {"x": rng.uniform(0.2, 1.0, 10), "y": np.zeros(10), "n": 10,
+              tan.tangent_name("x"): rng.standard_normal(10),
+              tan.tangent_name("y"): np.zeros(10)}
+        assert detect_races(tan.procedure, tb).race_free
+
+    def test_tangent_params_follow_primal(self):
+        proc = parse_procedure(SAXPY)
+        tan = differentiate_tangent(proc, ["x"], ["y"])
+        names = [p.name for p in tan.procedure.params]
+        assert names.index("x") + 1 == names.index(tan.tangent_name("x"))
+
+    def test_inactive_statements_copied_verbatim(self):
+        src = """
+subroutine mix(x, y, k, n)
+  integer, intent(in) :: n
+  integer, intent(inout) :: k
+  real, intent(in) :: x(10)
+  real, intent(inout) :: y(10)
+  k = n - 1
+  do i = 1, k
+    y(i) = x(i) * 2.0
+  end do
+end subroutine mix
+"""
+        proc = parse_procedure(src)
+        tan = differentiate_tangent(proc, ["x"], ["y"])
+        mem = run_procedure(tan.procedure, {
+            "x": np.ones(10), "y": np.zeros(10), "k": 0, "n": 10,
+            tan.tangent_name("x"): np.ones(10),
+            tan.tangent_name("y"): np.zeros(10)})
+        assert mem.get_scalar("k") == 9
+        np.testing.assert_allclose(mem.array(tan.tangent_name("y")).data[:9], 2.0)
+
+    def test_active_nonplus_reduction_rejected(self):
+        src = """
+subroutine pmax(x, m, n)
+  integer, intent(in) :: n
+  real, intent(in) :: x(10)
+  real, intent(inout) :: m
+  !$omp parallel do reduction(max:m)
+  do i = 1, n
+    m = max(m, x(i))
+  end do
+end subroutine pmax
+"""
+        proc = parse_procedure(src)
+        with pytest.raises(NotDifferentiableError):
+            differentiate_tangent(proc, ["x"], ["m"])

@@ -1,0 +1,173 @@
+"""Tests for activity analysis, reference collection, and increment
+detection."""
+
+import pytest
+
+from repro.analysis import (AccessKind, ActivityAnalysis, IncrementInfo,
+                            collect_region_references, is_increment,
+                            match_increment)
+from repro.ir import (Assign, If, Loop, ProcedureBuilder, REAL, Var,
+                      integer_array, parse_procedure, real_array)
+
+
+class TestIncrementDetection:
+    def test_scalar_increment(self):
+        s = Assign(Var("s"), Var("s") + Var("x"))
+        info = match_increment(s)
+        assert info is not None and info.delta == Var("x") and not info.negated
+
+    def test_commuted_increment(self):
+        s = Assign(Var("s"), Var("x") + Var("s"))
+        assert is_increment(s)
+
+    def test_array_increment(self):
+        u, i, a = Var("u"), Var("i"), Var("a")
+        s = Assign(u[2 * i], u[2 * i] + 2 * a)  # the paper's Fig. 1 example
+        info = match_increment(s)
+        assert info is not None and info.delta == 2 * a
+
+    def test_decrement(self):
+        s = Assign(Var("s"), Var("s") - Var("x"))
+        info = match_increment(s)
+        assert info is not None and info.negated
+
+    def test_not_increment_plain_assign(self):
+        assert not is_increment(Assign(Var("s"), Var("x") + Var("y")))
+
+    def test_not_increment_different_index(self):
+        u, i = Var("u"), Var("i")
+        assert not is_increment(Assign(u[i], u[i + 1] + 1.0))
+
+    def test_not_increment_when_delta_references_target(self):
+        u, i = Var("u"), Var("i")
+        # u(i) = u(i) + u(i+1): delta reads the same array -> refuse.
+        assert not is_increment(Assign(u[i], u[i] + u[i + 1]))
+
+    def test_not_increment_reverse_subtraction(self):
+        s = Assign(Var("s"), Var("x") - Var("s"))
+        assert not is_increment(s)
+
+    def test_non_assign_statement(self):
+        assert match_increment(If(Var("x").gt(0), [])) is None
+
+
+class TestReferenceCollection:
+    def _fig2_body(self):
+        proc = parse_procedure("""
+subroutine fig2(x, y, c, n)
+  integer, intent(in) :: n
+  real, intent(in) :: x(2000)
+  real, intent(out) :: y(1000)
+  integer, intent(in) :: c(1000)
+  !$omp parallel do
+  do i = 1, n
+    y(c(i)) = x(c(i) + 7)
+  end do
+end subroutine fig2
+""")
+        return proc.parallel_loops()[0].body
+
+    def test_fig2_accesses(self):
+        refs = collect_region_references(self._fig2_body())
+        assert refs.arrays() == ["c", "x", "y"]
+        (w,) = refs.writes("y")
+        assert w.kind is AccessKind.WRITE
+        (r,) = refs.reads("x")
+        assert r.kind is AccessKind.READ
+        # c is read twice: in y's index and in x's index.
+        assert len(refs.reads("c")) == 2
+        assert not refs.writes("c")
+
+    def test_increment_classified(self):
+        u, i, a = Var("u"), Var("i"), Var("a")
+        body = [Assign(u[2 * i], u[2 * i] + 2 * a)]
+        refs = collect_region_references(body)
+        (acc,) = refs.of_array("u")
+        assert acc.kind is AccessKind.INCREMENT
+        assert acc.kind.is_write
+
+    def test_reads_in_if_condition_and_loop_bounds(self):
+        a, i, j = Var("a"), Var("i"), Var("j")
+        bnd = Var("bnd")
+        body = [
+            If(a[i].gt(0.0), [Loop("j", 1, bnd[i], body=[Assign(a[j], 0.0)])]),
+        ]
+        refs = collect_region_references(body)
+        kinds = {(x.array, x.kind) for x in refs.accesses}
+        assert ("a", AccessKind.READ) in kinds
+        assert ("bnd", AccessKind.READ) in kinds
+        assert ("a", AccessKind.WRITE) in kinds
+
+    def test_contexts_attached(self):
+        a, i = Var("a"), Var("i")
+        inner = Assign(a[i], 1.0)
+        body = [If(a[i].gt(0.0), [inner])]
+        refs = collect_region_references(body)
+        write = refs.writes("a")[0]
+        assert refs.context_of(write).parent is refs.contexts.root
+
+    def test_write_index_subreads_collected(self):
+        y, c, i = Var("y"), Var("c"), Var("i")
+        body = [Assign(y[c[i]], 1.0)]
+        refs = collect_region_references(body)
+        assert len(refs.reads("c")) == 1
+
+
+class TestActivity:
+    def _build(self):
+        b = ProcedureBuilder("p")
+        x = b.param("x", real_array(10), intent="in")
+        y = b.param("y", real_array(10), intent="out")
+        t = b.local("t", REAL)
+        dead = b.local("dead", REAL)
+        c = b.param("c", integer_array(10), intent="in")
+        with b.parallel_do("i", 1, 10) as i:
+            b.assign(t, x[c[i]] * 2.0)
+            b.assign(y[i], t + 1.0)
+            b.assign(dead, x[i] * 3.0)  # varied but not useful
+        return b.build()
+
+    def test_active_chain(self):
+        proc = self._build()
+        act = ActivityAnalysis(proc, ["x"], ["y"])
+        assert {"x", "t", "y"} <= act.active
+
+    def test_dead_code_not_active(self):
+        proc = self._build()
+        act = ActivityAnalysis(proc, ["x"], ["y"])
+        assert "dead" in act.varied
+        assert "dead" not in act.useful
+        assert "dead" not in act.active
+
+    def test_integer_arrays_never_active(self):
+        proc = self._build()
+        act = ActivityAnalysis(proc, ["x"], ["y"])
+        assert "c" not in act.varied and "c" not in act.active
+
+    def test_non_real_independent_rejected(self):
+        proc = self._build()
+        with pytest.raises(TypeError):
+            ActivityAnalysis(proc, ["c"], ["y"])
+
+    def test_unknown_name_rejected(self):
+        proc = self._build()
+        with pytest.raises(KeyError):
+            ActivityAnalysis(proc, ["nope"], ["y"])
+
+    def test_useful_propagates_backwards_through_loop(self):
+        src = """
+subroutine p(x, y, n)
+  integer, intent(in) :: n
+  real, intent(in) :: x(100)
+  real, intent(inout) :: y(100)
+  real :: acc
+  acc = 0.0
+  do i = 1, n
+    acc = acc + x(i)
+  end do
+  y(1) = acc
+end subroutine p
+"""
+        proc = parse_procedure(src)
+        act = ActivityAnalysis(proc, ["x"], ["y"])
+        assert "acc" in act.active

@@ -1,0 +1,76 @@
+"""Property: structural contexts agree with dominator analysis.
+
+The paper (§5.1) defines context inclusion via necessary execution and
+computes it with dominators/post-dominators; our structured builder
+computes it from the syntax tree. On random structured bodies the two
+must relate exactly as the paper states:
+
+* if statement A dominates or post-dominates statement B in the CFG,
+  then A's context includes B's;
+* if A's context includes B's, then A dominates or post-dominates B
+  (for straight-line contexts the earlier statement dominates, the
+  later one post-dominates).
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cfg import (build_cfg, build_contexts, dominates,
+                       immediate_dominators, immediate_postdominators)
+from repro.ir import Assign, Const, If, Loop, Var
+
+
+_counter = itertools.count()
+
+
+def _assign():
+    return Assign(Var("a")[Var("i")], Const(float(next(_counter))))
+
+
+@st.composite
+def _bodies(draw, depth=2):
+    n = draw(st.integers(1, 3))
+    out = []
+    for _ in range(n):
+        kind = draw(st.sampled_from(
+            ["assign", "if", "loop"] if depth > 0 else ["assign"]))
+        if kind == "assign":
+            out.append(_assign())
+        elif kind == "if":
+            then = draw(_bodies(depth=depth - 1))
+            els = draw(st.one_of(st.just([]), _bodies(depth=depth - 1)))
+            out.append(If(Var("i").gt(0), then, els))
+        else:
+            out.append(Loop("k", 1, 3, body=draw(_bodies(depth=depth - 1))))
+    return out
+
+
+def _assigns(body):
+    from repro.ir import walk_stmts
+    return [s for s in walk_stmts(body) if isinstance(s, Assign)]
+
+
+class TestContextsVsDominators:
+    @given(_bodies())
+    @settings(max_examples=80, deadline=None)
+    def test_agreement(self, body):
+        cm = build_contexts(body)
+        cfg = build_cfg(body)
+        idom = immediate_dominators(cfg)
+        ipdom = immediate_postdominators(cfg)
+        stmts = _assigns(body)
+        for a in stmts:
+            for b in stmts:
+                if a is b:
+                    continue
+                na, nb = cfg.stmt_node(a), cfg.stmt_node(b)
+                dom = dominates(idom, na, nb)
+                pdom = dominates(ipdom, na, nb)
+                includes = cm.context_of(a).includes(cm.context_of(b))
+                # dominance (either direction) implies context inclusion
+                if dom or pdom:
+                    assert includes, (a, b)
+                # and inclusion implies one of the two dominances
+                if includes:
+                    assert dom or pdom, (a, b)

@@ -1,0 +1,117 @@
+"""Tests for CFG construction and dominator analysis."""
+
+from repro.cfg import (NodeKind, build_cfg, dominates, immediate_dominators,
+                       immediate_postdominators)
+from repro.ir import Assign, If, Loop, Var
+
+
+def straight_line():
+    return [Assign(Var("a"), 1), Assign(Var("b"), 2), Assign(Var("c"), 3)]
+
+
+def diamond():
+    a = Assign(Var("a"), 1)
+    t = Assign(Var("b"), 2)
+    e = Assign(Var("b"), 3)
+    after = Assign(Var("c"), 4)
+    return [a, If(Var("a").gt(0), [t], [e]), after], (a, t, e, after)
+
+
+class TestBuildCFG:
+    def test_straight_line_is_a_chain(self):
+        cfg = build_cfg(straight_line())
+        # entry -> s1 -> s2 -> s3 -> exit
+        nid = cfg.entry
+        seen = []
+        while nid != cfg.exit:
+            succs = cfg.succs[nid]
+            assert len(succs) == 1
+            nid = succs[0]
+            seen.append(cfg.node(nid).kind)
+        assert seen == [NodeKind.STMT] * 3 + [NodeKind.EXIT]
+
+    def test_if_produces_branch_and_merge(self):
+        body, (a, t, e, after) = diamond()
+        cfg = build_cfg(body)
+        kinds = [n.kind for n in cfg.nodes]
+        assert kinds.count(NodeKind.BRANCH) == 1
+        assert kinds.count(NodeKind.MERGE) == 1
+        branch = next(n for n in cfg.nodes if n.kind is NodeKind.BRANCH)
+        assert len(cfg.succs[branch.id]) == 2
+
+    def test_empty_else_falls_through_branch(self):
+        stmt = If(Var("x").gt(0), [Assign(Var("y"), 1)])
+        cfg = build_cfg([stmt])
+        branch = cfg.stmt_node(stmt)
+        merge = next(n.id for n in cfg.nodes if n.kind is NodeKind.MERGE)
+        assert merge in cfg.succs[branch]  # direct fall-through edge
+
+    def test_loop_has_back_edge(self):
+        inner = Assign(Var("a")[Var("i")], 0.0)
+        loop = Loop("i", 1, 10, body=[inner])
+        cfg = build_cfg([loop])
+        head = cfg.stmt_node(loop)
+        inner_node = cfg.stmt_node(inner)
+        assert head in cfg.succs[inner_node]  # back edge
+        assert inner_node in cfg.succs[head]
+        assert cfg.exit in cfg.succs[head]  # loop exit edge
+
+    def test_empty_loop_body_self_edge(self):
+        loop = Loop("i", 1, 10, body=[])
+        cfg = build_cfg([loop])
+        head = cfg.stmt_node(loop)
+        assert head in cfg.succs[head]
+
+    def test_reverse_postorder_starts_at_entry(self):
+        body, _ = diamond()
+        cfg = build_cfg(body)
+        order = cfg.reverse_postorder()
+        assert order[0] == cfg.entry
+        assert set(order) == {n.id for n in cfg.nodes}
+
+
+class TestDominators:
+    def test_straight_line_chain_dominance(self):
+        stmts = straight_line()
+        cfg = build_cfg(stmts)
+        idom = immediate_dominators(cfg)
+        n1, n2, n3 = (cfg.stmt_node(s) for s in stmts)
+        assert idom[n2] == n1 and idom[n3] == n2
+        assert dominates(idom, n1, n3)
+        assert not dominates(idom, n3, n1)
+
+    def test_diamond_dominance(self):
+        body, (a, t, e, after) = diamond()
+        cfg = build_cfg(body)
+        idom = immediate_dominators(cfg)
+        branch = next(n.id for n in cfg.nodes if n.kind is NodeKind.BRANCH)
+        nt, ne, na = cfg.stmt_node(t), cfg.stmt_node(e), cfg.stmt_node(after)
+        assert idom[nt] == branch and idom[ne] == branch
+        # The statement after the merge is dominated by the branch, not
+        # by either arm.
+        assert dominates(idom, branch, na)
+        assert not dominates(idom, nt, na)
+        assert not dominates(idom, ne, na)
+
+    def test_postdominators_mirror(self):
+        body, (a, t, e, after) = diamond()
+        cfg = build_cfg(body)
+        ipdom = immediate_postdominators(cfg)
+        na = cfg.stmt_node(after)
+        nt = cfg.stmt_node(t)
+        # `after` post-dominates both arms.
+        assert dominates(ipdom, na, nt)
+
+    def test_loop_head_dominates_body(self):
+        inner = Assign(Var("a")[Var("i")], 0.0)
+        loop = Loop("i", 1, 10, body=[inner])
+        cfg = build_cfg([loop])
+        idom = immediate_dominators(cfg)
+        assert dominates(idom, cfg.stmt_node(loop), cfg.stmt_node(inner))
+
+    def test_entry_dominates_everything(self):
+        body, _ = diamond()
+        cfg = build_cfg(body)
+        idom = immediate_dominators(cfg)
+        for node in cfg.nodes:
+            assert dominates(idom, cfg.entry, node.id)

@@ -1,0 +1,167 @@
+"""Tests for instance numbering (§5.2) and control contexts (§5.1)."""
+
+from repro.cfg import (build_cfg, build_contexts, compute_reaching_definitions,
+                       dominates, immediate_dominators, number_instances,
+                       ENTRY_DEF)
+from repro.ir import Assign, If, Loop, Var
+
+
+class TestReachingDefinitions:
+    def test_entry_definition_reaches_first_use(self):
+        s1 = Assign(Var("a"), Var("k") + 1)
+        cfg = build_cfg([s1])
+        rd = compute_reaching_definitions(cfg, ["k", "a"])
+        assert rd.reaching_at_stmt(s1, "k") == frozenset({ENTRY_DEF})
+
+    def test_assignment_kills_entry_definition(self):
+        s1 = Assign(Var("k"), 5)
+        s2 = Assign(Var("a"), Var("k"))
+        cfg = build_cfg([s1, s2])
+        rd = compute_reaching_definitions(cfg, ["k", "a"])
+        assert rd.reaching_at_stmt(s2, "k") == frozenset({s1.uid})
+
+    def test_merge_unions_definitions(self):
+        s_then = Assign(Var("k"), 1)
+        s_else = Assign(Var("k"), 2)
+        use = Assign(Var("a"), Var("k"))
+        body = [If(Var("x").gt(0), [s_then], [s_else]), use]
+        cfg = build_cfg(body)
+        rd = compute_reaching_definitions(cfg, ["k", "a", "x"])
+        assert rd.reaching_at_stmt(use, "k") == frozenset({s_then.uid, s_else.uid})
+
+    def test_loop_body_sees_entry_and_iteration_defs(self):
+        redef = Assign(Var("k"), Var("k") + 1)
+        loop = Loop("j", 1, 10, body=[redef])
+        cfg = build_cfg([loop])
+        rd = compute_reaching_definitions(cfg, ["k"])
+        assert rd.reaching_at_stmt(redef, "k") == frozenset({ENTRY_DEF, redef.uid})
+
+    def test_loop_counter_defined_by_head(self):
+        use = Assign(Var("a"), Var("j"))
+        loop = Loop("j", 1, 10, body=[use])
+        cfg = build_cfg([loop])
+        rd = compute_reaching_definitions(cfg, ["a", "j"])
+        assert rd.reaching_at_stmt(use, "j") == frozenset({loop.uid})
+
+
+class TestInstanceNumbering:
+    def test_same_value_same_instance(self):
+        u1 = Assign(Var("a"), Var("k"))
+        u2 = Assign(Var("b"), Var("k"))
+        inst = number_instances([u1, u2], ["k", "a", "b"])
+        assert inst.instance_at(u1, "k") == inst.instance_at(u2, "k")
+
+    def test_redefinition_changes_instance(self):
+        u1 = Assign(Var("a"), Var("k"))
+        redef = Assign(Var("k"), Var("k") + 1)
+        u2 = Assign(Var("b"), Var("k"))
+        inst = number_instances([u1, redef, u2], ["k", "a", "b"])
+        assert inst.instance_at(u1, "k") != inst.instance_at(u2, "k")
+
+    def test_merge_creates_fresh_instance(self):
+        s_then = Assign(Var("k"), 1)
+        use_then = Assign(Var("a"), Var("k"))
+        use_after = Assign(Var("b"), Var("k"))
+        body = [If(Var("x").gt(0), [s_then, use_then], []), use_after]
+        inst = number_instances(body, ["k", "a", "b", "x"])
+        i_then = inst.instance_at(use_then, "k")
+        i_after = inst.instance_at(use_after, "k")
+        assert i_then != i_after
+
+    def test_loop_entry_renews_instance(self):
+        # §5.2: at entry into a loop that overwrites k, the instance
+        # must represent either the entry value or the previous
+        # iteration's value — distinct from the pre-loop instance.
+        use_before = Assign(Var("a"), Var("k"))
+        use_in = Assign(Var("b"), Var("k"))
+        redef = Assign(Var("k"), Var("k") + 1)
+        loop = Loop("j", 1, 10, body=[use_in, redef])
+        use_after = Assign(Var("c"), Var("k"))
+        inst = number_instances([use_before, loop, use_after],
+                                ["k", "a", "b", "c"])
+        i_before = inst.instance_at(use_before, "k")
+        i_in = inst.instance_at(use_in, "k")
+        assert i_before != i_in
+
+    def test_untouched_variable_keeps_instance_through_loop(self):
+        use_before = Assign(Var("a"), Var("m"))
+        use_in = Assign(Var("b"), Var("m"))
+        loop = Loop("j", 1, 10, body=[use_in])
+        inst = number_instances([use_before, loop], ["m", "a", "b"])
+        assert inst.instance_at(use_before, "m") == inst.instance_at(use_in, "m")
+
+    def test_qualified_name_format(self):
+        u1 = Assign(Var("a"), Var("k"))
+        inst = number_instances([u1], ["k", "a"])
+        assert inst.qualified_name(u1, "k") == "k_0"
+
+
+class TestContexts:
+    def test_root_context_for_straight_line(self):
+        s1 = Assign(Var("a"), 1)
+        cm = build_contexts([s1])
+        assert cm.context_of(s1) is cm.root
+
+    def test_if_branches_get_child_contexts(self):
+        t = Assign(Var("a"), 1)
+        e = Assign(Var("a"), 2)
+        stmt = If(Var("x").gt(0), [t], [e])
+        after = Assign(Var("b"), 3)
+        cm = build_contexts([stmt, after])
+        ct, ce = cm.context_of(t), cm.context_of(e)
+        assert ct is not ce
+        assert ct.parent is cm.root and ce.parent is cm.root
+        assert cm.context_of(stmt) is cm.root
+        assert cm.context_of(after) is cm.root
+
+    def test_inclusion_and_common_root(self):
+        t = Assign(Var("a"), 1)
+        inner = Assign(Var("a"), 2)
+        nested = If(Var("y").gt(0), [inner])
+        stmt = If(Var("x").gt(0), [t, nested])
+        cm = build_contexts([stmt])
+        c_t = cm.context_of(t)
+        c_inner = cm.context_of(inner)
+        assert c_t.includes(c_inner)
+        assert not c_inner.includes(c_t)
+        assert cm.root.includes(c_inner)
+        assert c_t.common_root(c_inner) is c_t
+        e = Assign(Var("a"), 3)
+        stmt2 = If(Var("x").gt(0), [t], [e])
+        cm2 = build_contexts([stmt2])
+        assert cm2.context_of(t).common_root(cm2.context_of(e)) is cm2.root
+
+    def test_sequential_loop_opens_context(self):
+        inner = Assign(Var("a")[Var("j")], 0.0)
+        loop = Loop("j", 1, 10, body=[inner])
+        cm = build_contexts([loop])
+        assert cm.context_of(inner).parent is cm.root
+        assert cm.context_of(loop) is cm.root
+
+    def test_contexts_agree_with_dominators(self):
+        # Structural contexts must match the dominator-based rule: if
+        # context(A) includes context(B) then A's node dominates B's or
+        # post-dominates it (for structured code, the statement's branch
+        # arm entry dominates everything in that arm).
+        t = Assign(Var("a"), 1)
+        inner = Assign(Var("b"), 2)
+        nested = If(Var("y").gt(0), [inner])
+        after = Assign(Var("c"), 3)
+        body = [If(Var("x").gt(0), [t, nested]), after]
+        cm = build_contexts(body)
+        cfg = build_cfg(body)
+        idom = immediate_dominators(cfg)
+        # t's context includes inner's context; correspondingly t's CFG
+        # node dominates inner's node.
+        assert cm.context_of(t).includes(cm.context_of(inner))
+        assert dominates(idom, cfg.stmt_node(t), cfg.stmt_node(inner))
+        # after's context (root) includes everything, and indeed nothing
+        # inside the if dominates `after`.
+        assert not dominates(idom, cfg.stmt_node(t), cfg.stmt_node(after))
+
+    def test_all_contexts_enumeration(self):
+        t = Assign(Var("a"), 1)
+        e = Assign(Var("a"), 2)
+        stmt = If(Var("x").gt(0), [t], [e])
+        cm = build_contexts([stmt])
+        assert len(cm.all_contexts()) == 3

@@ -1,0 +1,105 @@
+"""Tests for the experiment harness: specs, scaling, variant builds,
+and the report renderers (fast, reduced-size runs)."""
+
+import pytest
+
+from repro.experiments import (ADJOINT_STRATEGIES, PAPER, PAPER_THREADS,
+                               format_figure_pair, gfmc_spec,
+                               greengauss_spec, run_kernel_experiment,
+                               small_stencil_spec)
+from repro.experiments.harness import _serialized
+from repro.ir import Loop, walk_stmts
+from repro.runtime import MachineModel, profile_run
+from repro.runtime.costmodel import loop_time, total_time
+
+
+@pytest.fixture(scope="module")
+def stencil_exp():
+    return run_kernel_experiment(small_stencil_spec(n=2000))
+
+
+class TestSerializedBuild:
+    def test_no_parallel_loops_or_atomics(self):
+        spec = small_stencil_spec(n=500)
+        serial = _serialized(spec.proc)
+        assert not any(s.parallel for s in walk_stmts(serial.body)
+                       if isinstance(s, Loop))
+
+    def test_same_results(self):
+        import numpy as np
+        from repro.runtime import run_procedure
+        spec = small_stencil_spec(n=500)
+        serial = _serialized(spec.proc)
+        m1 = run_procedure(spec.proc, spec.bindings)
+        m2 = run_procedure(serial, spec.bindings)
+        np.testing.assert_array_equal(m1.array("unew").data,
+                                      m2.array("unew").data)
+
+
+class TestScaling:
+    def test_iter_scale_scales_loop_time_linearly(self):
+        spec = small_stencil_spec(n=1000)
+        run = profile_run(spec.proc, spec.bindings)
+        machine = MachineModel()
+        rec = run.profile.parallel_loops[0]
+        t1 = loop_time(rec, machine, 4, iter_scale=1.0)
+        t10 = loop_time(rec, machine, 4, iter_scale=10.0)
+        # Fork/join is constant; the body scales 10x.
+        fj = machine.fork_join_cost(4)
+        assert (t10 - fj) == pytest.approx(10 * (t1 - fj), rel=1e-6)
+
+    def test_invocation_scale_multiplies_total(self):
+        spec = small_stencil_spec(n=1000)
+        run = profile_run(spec.proc, spec.bindings)
+        machine = MachineModel()
+        t1 = total_time(run.profile, machine, 4, invocation_scale=1.0)
+        t5 = total_time(run.profile, machine, 4, invocation_scale=5.0)
+        assert t5 == pytest.approx(5 * t1, rel=1e-9)
+
+
+class TestKernelExperiment:
+    def test_all_variants_present(self, stencil_exp):
+        assert set(stencil_exp.adjoints) == set(ADJOINT_STRATEGIES)
+        for strategy in ADJOINT_STRATEGIES:
+            assert set(stencil_exp.adjoints[strategy].times) == set(PAPER_THREADS)
+
+    def test_speedups_relative_to_serial(self, stencil_exp):
+        sp = stencil_exp.primal_speedups()
+        assert sp[1] == pytest.approx(
+            stencil_exp.primal_serial_time / stencil_exp.primal.times[1])
+
+    def test_format_figure_pair_renders(self, stencil_exp):
+        text = format_figure_pair(stencil_exp, "caption here")
+        assert "adj-formad" in text and "speedups" in text
+        assert "caption here" in text
+
+    def test_strategies_subset(self):
+        exp = run_kernel_experiment(small_stencil_spec(n=500),
+                                    strategies=("formad",))
+        assert set(exp.adjoints) == {"formad"}
+
+    def test_variant_best_helpers(self, stencil_exp):
+        atomic = stencil_exp.adjoints["atomic"]
+        assert atomic.best() == min(atomic.times.values())
+        assert atomic.times[atomic.best_threads()] == atomic.best()
+
+
+class TestSpecs:
+    def test_paper_scale_factors(self):
+        spec = small_stencil_spec(n=20_000)
+        assert spec.iter_scale == pytest.approx(50.0)
+        assert spec.invocation_scale == 1000
+        assert spec.elem_scale == spec.iter_scale
+
+    def test_gfmc_spec_buildable(self):
+        spec = gfmc_spec(npair=10, nwalk=4, ngroups_max=5)
+        assert spec.proc.parallel_loops()
+        assert spec.independents == ["cl", "cr"]
+
+    def test_greengauss_spec_buildable(self):
+        spec = greengauss_spec(nnodes=200)
+        assert spec.bindings["ncolors"] == 2
+
+    def test_paper_reference_complete(self):
+        for key in ("stencil_small", "stencil_large", "gfmc", "greengauss"):
+            assert PAPER[key].primal_serial > 0

@@ -1,0 +1,122 @@
+"""Ablations of the FormAD analysis ingredients.
+
+Each ingredient the paper calls out (§5.1 contexts, §5.2 instance
+numbering, §5.4 activity + increment detection) is disabled in turn;
+the tests demonstrate what it buys — fewer queries for the §5.4
+optimizations, *soundness* for contexts and instance numbering (with
+them ablated, the engine produces provably wrong "safe" verdicts on the
+regression kernels that motivated them).
+"""
+
+import pytest
+
+from repro import parse_procedure
+from repro.analysis import ActivityAnalysis
+from repro.formad import FormADEngine
+from repro.programs import build_small_stencil
+
+STALE_INSTANCE = """
+subroutine stale(x, y, c, d, n)
+  integer, intent(in) :: n
+  real, intent(in) :: x(90)
+  real, intent(inout) :: y(90)
+  integer, intent(in) :: c(30)
+  integer, intent(in) :: d(30)
+  integer :: k
+  !$omp parallel do private(k)
+  do i = 1, n
+    k = c(i)
+    y(k) = 1.5
+    k = d(i)
+    y(i) = x(k)
+  end do
+end subroutine stale
+"""
+
+CROSS_BRANCH = """
+subroutine two(x, y, c, d, n)
+  integer, intent(in) :: n
+  real, intent(in) :: x(30)
+  real, intent(inout) :: y(30)
+  integer, intent(in) :: c(10)
+  integer, intent(in) :: d(10)
+  !$omp parallel do
+  do i = 1, n
+    if (c(i) .gt. 0) then
+      y(c(i)) = x(c(i))
+    else
+      y(d(i)) = x(d(i))
+    end if
+  end do
+end subroutine two
+"""
+
+
+def _engine(proc, ind, dep, **flags):
+    return FormADEngine(proc, ActivityAnalysis(proc, ind, dep), **flags)
+
+
+class TestIncrementDetectionAblation:
+    def test_more_pairs_without_it(self):
+        proc = build_small_stencil()
+        full = _engine(proc, ["uold"], ["unew"]).analyze_all()[0]
+        ablated = _engine(proc, ["uold"], ["unew"],
+                          use_increment_detection=False).analyze_all()[0]
+        # With §5.4 on, unew's adjoint is read-only: zero pairs. Without
+        # it, unew's increments count as writes and must be checked.
+        assert full.verdicts["unew"].pairs_total == 0
+        assert ablated.verdicts["unew"].pairs_total > 0
+        assert ablated.stats.exploitation_checks > full.stats.exploitation_checks
+        # Both remain safe: the extra pairs are provable, just wasteful.
+        assert full.all_safe and ablated.all_safe
+
+
+class TestActivityAblation:
+    def test_inactive_arrays_also_tested_without_it(self):
+        src = """
+subroutine act(x, y, z, n)
+  integer, intent(in) :: n
+  real, intent(in) :: x(50)
+  real, intent(inout) :: y(50)
+  real, intent(in) :: z(50)
+  !$omp parallel do
+  do i = 1, n
+    y(i) = x(i) + z(i)
+  end do
+end subroutine act
+"""
+        proc = parse_procedure(src)
+        # z is not an independent: inactive, skipped by default.
+        full = _engine(proc, ["x"], ["y"]).analyze_all()[0]
+        assert "z" not in full.verdicts
+        ablated = _engine(proc, ["x"], ["y"],
+                          use_activity=False).analyze_all()[0]
+        assert "z" in ablated.verdicts
+        assert ablated.stats.exploitation_checks > full.stats.exploitation_checks
+
+
+class TestInstanceNumberingAblation:
+    def test_without_instances_the_engine_is_unsound(self):
+        proc = parse_procedure(STALE_INSTANCE)
+        sound = _engine(proc, ["x"], ["y"]).analyze_all()[0]
+        assert not sound.verdicts["x"].safe  # correct: d(i) can collide
+        unsound = _engine(proc, ["x"], ["y"],
+                          use_instances=False).analyze_all()[0]
+        # With one SMT variable for both k uses, the knowledge about the
+        # write through k=c(i) is wrongly applied to the read through
+        # k=d(i): a wrong proof. This is exactly why §5.2 exists.
+        assert unsound.verdicts["x"].safe
+
+
+class TestContextAblation:
+    def test_without_contexts_the_engine_is_unsound(self):
+        proc = parse_procedure(CROSS_BRANCH)
+        sound = _engine(proc, ["x"], ["y"]).analyze_all()[0]
+        assert not sound.verdicts["x"].safe  # cross-branch pairs unknown
+        unsound = _engine(proc, ["x"], ["y"],
+                          use_contexts=False).analyze_all()[0]
+        # Pooling cross-branch knowledge at the root asserts facts that
+        # no control flow guarantees; the cross-branch collision is then
+        # wrongly "proven" impossible.
+        assert unsound.verdicts["x"].safe
+        assert unsound.stats.skipped_pairs < sound.stats.skipped_pairs

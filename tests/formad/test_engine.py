@@ -1,0 +1,304 @@
+"""FormAD engine tests: knowledge extraction, verdicts, and the
+paper's worked examples (Fig. 2, the compact stencil, §7 behaviors)."""
+
+import numpy as np
+import pytest
+
+from repro import analyze_formad, differentiate, parse_procedure
+from repro.analysis import ActivityAnalysis
+from repro.formad import (FormADEngine, FormADGuardPolicy, PrimalRaceError,
+                          extract_knowledge, format_table1, AnalysisReport)
+from repro.ad import GuardKind
+from repro.ir import Assign, Loop, Var, walk_stmts
+
+FIG2 = """
+subroutine fig2(x, y, c, n)
+  integer, intent(in) :: n
+  real, intent(in) :: x(30)
+  real, intent(inout) :: y(20)
+  integer, intent(in) :: c(20)
+  !$omp parallel do
+  do i = 1, n
+    y(c(i)) = x(c(i) + 7)
+  end do
+end subroutine fig2
+"""
+
+STENCIL = """
+subroutine sten(uold, unew, n)
+  integer, intent(in) :: n
+  real, intent(in) :: uold(40)
+  real, intent(inout) :: unew(40)
+  !$omp parallel do
+  do i = 2, n - 2, 2
+    unew(i) = unew(i) + 0.3 * uold(i - 1)
+    unew(i) = unew(i) + 0.4 * uold(i)
+    unew(i - 1) = unew(i - 1) + 0.3 * uold(i)
+  end do
+end subroutine sten
+"""
+
+OVERLAPPING = """
+subroutine bad(x, y, n)
+  integer, intent(in) :: n
+  real, intent(in) :: x(30)
+  real, intent(inout) :: y(30)
+  !$omp parallel do
+  do i = 1, n
+    y(i) = x(i) + x(i + 1)
+  end do
+end subroutine bad
+"""
+
+
+class TestFig2:
+    def test_both_adjoints_proven_safe(self):
+        proc = parse_procedure(FIG2)
+        (analysis,) = analyze_formad(proc, ["x"], ["y"])
+        assert analysis.verdicts["x"].safe
+        assert analysis.verdicts["y"].safe
+        assert analysis.all_safe
+
+    def test_knowledge_comes_from_y_writes(self):
+        proc = parse_procedure(FIG2)
+        (analysis,) = analyze_formad(proc, ["x"], ["y"])
+        # One write ref to y -> one self-pair assertion; plus root axiom.
+        assert analysis.stats.model_size == 2
+
+    def test_formad_strategy_produces_unguarded_adjoint(self):
+        proc = parse_procedure(FIG2)
+        adj = differentiate(proc, ["x"], ["y"], strategy="formad")
+        atomics = [s for s in walk_stmts(adj.procedure.body)
+                   if isinstance(s, Assign) and s.atomic]
+        assert not atomics
+        loops = [s for s in walk_stmts(adj.procedure.body)
+                 if isinstance(s, Loop) and s.parallel]
+        # The forward sweep is sliced away entirely (paper Fig. 2).
+        assert len(loops) == 1
+        assert not any(loop.reduction for loop in loops)
+
+    def test_formad_adjoint_race_free_and_correct(self):
+        from repro.runtime import detect_races
+        from tests.ad.adcheck import dot_product_test
+        proc = parse_procedure(FIG2)
+        adj = differentiate(proc, ["x"], ["y"], strategy="formad")
+        rng = np.random.default_rng(0)
+        c = rng.permutation(20) + 1
+        bindings = {"x": rng.standard_normal(30), "y": rng.standard_normal(20),
+                    "c": c, "n": 20}
+        dot_product_test(proc, adj, bindings, ["x"], ["y"])
+        adj_bindings = dict(bindings)
+        adj_bindings[adj.adjoint_name("x")] = np.zeros(30)
+        adj_bindings[adj.adjoint_name("y")] = np.ones(20)
+        assert detect_races(adj.procedure, adj_bindings).race_free
+
+
+class TestStencil:
+    def test_uold_adjoint_proven_safe(self):
+        proc = parse_procedure(STENCIL)
+        (analysis,) = analyze_formad(proc, ["uold"], ["unew"])
+        assert analysis.verdicts["uold"].safe
+        assert analysis.verdicts["unew"].safe
+
+    def test_table1_shape_for_stencil(self):
+        # Paper Table 1, "stencil 1": 2 unique exprs, 3 exploitation
+        # queries for the 3-point compact scheme.
+        proc = parse_procedure(STENCIL)
+        (analysis,) = analyze_formad(proc, ["uold"], ["unew"])
+        assert analysis.stats.unique_exprs == 2
+        assert analysis.stats.exploitation_checks == 3
+        # model size = 1 (root axiom) + e^2 knowledge assertions
+        assert analysis.stats.model_size == 1 + 4
+
+    def test_increment_only_array_needs_no_queries(self):
+        proc = parse_procedure(STENCIL)
+        (analysis,) = analyze_formad(proc, ["uold"], ["unew"])
+        v = analysis.verdicts["unew"]
+        assert v.safe and v.pairs_total == 0
+
+
+class TestUnsafePatterns:
+    def test_overlapping_reads_rejected(self):
+        # x is read at i and i+1: the adjoint increments xb at both, and
+        # x(i+1) of iteration i collides with x(i) of iteration i+1.
+        proc = parse_procedure(OVERLAPPING)
+        (analysis,) = analyze_formad(proc, ["x"], ["y"])
+        assert not analysis.verdicts["x"].safe
+        assert analysis.verdicts["y"].safe  # y writes stay disjoint
+
+    def test_formad_falls_back_to_atomics_for_unsafe_arrays(self):
+        proc = parse_procedure(OVERLAPPING)
+        adj = differentiate(proc, ["x"], ["y"], strategy="formad")
+        atomics = [s for s in walk_stmts(adj.procedure.body)
+                   if isinstance(s, Assign) and s.atomic]
+        assert atomics
+
+    def test_reduction_fallback(self):
+        proc = parse_procedure(OVERLAPPING)
+        adj = differentiate(proc, ["x"], ["y"], strategy="formad",
+                            fallback=GuardKind.REDUCTION)
+        loops = [s for s in walk_stmts(adj.procedure.body)
+                 if isinstance(s, Loop) and s.parallel and s.reduction]
+        assert loops
+
+    def test_racy_primal_detected(self):
+        src = """
+subroutine racy(x, y, n)
+  integer, intent(in) :: n
+  real, intent(in) :: x(10)
+  real, intent(inout) :: y(10)
+  !$omp parallel do
+  do i = 1, n
+    y(1) = x(i)
+  end do
+end subroutine racy
+"""
+        proc = parse_procedure(src)
+        with pytest.raises(PrimalRaceError):
+            analyze_formad(proc, ["x"], ["y"])
+
+    def test_atomic_primal_increments_prove_nothing(self):
+        src = """
+subroutine ok(x, y, s, n)
+  integer, intent(in) :: n
+  real, intent(in) :: x(10)
+  real, intent(inout) :: y(10)
+  real, intent(inout) :: s(10)
+  !$omp parallel do
+  do i = 1, n
+    !$omp atomic
+    s(1) = s(1) + x(i)
+    y(i) = x(i)
+  end do
+end subroutine ok
+"""
+        proc = parse_procedure(src)
+        # The atomic increment to s(1) is legal in the primal and must
+        # neither raise PrimalRaceError nor contribute knowledge.
+        analyses = analyze_formad(proc, ["x"], ["y", "s"])
+        (analysis,) = analyses
+        # s is accessed atomically: its adjoint cannot be analyzed and
+        # stays guarded.
+        assert not analysis.verdicts["s"].safe
+
+
+class TestContextSensitivity:
+    def test_branch_local_knowledge(self):
+        # Writes under the same if-branch: knowledge lives in the branch
+        # context and suffices for the matching adjoint accesses.
+        src = """
+subroutine br(x, y, c, n)
+  integer, intent(in) :: n
+  real, intent(in) :: x(30)
+  real, intent(inout) :: y(20)
+  integer, intent(in) :: c(20)
+  !$omp parallel do
+  do i = 1, n
+    if (c(i) .gt. 0) then
+      y(c(i)) = x(c(i) + 7)
+    end if
+  end do
+end subroutine br
+"""
+        proc = parse_procedure(src)
+        (analysis,) = analyze_formad(proc, ["x"], ["y"])
+        assert analysis.verdicts["x"].safe
+        assert analysis.verdicts["y"].safe
+
+    def test_disjoint_branches_give_no_cross_knowledge(self):
+        # Writes to y in *different* branches of one if: no context
+        # certainly executes both, so no knowledge pair is extracted
+        # for that pair — but each branch still self-proves, and the
+        # branches write disjoint halves anyway.
+        src = """
+subroutine two(x, y, c, d, n)
+  integer, intent(in) :: n
+  real, intent(in) :: x(30)
+  real, intent(inout) :: y(30)
+  integer, intent(in) :: c(10)
+  integer, intent(in) :: d(10)
+  !$omp parallel do
+  do i = 1, n
+    if (c(i) .gt. 0) then
+      y(c(i)) = x(c(i))
+    else
+      y(d(i)) = x(d(i))
+    end if
+  end do
+end subroutine two
+"""
+        proc = parse_procedure(src)
+        (analysis,) = analyze_formad(proc, ["x"], ["y"])
+        assert analysis.stats.skipped_pairs >= 2
+        # Cross-branch pairs cannot be proven: y(c(i')) vs y(d(i)) has
+        # no knowledge, so the verdict must be unsafe (conservative).
+        assert not analysis.verdicts["x"].safe
+
+
+class TestInstanceNumbering:
+    def test_cross_instance_knowledge_still_proves(self):
+        # k is redefined mid-iteration; both y writes go through k but
+        # through *different instances* (k_0 = c(i), k_1 = c(i)+1). The
+        # extracted knowledge covers all cross-iteration write pairs of
+        # both instances, so x's adjoint increments (at the same two
+        # instances) are provably safe.
+        src = """
+subroutine inst(x, y, c, n)
+  integer, intent(in) :: n
+  real, intent(in) :: x(90)
+  real, intent(inout) :: y(90)
+  integer, intent(in) :: c(30)
+  integer :: k
+  !$omp parallel do private(k)
+  do i = 1, n
+    k = c(i)
+    y(k) = x(k)
+    k = c(i) + 1
+    y(k) = x(k) * 2.0
+  end do
+end subroutine inst
+"""
+        proc = parse_procedure(src)
+        (analysis,) = analyze_formad(proc, ["x"], ["y"])
+        assert analysis.verdicts["x"].safe
+        assert analysis.verdicts["y"].safe
+        # The two k uses must have received distinct instance names.
+        assert set(analysis.safe_write_expressions) == {"k_0", "k_1"}
+
+    def test_stale_knowledge_not_misapplied_to_new_instance(self):
+        # The write uses k_0 = c(i); the read uses k_1 = d(i) after a
+        # redefinition. Without instance numbers, the knowledge
+        # "y(k') != y(k)" would be wrongly applied to the read's index
+        # and produce an unsound proof. With instances, the question
+        # about k_1 has no supporting knowledge and x stays guarded.
+        src = """
+subroutine stale(x, y, c, d, n)
+  integer, intent(in) :: n
+  real, intent(in) :: x(90)
+  real, intent(inout) :: y(90)
+  integer, intent(in) :: c(30)
+  integer, intent(in) :: d(30)
+  integer :: k
+  !$omp parallel do private(k)
+  do i = 1, n
+    k = c(i)
+    y(k) = 1.5
+    k = d(i)
+    y(i) = x(k)
+  end do
+end subroutine stale
+"""
+        proc = parse_procedure(src)
+        (analysis,) = analyze_formad(proc, ["x"], ["y"])
+        assert not analysis.verdicts["x"].safe
+        assert analysis.verdicts["y"].safe
+
+
+class TestTable1Report:
+    def test_report_formatting(self):
+        proc = parse_procedure(STENCIL)
+        analyses = analyze_formad(proc, ["uold"], ["unew"])
+        report = AnalysisReport("stencil 1", analyses)
+        text = format_table1([report])
+        assert "stencil 1" in text and "queries" in text
+        assert report.unique_exprs == 2

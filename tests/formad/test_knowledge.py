@@ -1,0 +1,143 @@
+"""Direct tests for knowledge extraction (§5, phase 1)."""
+
+import pytest
+
+from repro.analysis import collect_region_references
+from repro.cfg import number_instances
+from repro.formad import (IndexTranslator, disjointness_formula,
+                          extract_knowledge)
+from repro.ir import parse_procedure
+from repro.smt import FOr, FAtom, Rel, TVar
+
+
+def _region(src, scalars):
+    proc = parse_procedure(src)
+    loop = proc.parallel_loops()[0]
+    refs = collect_region_references(loop.body)
+    inst = number_instances(loop.body, scalars)
+    assigned = {s.target.name for s in proc.statements()
+                if hasattr(s, "target") and hasattr(s.target, "name")
+                and not hasattr(s.target, "indices")}
+    written = frozenset(n for n in refs.arrays()
+                        if any(a.kind.is_write for a in refs.of_array(n)))
+    primed = frozenset({loop.var} | assigned)
+    return refs, IndexTranslator(inst, primed, written)
+
+
+SIMPLE = """
+subroutine s(x, y, n)
+  integer, intent(in) :: n
+  real, intent(in) :: x(30)
+  real, intent(inout) :: y(30)
+  !$omp parallel do
+  do i = 1, n
+    y(i) = x(i) + x(i + 1)
+  end do
+end subroutine s
+"""
+
+
+class TestExtraction:
+    def test_write_self_pair_only(self):
+        refs, tr = _region(SIMPLE, ["i", "n"])
+        kb = extract_knowledge(refs, tr)
+        # y: one write expr -> one self pair. x: reads only, no facts.
+        assert kb.size == 1
+        (fact,) = kb.facts
+        assert fact.source_array == "y"
+
+    def test_write_read_pairs_same_array(self):
+        src = """
+subroutine s(y, n)
+  integer, intent(in) :: n
+  real, intent(inout) :: y(30)
+  !$omp parallel do
+  do i = 1, n
+    y(2 * i) = y(2 * i + 1) * 0.5
+  end do
+end subroutine s
+"""
+        refs, tr = _region(src, ["i", "n"])
+        kb = extract_knowledge(refs, tr)
+        # write x (write + read) pairs: (w,w) and (w,r) = 2 facts.
+        assert kb.size == 2
+
+    def test_primed_left_side(self):
+        refs, tr = _region(SIMPLE, ["i", "n"])
+        kb = extract_knowledge(refs, tr)
+        (fact,) = kb.facts
+        (left_term,) = fact.left
+        assert "'" in str(left_term)
+        (right_term,) = fact.right
+        assert "'" not in str(right_term)
+
+    def test_atomic_accesses_excluded(self):
+        src = """
+subroutine s(y, n)
+  integer, intent(in) :: n
+  real, intent(inout) :: y(30)
+  !$omp parallel do
+  do i = 1, n
+    !$omp atomic
+    y(1) = y(1) + 1.0
+  end do
+end subroutine s
+"""
+        refs, tr = _region(src, ["i", "n"])
+        kb = extract_knowledge(refs, tr)
+        assert kb.size == 0  # atomics may collide: no knowledge
+
+    def test_deduplication_by_expression(self):
+        src = """
+subroutine s(y, n)
+  integer, intent(in) :: n
+  real, intent(inout) :: y(30)
+  !$omp parallel do
+  do i = 1, n
+    y(i) = 1.0
+    y(i) = 2.0
+    y(i) = 3.0
+  end do
+end subroutine s
+"""
+        refs, tr = _region(src, ["i", "n"])
+        kb = extract_knowledge(refs, tr)
+        assert kb.size == 1  # three writes, one unique expression
+
+    def test_rank_mismatch_skipped(self):
+        # Cannot happen with a validated program (one array has one
+        # rank), so simulate via the formula helper directly instead.
+        f = disjointness_formula((TVar("a"),), (TVar("b"),))
+        assert isinstance(f, FAtom) and f.rel is Rel.NE
+
+    def test_multidim_disjointness_is_a_disjunction(self):
+        f = disjointness_formula((TVar("a"), TVar("b")),
+                                 (TVar("c"), TVar("d")))
+        assert isinstance(f, FOr) and len(f.operands) == 2
+
+    def test_facts_for_inherits_ancestors(self):
+        src = """
+subroutine s(x, y, c, n)
+  integer, intent(in) :: n
+  real, intent(in) :: x(30)
+  real, intent(inout) :: y(30)
+  integer, intent(in) :: c(30)
+  !$omp parallel do
+  do i = 1, n
+    y(i) = 0.0
+    if (c(i) .gt. 0) then
+      y(c(i) + 10) = x(i)
+    end if
+  end do
+end subroutine s
+"""
+        refs, tr = _region(src, ["i", "n"])
+        kb = extract_knowledge(refs, tr)
+        root = refs.contexts.root
+        branch = [c for c in refs.contexts.all_contexts() if c is not root][0]
+        root_facts = kb.facts_for(root)
+        branch_facts = kb.facts_for(branch)
+        # The branch context sees everything the root sees (and more:
+        # the branch-local write pair).
+        assert set(map(id, root_facts)) <= set(map(id, branch_facts))
+        assert len(branch_facts) > len(root_facts)

@@ -1,0 +1,127 @@
+"""The paper's core soundness claim as a property test.
+
+For randomly generated parallel loops with affine and indirection-based
+index patterns:
+
+    IF the primal executes race-free on concrete data
+    AND FormAD declares an adjoint array safe (shared),
+    THEN the *unguarded* adjoint must also execute race-free.
+
+Counterexamples here would be genuine soundness bugs in the knowledge
+extraction, the translation, or the SMT solver. (FormAD declaring an
+array *unsafe* is always allowed — the analysis is approximate — so the
+property is one-sided, exactly like the paper's guarantee.)
+"""
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro import differentiate, parse_procedure
+from repro.formad import PrimalRaceError
+from repro.runtime import detect_races
+
+N = 24          # parallel iterations
+XN = 200        # array extents
+
+
+@st.composite
+def index_patterns(draw):
+    """A (write index, read index) pair of Fortran index expressions in
+    the loop counter i and an indirection table c."""
+    wkind = draw(st.sampled_from(["affine", "indirect"]))
+    rkind = draw(st.sampled_from(["affine", "indirect", "shifted_indirect"]))
+    wstride = draw(st.sampled_from([1, 2, 3]))
+    woff = draw(st.integers(0, 4))
+    roff = draw(st.integers(0, 4))
+    write = f"{wstride} * i + {woff}" if wkind == "affine" else f"c(i) + {woff}"
+    if rkind == "affine":
+        rstride = draw(st.sampled_from([1, 2, 3]))
+        read = f"{rstride} * i + {roff}"
+    elif rkind == "indirect":
+        read = f"c(i) + {roff}"
+    else:
+        read = f"c(i + 1) + {roff}"
+    return write, read
+
+
+def _build(write: str, read: str):
+    return parse_procedure(f"""
+subroutine randloop(x, y, c, n)
+  integer, intent(in) :: n
+  real, intent(in) :: x({XN})
+  real, intent(inout) :: y({XN})
+  integer, intent(in) :: c({XN})
+  !$omp parallel do
+  do i = 1, n
+    y({write}) = y({write}) + 2.5 * x({read})
+  end do
+end subroutine randloop
+""")
+
+
+@st.composite
+def tables(draw):
+    """An indirection table; sometimes injective, sometimes colliding."""
+    injective = draw(st.booleans())
+    rng = np.random.default_rng(draw(st.integers(0, 2 ** 31 - 1)))
+    if injective:
+        # Spread so that c(i)+offsets stay distinct across iterations.
+        vals = rng.permutation(np.arange(1, N + 2) * 6)
+    else:
+        vals = rng.integers(1, 40, N + 1)
+    c = np.ones(XN, dtype=np.int64)
+    c[:N + 1] = vals
+    return c
+
+
+class TestSoundness:
+    @given(index_patterns(), tables())
+    @settings(max_examples=60, deadline=None)
+    def test_safe_verdict_implies_race_free_adjoint(self, pattern, c):
+        write, read = pattern
+        proc = _build(write, read)
+        rng = np.random.default_rng(0)
+        bindings = {"x": rng.standard_normal(XN), "y": np.zeros(XN),
+                    "c": c, "n": N}
+        # Premise 1: the primal must be race-free on this data.
+        assume(detect_races(proc, bindings).race_free)
+        # Run FormAD; a PrimalRaceError is a legitimate (conservative)
+        # outcome for collision-prone patterns the engine can refute.
+        try:
+            adj = differentiate(proc, ["x"], ["y"], strategy="formad")
+            adj_shared = differentiate(proc, ["x"], ["y"], strategy="shared")
+        except PrimalRaceError:
+            assume(False)
+            return
+        from repro.formad import FormADGuardPolicy
+        policy = FormADGuardPolicy(proc, ["x"], ["y"])
+        (analysis,) = policy.analyses()
+        adj_bindings = dict(bindings)
+        adj_bindings[adj.adjoint_name("x")] = np.zeros(XN)
+        adj_bindings[adj.adjoint_name("y")] = np.ones(XN)
+        if analysis.verdicts["x"].safe and analysis.verdicts["y"].safe:
+            # The FormAD adjoint then contains no safeguards; it must be
+            # race-free on every input consistent with the premise.
+            report = detect_races(adj.procedure, adj_bindings)
+            assert report.race_free, (
+                f"SOUNDNESS VIOLATION for write={write} read={read}: "
+                f"{report}")
+        # The guarded adjoint must be race-free regardless of verdicts.
+        report = detect_races(adj.procedure, adj_bindings)
+        assert report.race_free
+
+    @given(tables())
+    @settings(max_examples=20, deadline=None)
+    def test_atomic_fallback_always_race_free(self, c):
+        # Overlapping reads: x(i) and x(i+1). FormAD must reject xb, and
+        # the fallback-guarded adjoint must never race.
+        proc = _build("i", "i + 1")
+        rng = np.random.default_rng(1)
+        bindings = {"x": rng.standard_normal(XN), "y": np.zeros(XN),
+                    "c": c, "n": N}
+        adj = differentiate(proc, ["x"], ["y"], strategy="formad")
+        adj_bindings = dict(bindings)
+        adj_bindings[adj.adjoint_name("x")] = np.zeros(XN)
+        adj_bindings[adj.adjoint_name("y")] = np.ones(XN)
+        assert detect_races(adj.procedure, adj_bindings).race_free

@@ -1,0 +1,120 @@
+"""Unit tests for the index-expression translation (§5.2/§5.3/§6)."""
+
+import pytest
+
+from repro.cfg import number_instances
+from repro.formad import IndexTranslator, UntranslatableError, render_term
+from repro.ir import Assign, Var, parse_expression
+from repro.smt import TApp, TVar
+from repro.smt.terms import TAdd, TConst, TMul
+
+
+def _translator(body, scalars, primed=(), written=()):
+    inst = number_instances(body, scalars)
+    return IndexTranslator(inst, frozenset(primed), frozenset(written))
+
+
+def _stmt():
+    return Assign(Var("sink"), Var("i"))
+
+
+class TestScalars:
+    def test_instance_suffix(self):
+        s = _stmt()
+        tr = _translator([s], ["i", "sink"])
+        t = tr.translate(parse_expression("i"), s, primed=False)
+        assert t == TVar("i_0")
+
+    def test_priming_private_names(self):
+        s = _stmt()
+        tr = _translator([s], ["i", "sink"], primed={"i"})
+        assert tr.translate(parse_expression("i"), s, primed=True) == TVar("i_0'")
+        # Shared names stay unprimed even on the primed side.
+        tr2 = _translator([s], ["i", "sink"], primed=set())
+        assert tr2.translate(parse_expression("i"), s, primed=True) == TVar("i_0")
+
+    def test_instance_changes_after_redefinition(self):
+        use1 = Assign(Var("a"), Var("k"))
+        redef = Assign(Var("k"), Var("k") + 1)
+        use2 = Assign(Var("a"), Var("k"))
+        body = [use1, redef, use2]
+        tr = _translator(body, ["k", "a"])
+        t1 = tr.translate(parse_expression("k"), use1, primed=False)
+        t2 = tr.translate(parse_expression("k"), use2, primed=False)
+        assert t1 != t2
+
+
+class TestStructure:
+    def test_linear_expression(self):
+        s = _stmt()
+        tr = _translator([s], ["i", "n", "sink"])
+        t = tr.translate(parse_expression("2 * i + n - 1"), s, primed=False)
+        assert "i_0" in render_term(t) and "n_0" in render_term(t)
+
+    def test_negative_offsets(self):
+        s = _stmt()
+        tr = _translator([s], ["i", "sink"])
+        t = tr.translate(parse_expression("i - 3"), s, primed=False)
+        assert render_term(t) == "(i_0 + -3)"
+
+    def test_indirection_becomes_uf(self):
+        s = _stmt()
+        tr = _translator([s], ["i", "sink"])
+        t = tr.translate(parse_expression("c(i) + 7", array_names={"c"}),
+                         s, primed=False)
+        apps = [x for x in [t] if isinstance(x, TAdd)]
+        assert apps
+        inner = t.terms[0]
+        assert isinstance(inner, TApp) and inner.func == "c"
+
+    def test_priming_reaches_uf_arguments(self):
+        s = _stmt()
+        tr = _translator([s], ["i", "sink"], primed={"i"})
+        t = tr.translate(parse_expression("c(i)", array_names={"c"}),
+                         s, primed=True)
+        assert isinstance(t, TApp)
+        assert t.args == (TVar("i_0'"),)
+
+
+class TestUntranslatable:
+    def test_written_index_array_rejected(self):
+        s = _stmt()
+        tr = _translator([s], ["i", "sink"], written={"c"})
+        with pytest.raises(UntranslatableError):
+            tr.translate(parse_expression("c(i)", array_names={"c"}),
+                         s, primed=False)
+
+    def test_nonlinear_product_rejected(self):
+        s = _stmt()
+        tr = _translator([s], ["i", "j", "sink"])
+        with pytest.raises(UntranslatableError):
+            tr.translate(parse_expression("i * j"), s, primed=False)
+
+    def test_division_rejected(self):
+        s = _stmt()
+        tr = _translator([s], ["i", "sink"])
+        with pytest.raises(UntranslatableError):
+            tr.translate(parse_expression("i / 2"), s, primed=False)
+
+    def test_float_constant_rejected(self):
+        s = _stmt()
+        tr = _translator([s], ["i", "sink"])
+        with pytest.raises(UntranslatableError):
+            tr.translate(parse_expression("i + 1.5"), s, primed=False)
+
+    def test_const_times_var_allowed_both_ways(self):
+        s = _stmt()
+        tr = _translator([s], ["i", "sink"])
+        t1 = tr.translate(parse_expression("3 * i"), s, primed=False)
+        t2 = tr.translate(parse_expression("i * 3"), s, primed=False)
+        assert isinstance(t1, TMul) and isinstance(t2, TMul)
+        assert t1.coeff == 3 and t2.coeff == 3
+
+
+class TestRendering:
+    def test_paper_style_lbm_expression(self):
+        s = _stmt()
+        tr = _translator([s], ["i", "w", "n_cell_entries", "sink"])
+        t = tr.translate(
+            parse_expression("w + n_cell_entries * -1 + i"), s, primed=False)
+        assert render_term(t) == "(w_0 + n_cell_entries_0*-1 + i_0)"

@@ -1,0 +1,159 @@
+"""Unit tests for the expression AST."""
+
+import pytest
+
+from repro.ir import (ArrayRef, BinOp, Call, CmpOp, Compare, Const, Logical,
+                      LogicOp, Op, UnOp, Var, arrays_in, as_expr, children,
+                      names_in, rename_arrays, substitute, variables_in, walk)
+
+
+class TestConstruction:
+    def test_operator_overloading_builds_binops(self):
+        x, y = Var("x"), Var("y")
+        e = x + y
+        assert isinstance(e, BinOp) and e.op is Op.ADD
+        assert (x - y).op is Op.SUB
+        assert (x * y).op is Op.MUL
+        assert (x / y).op is Op.DIV
+        assert (x ** 2).op is Op.POW
+
+    def test_python_scalars_coerce_to_constants(self):
+        x = Var("x")
+        e = x + 1
+        assert e.right == Const(1)
+        e = 2.5 * x
+        assert e.left == Const(2.5)
+
+    def test_negation(self):
+        e = -Var("x")
+        assert isinstance(e, UnOp) and e.op is Op.NEG
+
+    def test_indexing_builds_arrayref(self):
+        a, i, j = Var("a"), Var("i"), Var("j")
+        ref = a[i, j + 1]
+        assert isinstance(ref, ArrayRef)
+        assert ref.name == "a"
+        assert ref.indices == (i, BinOp(Op.ADD, j, Const(1)))
+
+    def test_single_index(self):
+        ref = Var("a")[3]
+        assert ref.indices == (Const(3),)
+
+    def test_comparison_builders(self):
+        x = Var("x")
+        assert x.eq(0).op is CmpOp.EQ
+        assert x.ne(0).op is CmpOp.NE
+        assert x.lt(0).op is CmpOp.LT
+        assert x.le(0).op is CmpOp.LE
+        assert x.gt(0).op is CmpOp.GT
+        assert x.ge(0).op is CmpOp.GE
+
+    def test_logical_builders(self):
+        a = Var("x").gt(0)
+        b = Var("y").lt(1)
+        assert a.logical_and(b).op is LogicOp.AND
+        assert a.logical_or(b).op is LogicOp.OR
+        assert a.logical_not().op is LogicOp.NOT
+
+    def test_bad_constant_rejected(self):
+        with pytest.raises(TypeError):
+            Const("nope")
+
+    def test_bad_variable_name_rejected(self):
+        with pytest.raises(ValueError):
+            Var("")
+
+    def test_arrayref_requires_indices(self):
+        with pytest.raises(ValueError):
+            ArrayRef("a", ())
+
+    def test_as_expr_rejects_junk(self):
+        with pytest.raises(TypeError):
+            as_expr(object())
+
+    def test_logical_arity_enforced(self):
+        with pytest.raises(ValueError):
+            Logical(LogicOp.NOT, (Var("a"), Var("b")))
+        with pytest.raises(ValueError):
+            Logical(LogicOp.AND, (Var("a"),))
+
+
+class TestStructuralEquality:
+    def test_equal_expressions_compare_equal(self):
+        e1 = Var("x") + Var("y") * 2
+        e2 = Var("x") + Var("y") * 2
+        assert e1 == e2
+        assert hash(e1) == hash(e2)
+
+    def test_different_expressions_differ(self):
+        assert (Var("x") + 1) != (Var("x") + 2)
+        assert Var("x") != Var("y")
+
+    def test_usable_as_dict_keys(self):
+        d = {Var("c")[Var("i")]: "write"}
+        assert d[Var("c")[Var("i")]] == "write"
+
+
+class TestTraversal:
+    def test_walk_yields_all_nodes(self):
+        e = Var("a")[Var("i") + 1] * Var("b") + Call("sin", (Var("t"),))
+        kinds = [type(n).__name__ for n in walk(e)]
+        assert kinds.count("BinOp") == 3
+        assert "ArrayRef" in kinds and "Call" in kinds
+
+    def test_children_of_leaves_empty(self):
+        assert children(Const(1)) == ()
+        assert children(Var("x")) == ()
+
+    def test_variables_in_excludes_array_names(self):
+        e = Var("a")[Var("i")] + Var("x")
+        assert variables_in(e) == {"i", "x"}
+        assert arrays_in(e) == {"a"}
+        assert names_in(e) == {"a", "i", "x"}
+
+    def test_variables_in_nested_indices(self):
+        e = Var("y")[Var("c")[Var("i")] + 7]
+        assert variables_in(e) == {"i"}
+        assert arrays_in(e) == {"y", "c"}
+
+
+class TestSubstitution:
+    def test_substitute_scalar(self):
+        e = Var("i") + Var("j")
+        out = substitute(e, {"i": Var("ip")})
+        assert out == Var("ip") + Var("j")
+
+    def test_substitute_inside_indices(self):
+        e = Var("a")[Var("i") + 1]
+        out = substitute(e, {"i": Var("k")})
+        assert out == Var("a")[Var("k") + 1]
+
+    def test_substitute_does_not_touch_array_names(self):
+        e = Var("a")[Var("a_scalar")]
+        out = substitute(e, {"a": Var("b")})
+        assert isinstance(out, ArrayRef) and out.name == "a"
+
+    def test_substitute_compare_and_logical(self):
+        e = Var("i").eq(Var("j")).logical_and(Var("k").gt(0))
+        out = substitute(e, {"i": Var("x"), "k": Var("y")})
+        assert "x" in variables_in(out) and "y" in variables_in(out)
+        assert "i" not in variables_in(out)
+
+    def test_rename_arrays(self):
+        e = Var("x")[Var("i")] + Var("y")[Var("x")[Var("i")]]
+        out = rename_arrays(e, {"x": "xb"})
+        assert arrays_in(out) == {"xb", "y"}
+
+    def test_rename_arrays_in_call_args(self):
+        e = Call("sin", (Var("x")[Var("i")],))
+        out = rename_arrays(e, {"x": "xb"})
+        assert arrays_in(out) == {"xb"}
+
+
+class TestStringForms:
+    def test_str_is_readable(self):
+        e = Var("u")[Var("i") - 1]
+        assert "u(" in str(e)
+
+    def test_const_str(self):
+        assert str(Const(3)) == "3"

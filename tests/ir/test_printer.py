@@ -1,0 +1,94 @@
+"""Dedicated printer tests: precedence, parenthesization, pragmas."""
+
+import pytest
+
+from repro.ir import (Assign, BinOp, Call, Const, If, Loop, Op, Push, Pop,
+                      UnOp, Var, format_expr, format_stmt, parse_expression)
+
+
+class TestExpressionFormatting:
+    def test_precedence_minimal_parens(self):
+        e = parse_expression("a + b * c")
+        assert format_expr(e) == "a + b * c"
+
+    def test_left_grouping_preserved(self):
+        e = parse_expression("(a + b) * c")
+        assert format_expr(e) == "(a + b) * c"
+
+    def test_right_nested_addition_parenthesized(self):
+        # a + (b + c) must NOT print as a + b + c: reparsing would
+        # re-associate left and change float semantics.
+        e = BinOp(Op.ADD, Var("a"), BinOp(Op.ADD, Var("b"), Var("c")))
+        assert format_expr(e) == "a + (b + c)"
+        left = BinOp(Op.ADD, BinOp(Op.ADD, Var("a"), Var("b")), Var("c"))
+        assert format_expr(left) == "a + b + c"
+
+    def test_subtraction_right_parens(self):
+        e = BinOp(Op.SUB, Var("a"), BinOp(Op.SUB, Var("b"), Var("c")))
+        assert format_expr(e) == "a - (b - c)"
+
+    def test_power_right_associative(self):
+        e = parse_expression("a ** b ** c")
+        text = format_expr(e)
+        assert parse_expression(text) == e
+
+    def test_negative_literal_parenthesized_in_context(self):
+        e = BinOp(Op.ADD, Var("a"), Const(-2.0))
+        assert format_expr(e) == "a + (-2.0)"
+        assert format_expr(Const(-2.0)) == "-2.0"  # bare at top level
+
+    def test_unary_minus(self):
+        e = UnOp(Op.NEG, BinOp(Op.ADD, Var("a"), Var("b")))
+        text = format_expr(e)
+        assert parse_expression(text) == e
+
+    def test_fortran_comparison_spelling(self):
+        e = parse_expression("i /= j")
+        assert ".ne." in format_expr(e)
+
+    def test_logical_literals(self):
+        assert format_expr(Const(True)) == ".true."
+        assert format_expr(Const(False)) == ".false."
+
+    def test_call_formatting(self):
+        e = Call("max", (Var("a"), Const(0.5)))
+        assert format_expr(e) == "max(a, 0.5)"
+
+
+class TestStatementFormatting:
+    def test_atomic_pragma_line(self):
+        lines = format_stmt(Assign(Var("x")[Var("i")],
+                                   Var("x")[Var("i")] + 1.0, atomic=True))
+        assert lines[0].strip() == "!$omp atomic"
+
+    def test_parallel_do_clauses(self):
+        loop = Loop("i", 1, 10, body=[], parallel=True,
+                    private=("t", "u"), reduction=(("+", "s"),))
+        lines = format_stmt(loop)
+        assert "!$omp parallel do private(t, u) reduction(+:s)" == lines[0].strip()
+
+    def test_nonunit_step_printed(self):
+        lines = format_stmt(Loop("i", 1, 10, 2, body=[]))
+        assert "do i = 1, 10, 2" == lines[0].strip()
+
+    def test_unit_step_omitted(self):
+        lines = format_stmt(Loop("i", 1, 10, body=[]))
+        assert "do i = 1, 10" == lines[0].strip()
+
+    def test_if_without_else(self):
+        stmt = If(Var("x").gt(0.0), [Assign(Var("y"), 1.0)])
+        lines = format_stmt(stmt)
+        assert not any(l.strip() == "else" for l in lines)
+
+    def test_push_pop_render_as_calls(self):
+        lines = format_stmt(Push("v1", Var("x")))
+        assert "push" in lines[0]
+        lines = format_stmt(Pop("v1", Var("x")))
+        assert "pop" in lines[0]
+
+    def test_indentation_nesting(self):
+        inner = Assign(Var("y"), 1.0)
+        loop = Loop("i", 1, 3, body=[If(Var("y").gt(0.0), [inner])])
+        lines = format_stmt(loop)
+        assign_line = next(l for l in lines if "y = " in l)
+        assert assign_line.startswith("    ")

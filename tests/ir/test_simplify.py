@@ -1,0 +1,97 @@
+"""Tests for the expression simplifier, including a value-preservation
+property test against the interpreter."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ir import (BinOp, Call, Const, Op, UnOp, Var, simplify,
+                      ProcedureBuilder, REAL)
+from repro.ir.stmt import Assign
+from repro.runtime import Interpreter, Memory
+
+x, y = Var("x"), Var("y")
+
+
+class TestRules:
+    def test_identity_elimination(self):
+        assert simplify(x + 0.0) == x
+        assert simplify(0.0 + x) == x
+        assert simplify(x * 1.0) == x
+        assert simplify(1.0 * x) == x
+        assert simplify(x - 0.0) == x
+        assert simplify(x / 1.0) == x
+
+    def test_annihilation(self):
+        assert simplify(x * 0.0) == Const(0.0)
+        assert simplify(0.0 * x) == Const(0.0)
+
+    def test_constant_folding(self):
+        assert simplify(Const(2) + Const(3)) == Const(5)
+        assert simplify(Const(2.0) * Const(4.0)) == Const(8.0)
+        assert simplify(Const(7) / Const(2)) == Const(3)  # Fortran int div
+        assert simplify(Const(-7) / Const(2)) == Const(-3)
+
+    def test_division_by_zero_not_folded(self):
+        e = Const(1.0) / Const(0.0)
+        assert isinstance(simplify(e), BinOp)
+
+    def test_double_negation(self):
+        assert simplify(-(-x)) == x
+
+    def test_self_subtraction(self):
+        assert simplify(x - x) == Const(0.0)
+
+    def test_mul_minus_one(self):
+        s = simplify(x * -1)
+        assert s == UnOp(Op.NEG, x)
+
+    def test_nested_simplification(self):
+        e = (x * 1.0 + 0.0 * y) + 0.0
+        assert simplify(e) == x
+
+    def test_pow_rules(self):
+        assert simplify(x ** 1) == x
+        assert simplify(x ** 0) == Const(1.0)
+
+    def test_call_arguments_simplified(self):
+        e = Call("sin", (x * 1.0,))
+        assert simplify(e) == Call("sin", (x,))
+
+    def test_add_of_negation_becomes_subtraction(self):
+        e = BinOp(Op.ADD, x, UnOp(Op.NEG, y))
+        assert simplify(e) == BinOp(Op.SUB, x, y)
+
+
+_leaf = st.sampled_from([Var("x"), Var("y"), Const(0.0), Const(1.0),
+                         Const(2.5), Const(-1.0), Const(3)])
+_ops = st.sampled_from([Op.ADD, Op.SUB, Op.MUL])
+
+
+def _exprs(depth):
+    if depth == 0:
+        return _leaf
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        _leaf,
+        st.builds(BinOp, _ops, sub, sub),
+        st.builds(lambda e: UnOp(Op.NEG, e), sub),
+    )
+
+
+class TestValuePreservation:
+    @given(_exprs(4), st.floats(-5, 5), st.floats(-5, 5))
+    @settings(max_examples=200, deadline=None)
+    def test_simplify_preserves_value(self, expr, xv, yv):
+        b = ProcedureBuilder("p")
+        b.param("x", REAL)
+        b.param("y", REAL)
+        r1 = b.param("r1", REAL)
+        r2 = b.param("r2", REAL)
+        b.assign(r1, expr)
+        b.assign(r2, simplify(expr))
+        proc = b.build()
+        mem = Memory.for_procedure(proc, {"x": xv, "y": yv})
+        Interpreter(proc, mem).run()
+        v1, v2 = mem.get_scalar("r1"), mem.get_scalar("r2")
+        assert v1 == pytest.approx(v2, rel=1e-12, abs=1e-12)

@@ -1,0 +1,158 @@
+"""Unit tests for statements, the builder DSL, and procedure structure."""
+
+import pytest
+
+from repro.ir import (Assign, Const, If, INTEGER, Intent, Loop, Param, Pop,
+                      Procedure, ProcedureBuilder, Program, Push, REAL, Var,
+                      copy_body, find_parallel_loops, real_array, walk_stmts)
+
+
+class TestStatements:
+    def test_assign_requires_lvalue(self):
+        with pytest.raises(TypeError):
+            Assign(Const(1), Var("x"))
+
+    def test_statements_have_unique_uids(self):
+        a = Assign(Var("x"), 1)
+        b = Assign(Var("x"), 1)
+        assert a.uid != b.uid
+
+    def test_identity_semantics(self):
+        a = Assign(Var("x"), 1)
+        b = Assign(Var("x"), 1)
+        assert a != b and a == a
+
+    def test_loop_private_names_include_counter_and_reductions(self):
+        loop = Loop("i", 1, 10, body=[], parallel=True,
+                    private=("t",), reduction=(("+", "s"),))
+        assert loop.private_names() == {"i", "t", "s"}
+
+    def test_loop_step_const(self):
+        assert Loop("i", 1, 10).step_const == 1
+        assert Loop("i", 10, 1, -1).step_const == -1
+        assert Loop("i", 1, 10, Var("k")).step_const is None
+
+    def test_pop_requires_lvalue(self):
+        with pytest.raises(TypeError):
+            Pop("ch", Const(1))
+
+    def test_walk_stmts_recurses(self):
+        inner = Assign(Var("x"), 1)
+        loop = Loop("i", 1, 10, body=[If(Var("x").gt(0), [inner])])
+        found = list(walk_stmts([loop]))
+        assert inner in found and loop in found
+
+    def test_copy_body_fresh_uids_same_structure(self):
+        body = [Loop("i", 1, 5, body=[Assign(Var("a")[Var("i")], Var("i"))],
+                     parallel=True, private=("t",))]
+        dup = copy_body(body)
+        assert dup[0].uid != body[0].uid
+        assert isinstance(dup[0], Loop)
+        assert dup[0].parallel and dup[0].private == ("t",)
+        assert dup[0].body[0].uid != body[0].body[0].uid
+
+
+class TestBuilder:
+    def test_quickstart_shape(self):
+        b = ProcedureBuilder("saxpy")
+        x = b.param("x", real_array(100), intent="in")
+        y = b.param("y", real_array(100), intent="inout")
+        a = b.param("a", REAL, intent="in")
+        with b.parallel_do("i", 1, 100) as i:
+            b.assign(y[i], y[i] + a * x[i])
+        proc = b.build()
+        assert proc.name == "saxpy"
+        assert [p.name for p in proc.params] == ["x", "y", "a"]
+        assert "i" in proc.locals and proc.locals["i"] == INTEGER
+        loops = proc.parallel_loops()
+        assert len(loops) == 1 and loops[0].var == "i"
+
+    def test_if_else_structure(self):
+        b = ProcedureBuilder("p")
+        x = b.param("x", REAL)
+        y = b.param("y", REAL)
+        with b.if_(x.gt(0)):
+            b.assign(y, x)
+            with b.else_():
+                b.assign(y, -x)
+        proc = b.build()
+        stmt = proc.body[0]
+        assert isinstance(stmt, If)
+        assert len(stmt.then_body) == 1 and len(stmt.else_body) == 1
+
+    def test_nested_loops(self):
+        b = ProcedureBuilder("p")
+        a = b.param("a", real_array(10, 10))
+        with b.do("i", 1, 10) as i:
+            with b.do("j", 1, 10) as j:
+                b.assign(a[i, j], 0.0)
+        proc = b.build()
+        outer = proc.body[0]
+        assert isinstance(outer, Loop) and not outer.parallel
+        inner = outer.body[0]
+        assert isinstance(inner, Loop) and inner.var == "j"
+
+    def test_else_outside_if_raises(self):
+        b = ProcedureBuilder("p")
+        with pytest.raises(RuntimeError):
+            with b.else_():
+                pass
+
+    def test_reduction_clause_carried(self):
+        b = ProcedureBuilder("p")
+        s = b.param("s", REAL, intent="inout")
+        x = b.param("x", real_array(10), intent="in")
+        with b.parallel_do("i", 1, 10, reduction=[("+", "s")]) as i:
+            b.assign(s, s + x[i])
+        loop = b.build().parallel_loops()[0]
+        assert loop.reduction == (("+", "s"),)
+
+
+class TestProcedure:
+    def test_duplicate_params_rejected(self):
+        with pytest.raises(ValueError):
+            Procedure("p", [Param("x", REAL), Param("x", REAL)])
+
+    def test_local_shadowing_param_rejected(self):
+        with pytest.raises(ValueError):
+            Procedure("p", [Param("x", REAL)], {"x": REAL})
+
+    def test_type_of_and_symbols(self):
+        proc = Procedure("p", [Param("x", real_array(5), Intent.IN)], {"t": REAL})
+        assert proc.type_of("x").is_array
+        assert not proc.type_of("t").is_array
+        assert set(proc.symbols()) == {"x", "t"}
+        assert list(proc.arrays()) == ["x"]
+        assert list(proc.scalars()) == ["t"]
+        with pytest.raises(KeyError):
+            proc.type_of("nope")
+
+    def test_inputs_outputs_by_intent(self):
+        proc = Procedure("p", [
+            Param("a", REAL, Intent.IN),
+            Param("b", REAL, Intent.OUT),
+            Param("c", REAL, Intent.INOUT),
+        ])
+        assert proc.inputs() == ["a", "c"]
+        assert proc.outputs() == ["b", "c"]
+
+    def test_copy_is_deep(self):
+        b = ProcedureBuilder("p")
+        x = b.param("x", REAL)
+        b.assign(x, 1.0)
+        proc = b.build()
+        dup = proc.copy(name="q")
+        assert dup.name == "q"
+        assert dup.body[0] is not proc.body[0]
+
+    def test_program_container(self):
+        p1 = Procedure("a")
+        p2 = Procedure("b")
+        prog = Program([p1, p2])
+        assert len(prog) == 2 and prog["a"] is p1
+        with pytest.raises(ValueError):
+            prog.add(Procedure("a"))
+
+    def test_find_parallel_loops_helper(self):
+        body = [Loop("i", 1, 5, body=[Loop("j", 1, 5, body=[], parallel=True)])]
+        assert len(find_parallel_loops(body)) == 1

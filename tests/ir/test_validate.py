@@ -1,0 +1,143 @@
+"""Dedicated tests for the semantic validator."""
+
+import pytest
+
+from repro.ir import (Assign, Call, Const, If, Loop, Param, Procedure,
+                      ProcedureBuilder, REAL, INTEGER, Var, ValidationError,
+                      integer_array, is_valid, real_array, validate)
+from repro.ir.types import Intent
+
+
+def _proc(body, locals_=None, params=None):
+    return Procedure(
+        "p",
+        params if params is not None else [
+            Param("x", real_array(10), Intent.IN),
+            Param("y", real_array(10), Intent.INOUT),
+            Param("n", INTEGER, Intent.IN),
+        ],
+        locals_ if locals_ is not None else {"i": INTEGER, "t": REAL},
+        body,
+    )
+
+
+class TestNameResolution:
+    def test_undeclared_variable(self):
+        proc = _proc([Assign(Var("t"), Var("ghost"))])
+        with pytest.raises(ValidationError, match="undeclared variable 'ghost'"):
+            validate(proc)
+
+    def test_undeclared_array(self):
+        proc = _proc([Assign(Var("t"), Var("ghost")[Const(1)])])
+        with pytest.raises(ValidationError, match="undeclared array"):
+            validate(proc)
+
+    def test_array_used_without_indices(self):
+        proc = _proc([Assign(Var("t"), Var("x"))])
+        with pytest.raises(ValidationError, match="without indices"):
+            validate(proc)
+
+    def test_scalar_indexed(self):
+        proc = _proc([Assign(Var("t"), Var("n")[Const(1)])])
+        with pytest.raises(ValidationError, match="indexed like an array"):
+            validate(proc)
+
+    def test_rank_mismatch(self):
+        proc = _proc([Assign(Var("t"), Var("x")[Const(1), Const(2)])])
+        with pytest.raises(ValidationError, match="rank"):
+            validate(proc)
+
+    def test_size_of_bare_array_allowed(self):
+        proc = _proc([Assign(Var("t"), Call("size", (Var("x"),)))])
+        validate(proc)
+
+
+class TestIntrinsics:
+    def test_unknown_intrinsic(self):
+        proc = _proc([Assign(Var("t"), Call("mystery", (Var("t"),)))])
+        with pytest.raises(ValidationError, match="unknown intrinsic"):
+            validate(proc)
+
+    def test_wrong_arity(self):
+        proc = _proc([Assign(Var("t"), Call("sin", (Var("t"), Var("t"))))])
+        with pytest.raises(ValidationError, match="expects 1"):
+            validate(proc)
+
+    def test_variadic_min_arity(self):
+        proc = _proc([Assign(Var("t"), Call("max", (Var("t"),)))])
+        with pytest.raises(ValidationError, match="at least 2"):
+            validate(proc)
+
+
+class TestLoops:
+    def test_real_loop_counter_rejected(self):
+        proc = _proc([Loop("t", 1, 5, body=[])])
+        with pytest.raises(ValidationError, match="integer scalar"):
+            validate(proc)
+
+    def test_counter_assignment_in_body(self):
+        proc = _proc([Loop("i", 1, 5, body=[Assign(Var("i"), Const(0))])])
+        with pytest.raises(ValidationError, match="assigned in loop body"):
+            validate(proc)
+
+    def test_counter_reuse_in_nested_loop(self):
+        proc = _proc([Loop("i", 1, 5, body=[Loop("i", 1, 3, body=[])])])
+        with pytest.raises(ValidationError, match="reused"):
+            validate(proc)
+
+    def test_zero_step(self):
+        proc = _proc([Loop("i", 1, 5, 0, body=[])])
+        with pytest.raises(ValidationError, match="nonzero"):
+            validate(proc)
+
+    def test_nested_parallel_rejected(self):
+        proc = _proc([Loop("i", 1, 5, parallel=True, body=[
+            Loop("k", 1, 3, parallel=True, body=[])])],
+            locals_={"i": INTEGER, "k": INTEGER, "t": REAL})
+        with pytest.raises(ValidationError, match="nested parallel"):
+            validate(proc)
+
+    def test_undeclared_private_name(self):
+        proc = _proc([Loop("i", 1, 5, parallel=True, private=("ghost",),
+                           body=[])])
+        with pytest.raises(ValidationError, match="private clause"):
+            validate(proc)
+
+    def test_bad_reduction_op(self):
+        proc = _proc([Loop("i", 1, 5, parallel=True,
+                           reduction=(("xor", "t"),), body=[])])
+        with pytest.raises(ValidationError, match="reduction operator"):
+            validate(proc)
+
+
+class TestConditions:
+    def test_arithmetic_condition_rejected(self):
+        proc = _proc([If(Var("t") + 1.0, [])])
+        with pytest.raises(ValidationError, match="not a logical"):
+            validate(proc)
+
+    def test_logical_var_condition_allowed(self):
+        from repro.ir import LOGICAL
+        proc = _proc([If(Var("flag"), [])],
+                     locals_={"flag": LOGICAL, "i": INTEGER, "t": REAL})
+        validate(proc)
+
+    def test_boolean_literal_condition_allowed(self):
+        proc = _proc([If(Const(True), [])])
+        validate(proc)
+
+
+class TestAggregation:
+    def test_multiple_problems_reported_together(self):
+        proc = _proc([
+            Assign(Var("t"), Var("ghost1")),
+            Assign(Var("t"), Var("ghost2")),
+        ])
+        with pytest.raises(ValidationError) as exc:
+            validate(proc)
+        assert len(exc.value.problems) == 2
+
+    def test_is_valid_helper(self):
+        good = _proc([Assign(Var("t"), Const(1.0))])
+        bad = _proc([Assign(Var("t"), Var("ghost"))])
+        assert is_valid(good) and not is_valid(bad)

@@ -1,0 +1,278 @@
+"""Tests for the cost model, machine model, and race detector."""
+
+import numpy as np
+import pytest
+
+from repro.ir import (Assign, ProcedureBuilder, REAL, Var, integer_array,
+                      parse_procedure, real_array, INTEGER)
+from repro.runtime import (BROADWELL_18, MachineModel, OpCounts, detect_races,
+                           loop_time, profile_run, simulate_thread_sweep,
+                           static_chunks)
+from repro.runtime.costmodel import classify_ref_streaming
+
+
+SAXPY = """
+subroutine saxpy(a, x, y, n)
+  integer, intent(in) :: n
+  real, intent(in) :: a
+  real, intent(in) :: x(50000)
+  real, intent(inout) :: y(50000)
+  !$omp parallel do
+  do i = 1, n
+    y(i) = y(i) + a * x(i)
+  end do
+end subroutine saxpy
+"""
+
+RACY_WRITE = """
+subroutine racy(y, n)
+  integer, intent(in) :: n
+  real, intent(inout) :: y(10)
+  !$omp parallel do
+  do i = 1, n
+    y(1) = y(1) + 1.0
+  end do
+end subroutine racy
+"""
+
+ATOMIC_GUARDED = """
+subroutine guarded(y, n)
+  integer, intent(in) :: n
+  real, intent(inout) :: y(10)
+  !$omp parallel do
+  do i = 1, n
+    !$omp atomic
+    y(1) = y(1) + 1.0
+  end do
+end subroutine guarded
+"""
+
+
+class TestStaticChunks:
+    def test_exact_division(self):
+        assert static_chunks(8, 4) == [(0, 2), (2, 4), (4, 6), (6, 8)]
+
+    def test_remainder_goes_first(self):
+        chunks = static_chunks(10, 4)
+        sizes = [e - b for b, e in chunks]
+        assert sizes == [3, 3, 2, 2] and chunks[-1][1] == 10
+
+    def test_more_threads_than_iterations(self):
+        chunks = static_chunks(2, 4)
+        sizes = [e - b for b, e in chunks]
+        assert sizes == [1, 1, 0, 0]
+
+
+class TestClassification:
+    def test_counter_affine_is_streaming(self):
+        ref = Var("u")[Var("i") - 1]
+        assert classify_ref_streaming(ref, frozenset({"i"}))
+
+    def test_indirection_is_gather(self):
+        ref = Var("y")[Var("c")[Var("i")]]
+        assert not classify_ref_streaming(ref, frozenset({"i"}))
+
+    def test_data_dependent_scalar_is_gather(self):
+        ref = Var("grad")[Var("node")]
+        assert not classify_ref_streaming(ref, frozenset({"ie"}))
+
+
+class TestProfiling:
+    def test_saxpy_profile_counts(self):
+        proc = parse_procedure(SAXPY)
+        run = profile_run(proc, {"a": 2.0, "x": np.ones(50000),
+                                 "y": np.zeros(50000), "n": 50000})
+        assert len(run.profile.parallel_loops) == 1
+        rec = run.profile.parallel_loops[0]
+        assert len(rec.per_iteration) == 50000
+        total = rec.total()
+        # y read + x read + y write = 3 streaming accesses per iteration
+        assert total.stream_mem == 150000
+        assert total.flops == 100000  # one mul + one add per iteration
+        assert total.atomics == 0
+
+    def test_atomic_counted(self):
+        proc = parse_procedure(ATOMIC_GUARDED)
+        run = profile_run(proc, {"y": np.zeros(10), "n": 100})
+        total = run.profile.parallel_loops[0].total()
+        assert total.atomics == 100
+
+    def test_results_unaffected_by_tracing(self):
+        proc = parse_procedure(SAXPY)
+        run = profile_run(proc, {"a": 2.0, "x": np.ones(50000),
+                                 "y": np.zeros(50000), "n": 50000})
+        np.testing.assert_allclose(run.memory.array("y").data, 2.0)
+
+
+class TestCostModel:
+    def _saxpy_run(self):
+        proc = parse_procedure(SAXPY)
+        return profile_run(proc, {"a": 2.0, "x": np.ones(50000),
+                                  "y": np.zeros(50000), "n": 50000})
+
+    def test_parallel_speedup_monotone_without_atomics(self):
+        run = self._saxpy_run()
+        times = simulate_thread_sweep(run, [1, 2, 4, 8])
+        assert times[1] > times[2] > times[4]
+
+    def test_atomic_version_slows_down_with_threads(self):
+        proc = parse_procedure(ATOMIC_GUARDED)
+        run = profile_run(proc, {"y": np.zeros(10), "n": 10000})
+        times = simulate_thread_sweep(run, [1, 8, 18])
+        # Atomics dominate; contention makes more threads worse.
+        assert times[18] > times[1]
+
+    def test_atomic_cost_formula(self):
+        m = MachineModel()
+        uncontended = m.atomic_cost(1000, 1)
+        assert uncontended == pytest.approx(1000 * m.atomic_s)
+        contended = m.atomic_cost(1000, 18)
+        assert contended > uncontended
+
+    def test_reduction_cost_grows_with_threads(self):
+        m = MachineModel()
+        assert m.reduction_cost(10_000, 18) > m.reduction_cost(10_000, 2)
+
+    def test_serial_seconds_positive(self):
+        c = OpCounts(flops=100, stream_mem=50)
+        assert c.serial_seconds(BROADWELL_18) > 0
+
+    def test_load_imbalance_hurts(self):
+        # A loop where the first half of iterations are 100x heavier:
+        # with 2 threads the static schedule puts all heavy iterations
+        # on thread 0, capping speedup well below 2x.
+        src = """
+subroutine imb(x, y, n)
+  integer, intent(in) :: n
+  real, intent(in) :: x(100)
+  real, intent(inout) :: y(100)
+  !$omp parallel do
+  do i = 1, n
+    if (i .le. 50) then
+      do k = 1, 100
+        y(i) = y(i) + x(i) * 0.001
+      end do
+    else
+      y(i) = y(i) + x(i)
+    end if
+  end do
+end subroutine imb
+"""
+        proc = parse_procedure(src)
+        run = profile_run(proc, {"x": np.ones(100), "y": np.zeros(100), "n": 100})
+        times = simulate_thread_sweep(run, [1, 2])
+        speedup = times[1] / times[2]
+        assert speedup < 1.5  # imbalance visible
+
+    def test_gather_heavy_loop_saturates(self):
+        src = """
+subroutine gath(x, y, c, n)
+  integer, intent(in) :: n
+  real, intent(in) :: x(1000)
+  real, intent(inout) :: y(1000)
+  integer, intent(in) :: c(1000)
+  !$omp parallel do
+  do i = 1, n
+    y(c(i)) = x(c(i))
+  end do
+end subroutine gath
+"""
+        proc = parse_procedure(src)
+        perm = np.random.default_rng(0).permutation(1000) + 1
+        run = profile_run(proc, {"x": np.ones(1000), "y": np.zeros(1000),
+                                 "c": perm, "n": 1000})
+        times = simulate_thread_sweep(run, [1, 18])
+        speedup = times[1] / times[18]
+        # Gather-bound loops saturate far below the core count.
+        assert speedup < 6
+
+
+class TestRaceDetector:
+    def test_clean_loop_race_free(self):
+        proc = parse_procedure(SAXPY)
+        report = detect_races(proc, {"a": 1.0, "x": np.ones(50000),
+                                     "y": np.zeros(50000), "n": 100})
+        assert report.race_free
+
+    def test_shared_increment_is_a_race(self):
+        proc = parse_procedure(RACY_WRITE)
+        report = detect_races(proc, {"y": np.zeros(10), "n": 10})
+        assert not report.race_free
+        kinds = {r.kinds for r in report.races}
+        assert any("write" in k for pair in kinds for k in pair)
+
+    def test_atomic_increments_not_flagged(self):
+        proc = parse_procedure(ATOMIC_GUARDED)
+        report = detect_races(proc, {"y": np.zeros(10), "n": 10})
+        assert report.race_free
+
+    def test_private_scalar_not_flagged(self):
+        src = """
+subroutine p(x, y, n)
+  integer, intent(in) :: n
+  real, intent(in) :: x(100)
+  real, intent(inout) :: y(100)
+  real :: t
+  !$omp parallel do private(t)
+  do i = 1, n
+    t = x(i) * 2.0
+    y(i) = t
+  end do
+end subroutine p
+"""
+        proc = parse_procedure(src)
+        report = detect_races(proc, {"x": np.ones(100), "y": np.zeros(100),
+                                     "n": 100})
+        assert report.race_free
+
+    def test_shared_scalar_write_flagged(self):
+        src = """
+subroutine p(x, y, n)
+  integer, intent(in) :: n
+  real, intent(in) :: x(100)
+  real, intent(inout) :: y(100)
+  real :: t
+  !$omp parallel do
+  do i = 1, n
+    t = x(i) * 2.0
+    y(i) = t
+  end do
+end subroutine p
+"""
+        proc = parse_procedure(src)
+        report = detect_races(proc, {"x": np.ones(100), "y": np.zeros(100),
+                                     "n": 100})
+        assert not report.race_free
+        assert any(r.scalar == "t" for r in report.races)
+
+    def test_reduction_array_not_flagged(self):
+        src = """
+subroutine p(x, g, n)
+  integer, intent(in) :: n
+  real, intent(in) :: x(100)
+  real, intent(inout) :: g(10)
+  !$omp parallel do reduction(+:g)
+  do i = 1, n
+    g(1) = g(1) + x(i)
+  end do
+end subroutine p
+"""
+        proc = parse_procedure(src)
+        report = detect_races(proc, {"x": np.ones(100), "g": np.zeros(10),
+                                     "n": 100})
+        assert report.race_free
+
+    def test_write_read_conflict_detected(self):
+        src = """
+subroutine p(y, n)
+  integer, intent(in) :: n
+  real, intent(inout) :: y(100)
+  !$omp parallel do
+  do i = 1, n
+    y(i) = y(1) + 1.0
+  end do
+end subroutine p
+"""
+        proc = parse_procedure(src)
+        report = detect_races(proc, {"y": np.zeros(100), "n": 50})
+        assert not report.race_free

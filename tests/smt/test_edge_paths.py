@@ -1,0 +1,118 @@
+"""SMT solver edge paths: UF congruence chains, budget-driven UNKNOWNs,
+clausification blow-up guards, and solver statistics."""
+
+import pytest
+
+from repro.smt import (And, Int, Not, Or, Result, SAT, UNKNOWN, UNSAT,
+                       Solver, TApp, ackermannize, ClausifyBudgetError,
+                       clausify)
+
+i, j, k = Int("i"), Int("j"), Int("k")
+
+
+class TestCongruenceChains:
+    def test_nested_applications_congruent(self):
+        # i == j must force f(f(i)) == f(f(j)).
+        f_i = TApp("f", (i,))
+        f_j = TApp("f", (j,))
+        ff_i = TApp("f", (f_i,))
+        ff_j = TApp("f", (f_j,))
+        s = Solver()
+        s.add(i.eq(j))
+        s.add(ff_i.ne(ff_j))
+        assert s.check() is UNSAT
+
+    def test_chain_breaks_without_equality(self):
+        f_i = TApp("f", (i,))
+        f_j = TApp("f", (j,))
+        s = Solver()
+        s.add(f_i.ne(f_j))  # fine: i may differ from j
+        assert s.check() is SAT
+
+    def test_multiarg_congruence(self):
+        g_ij = TApp("g", (i, j))
+        g_kj = TApp("g", (k, j))
+        s = Solver()
+        s.add(i.eq(k), g_ij.ne(g_kj))
+        assert s.check() is UNSAT
+
+    def test_transitive_value_equality(self):
+        # f(i) = j, f(k) = j is satisfiable even with i != k (not
+        # injective), but then asserting "f values differ" contradicts.
+        f_i = TApp("f", (i,))
+        f_k = TApp("f", (k,))
+        s = Solver()
+        s.add(f_i.eq(j), f_k.eq(j), i.ne(k))
+        assert s.check() is SAT
+        s.add(f_i.ne(f_k))
+        assert s.check() is UNSAT
+
+
+class TestBudgets:
+    def test_theory_check_budget_unknown(self):
+        s = Solver(max_theory_checks=0)
+        s.add(Or(i.eq(0), i.eq(1)), Or(j.eq(0), j.eq(1)))
+        assert s.check() is UNKNOWN
+
+    def test_clausify_budget_unknown(self):
+        # A CNF blow-up: OR of ANDs distributes to 2^n clauses.
+        parts = [And(Int(f"a{n}").eq(0), Int(f"b{n}").eq(0))
+                 for n in range(18)]
+        s = Solver(max_clauses=100)
+        s.add(Or(*parts))
+        assert s.check() is UNKNOWN
+
+    def test_clausify_raises_directly(self):
+        parts = [And(Int(f"a{n}").eq(0), Int(f"b{n}").eq(0))
+                 for n in range(18)]
+        with pytest.raises(ClausifyBudgetError):
+            clausify(Or(*parts), max_clauses=100)
+
+    def test_unknown_never_misreported(self):
+        # With a tiny budget the solver may say UNKNOWN but must not
+        # claim SAT/UNSAT wrongly on this satisfiable instance.
+        s = Solver(max_theory_checks=1)
+        s.add(Or(i.eq(5), i.eq(7)))
+        result = s.check()
+        assert result in (SAT, UNKNOWN)
+
+
+class TestStatistics:
+    def test_stats_track_outcomes(self):
+        s = Solver()
+        s.add(i.ge(0))
+        s.check()                 # SAT
+        s.push()
+        s.add(i.le(-1))
+        s.check()                 # UNSAT
+        s.pop()
+        assert s.stats.checks == 2
+        assert s.stats.sat == 1 and s.stats.unsat == 1
+        assert s.stats.time_seconds >= 0.0
+
+    def test_num_assertions_tracks_stack(self):
+        s = Solver()
+        s.add(i.ge(0))
+        s.push()
+        s.add(i.le(5), j.ge(0))
+        assert s.num_assertions == 3
+        s.pop()
+        assert s.num_assertions == 1
+
+
+class TestWarmStart:
+    def test_incremental_adds_stay_correct(self):
+        # The buildModel pattern: grow the assertion set one
+        # disequality at a time, re-checking each time (exercises the
+        # warm-start path).
+        s = Solver()
+        names = [Int(f"v{n}") for n in range(8)]
+        s.add(names[0].ge(0))
+        assert s.check() is SAT
+        for a in range(8):
+            for b in range(a + 1, 8):
+                s.add(names[a].ne(names[b]))
+                assert s.check() is SAT
+        # Now force a collision: UNSAT despite the warm model.
+        s.add(names[0].eq(names[1]))
+        assert s.check() is UNSAT

@@ -1,0 +1,113 @@
+"""Tests for linear-form normalization and atom canonicalization."""
+
+import pytest
+
+from repro.smt import (Constraint, Int, LinForm, NonLinearTermError, Rel,
+                       TrivialConstraint, canonicalize, linearize)
+from repro.smt.terms import TApp, TConst
+
+x, y, z = Int("x"), Int("y"), Int("z")
+
+
+class TestLinForm:
+    def test_linearize_simple(self):
+        lf = linearize(x + 2 * y - 3)
+        assert lf.coeff_dict() == {"x": 1, "y": 2}
+        assert lf.const == -3
+
+    def test_linearize_collects_like_terms(self):
+        lf = linearize(x + x + x - 2 * x)
+        assert lf.coeff_dict() == {"x": 1}
+
+    def test_zero_coefficients_dropped(self):
+        lf = linearize(x - x + 5)
+        assert lf.is_constant and lf.const == 5
+
+    def test_scale_and_arithmetic(self):
+        a = LinForm.from_dict({"x": 2}, 1)
+        b = LinForm.from_dict({"x": -2, "y": 1}, 3)
+        s = a + b
+        assert s.coeff_dict() == {"y": 1} and s.const == 4
+        assert (a - a).is_constant
+
+    def test_evaluate(self):
+        lf = linearize(2 * x + y - 7)
+        assert lf.evaluate({"x": 3, "y": 4}) == 3
+
+    def test_uf_application_rejected(self):
+        app = TApp("c", (x,))
+        with pytest.raises(NonLinearTermError):
+            linearize(app + 1)
+
+    def test_nonlinear_product_rejected_at_term_level(self):
+        with pytest.raises(NonLinearTermError):
+            x * y
+
+    def test_content_gcd(self):
+        assert linearize(4 * x + 6 * y).content() == 2
+        assert linearize(TConst(5)).content() == 0
+
+
+class TestCanonicalize:
+    def test_le(self):
+        (c,) = canonicalize((x + 3).le(y))
+        assert c.rel is Rel.LE
+        assert c.form.coeff_dict() == {"x": 1, "y": -1}
+        assert c.bound == -3
+
+    def test_strict_lt_tightens(self):
+        (c,) = canonicalize(x.lt(y))
+        # x < y over ints is x - y <= -1
+        assert c.bound == -1
+
+    def test_ge_flips(self):
+        (c,) = canonicalize(x.ge(5))
+        assert c.form.coeff_dict() == {"x": -1}
+        assert c.bound == -5
+
+    def test_gt_flips_and_tightens(self):
+        (c,) = canonicalize(x.gt(5))
+        assert c.form.coeff_dict() == {"x": -1} and c.bound == -6
+
+    def test_eq(self):
+        (c,) = canonicalize((x + 1).eq(y))
+        assert c.rel is Rel.EQ
+
+    def test_ne_rejected(self):
+        with pytest.raises(ValueError):
+            canonicalize(x.ne(y))
+
+    def test_trivially_true(self):
+        with pytest.raises(TrivialConstraint) as exc:
+            canonicalize(TConst(1).le(2))
+        assert exc.value.truth is True
+
+    def test_trivially_false(self):
+        with pytest.raises(TrivialConstraint) as exc:
+            canonicalize(TConst(3).le(2))
+        assert exc.value.truth is False
+
+    def test_gcd_divisibility_eq_refuted(self):
+        # 2x = 2y + 1 has no integer solution: caught at canonicalization.
+        with pytest.raises(TrivialConstraint) as exc:
+            canonicalize((2 * x).eq(2 * y + 1))
+        assert exc.value.truth is False
+
+    def test_gcd_le_tightening(self):
+        (c,) = canonicalize((2 * x).le(3))
+        assert c.form.coeff_dict() == {"x": 1} and c.bound == 1
+
+    def test_gcd_le_tightening_negative_bound(self):
+        (c,) = canonicalize((2 * x).le(-3))
+        assert c.bound == -2  # floor(-3/2)
+
+    def test_constraint_holds(self):
+        (c,) = canonicalize(x.le(y))
+        assert c.holds({"x": 1, "y": 2})
+        assert not c.holds({"x": 3, "y": 2})
+
+    def test_canonical_shape_enforced(self):
+        with pytest.raises(ValueError):
+            Constraint(LinForm.from_dict({"x": 1}), Rel.GT, 0)
+        with pytest.raises(ValueError):
+            Constraint(LinForm.from_dict({"x": 1}, 5), Rel.LE, 0)

@@ -1,0 +1,145 @@
+"""Property-based tests: the SMT solver against a brute-force oracle.
+
+Random conjunctions/disjunctions of small linear atoms over a few
+variables are decided both by the solver and by exhaustive enumeration
+over a bounded integer box. The solver must never disagree with the
+oracle (UNSAT when the oracle found a model inside the box, or SAT with
+a model that fails re-evaluation).
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.smt import (And, FAtom, Int, Or, Rel, Result, SAT, UNSAT, Solver,
+                       TConst, TVar, check_int, canonicalize,
+                       TrivialConstraint)
+from repro.smt.terms import TAdd, TMul
+
+VARS = ("x", "y", "z")
+BOX = range(-4, 5)
+
+coeff = st.integers(min_value=-3, max_value=3)
+const = st.integers(min_value=-6, max_value=6)
+rel = st.sampled_from([Rel.EQ, Rel.NE, Rel.LE, Rel.LT, Rel.GE, Rel.GT])
+
+
+@st.composite
+def linear_terms(draw):
+    parts = [TMul(draw(coeff), TVar(v)) for v in VARS]
+    parts.append(TConst(draw(const)))
+    return TAdd(tuple(parts))
+
+
+@st.composite
+def atoms(draw):
+    return FAtom(draw(rel), draw(linear_terms()), draw(linear_terms()))
+
+
+def _eval_term(term, env):
+    if isinstance(term, TConst):
+        return term.value
+    if isinstance(term, TVar):
+        return env[term.name]
+    if isinstance(term, TAdd):
+        return sum(_eval_term(t, env) for t in term.terms)
+    if isinstance(term, TMul):
+        return term.coeff * _eval_term(term.term, env)
+    raise TypeError(term)
+
+
+def _eval_atom(atom, env):
+    l, r = _eval_term(atom.left, env), _eval_term(atom.right, env)
+    return {
+        Rel.EQ: l == r, Rel.NE: l != r, Rel.LE: l <= r,
+        Rel.LT: l < r, Rel.GE: l >= r, Rel.GT: l > r,
+    }[atom.rel]
+
+
+def _oracle_conjunction(atom_list):
+    for values in itertools.product(BOX, repeat=len(VARS)):
+        env = dict(zip(VARS, values))
+        if all(_eval_atom(a, env) for a in atom_list):
+            return env
+    return None
+
+
+class TestConjunctions:
+    @given(st.lists(atoms(), min_size=1, max_size=4))
+    @settings(max_examples=150, deadline=None)
+    def test_solver_agrees_with_oracle(self, atom_list):
+        s = Solver()
+        s.add(*atom_list)
+        result = s.check()
+        witness = _oracle_conjunction(atom_list)
+        if witness is not None:
+            # Soundness: the solver must never refute a satisfiable
+            # system. (UNKNOWN is tolerated but should be rare.)
+            assert result is not UNSAT, \
+                f"oracle found {witness} but solver says UNSAT"
+        if result is SAT:
+            model = s.model()
+            env = {v: model.get(v, 0) for v in VARS}
+            assert all(_eval_atom(a, env) for a in atom_list)
+
+    @given(st.lists(atoms(), min_size=1, max_size=3))
+    @settings(max_examples=100, deadline=None)
+    def test_canonicalize_preserves_truth(self, atom_list):
+        # For every atom (except NE, split elsewhere) and every point in
+        # the box, the canonical constraints must agree with the atom.
+        for atom in atom_list:
+            if atom.rel is Rel.NE:
+                continue
+            try:
+                constraints = canonicalize(atom)
+            except TrivialConstraint as t:
+                for values in itertools.product(range(-2, 3), repeat=len(VARS)):
+                    env = dict(zip(VARS, values))
+                    assert _eval_atom(atom, env) is t.truth
+                continue
+            for values in itertools.product(range(-2, 3), repeat=len(VARS)):
+                env = dict(zip(VARS, values))
+                assert (_eval_atom(atom, env)
+                        == all(c.holds(env) for c in constraints))
+
+
+class TestDisjunctions:
+    @given(st.lists(st.lists(atoms(), min_size=1, max_size=3),
+                    min_size=1, max_size=3))
+    @settings(max_examples=80, deadline=None)
+    def test_cnf_of_disjunctions_agrees_with_oracle(self, clause_specs):
+        # Formula: conjunction of disjunctions of atoms.
+        s = Solver()
+        for spec in clause_specs:
+            s.add(Or(*spec))
+        result = s.check()
+
+        def clause_holds(spec, env):
+            return any(_eval_atom(a, env) for a in spec)
+
+        witness = None
+        for values in itertools.product(BOX, repeat=len(VARS)):
+            env = dict(zip(VARS, values))
+            if all(clause_holds(spec, env) for spec in clause_specs):
+                witness = env
+                break
+        if witness is not None:
+            assert result is not UNSAT
+        if result is SAT:
+            model = s.model()
+            env = {v: model.get(v, 0) for v in VARS}
+            assert all(clause_holds(spec, env) for spec in clause_specs)
+
+
+class TestPushPopInvariant:
+    @given(st.lists(atoms(), min_size=2, max_size=4))
+    @settings(max_examples=50, deadline=None)
+    def test_pop_restores_previous_answer(self, atom_list):
+        s = Solver()
+        s.add(atom_list[0])
+        before = s.check()
+        s.push()
+        s.add(*atom_list[1:])
+        s.check()
+        s.pop()
+        assert s.check() is before

@@ -1,0 +1,166 @@
+"""Tests for the rational simplex and the integer branch & bound layer."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.smt import (Int, Result, SimplexSolver, canonicalize, check_int)
+
+x, y, z = Int("x"), Int("y"), Int("z")
+
+
+def cons(*atoms):
+    out = []
+    for a in atoms:
+        out.extend(canonicalize(a))
+    return out
+
+
+class TestSimplex:
+    def test_satisfiable_bounds(self):
+        s = SimplexSolver()
+        for c in cons(x.ge(1), x.le(10)):
+            s.assert_constraint(c)
+        assert s.check() is True
+        v = s.model()["x"]
+        assert 1 <= v <= 10
+
+    def test_direct_conflict(self):
+        s = SimplexSolver()
+        for c in cons(x.ge(5), x.le(3)):
+            s.assert_constraint(c)
+        assert s.check() is False
+
+    def test_chained_inequalities(self):
+        s = SimplexSolver()
+        for c in cons(x.lt(y), y.lt(z), z.lt(x)):
+            s.assert_constraint(c)
+        assert s.check() is False
+
+    def test_equality_propagation(self):
+        s = SimplexSolver()
+        for c in cons((x + y).eq(10), (x - y).eq(4)):
+            s.assert_constraint(c)
+        assert s.check() is True
+        m = s.model()
+        assert m["x"] + m["y"] == 10 and m["x"] - m["y"] == 4
+
+    def test_model_satisfies_all_constraints(self):
+        atoms = [(2 * x + 3 * y).le(12), (x - y).ge(-1), x.ge(0), y.ge(2)]
+        constraints = cons(*atoms)
+        s = SimplexSolver()
+        for c in constraints:
+            s.assert_constraint(c)
+        assert s.check() is True
+        m = {k: v for k, v in s.model().items()}
+        for c in constraints:
+            value = sum(coef * m.get(n, Fraction(0)) for n, coef in c.form.coeffs)
+            if c.rel.value == "<=":
+                assert value <= c.bound
+            else:
+                assert value == c.bound
+
+    def test_copy_independent(self):
+        s = SimplexSolver()
+        for c in cons(x.ge(0)):
+            s.assert_constraint(c)
+        dup = s.copy()
+        dup.assert_upper("x", Fraction(-1))
+        assert dup.check() is False
+        assert s.check() is True
+
+    def test_shared_slack_conflict(self):
+        # Same linear form bounded from both sides inconsistently.
+        s = SimplexSolver()
+        for c in cons((x + y).le(3), (x + y).ge(5)):
+            s.assert_constraint(c)
+        assert s.check() is False
+
+    def test_unconstrained_is_sat(self):
+        s = SimplexSolver()
+        assert s.check() is True
+
+
+class TestIntegerLayer:
+    def test_simple_sat(self):
+        out = check_int(cons(x.ge(1), x.le(1)))
+        assert out.result is Result.SAT
+        assert out.model == {"x": 1}
+
+    def test_simple_unsat(self):
+        out = check_int(cons(x.gt(0), x.lt(1)))
+        # No integer strictly between 0 and 1: strict tightening makes
+        # this a direct rational conflict.
+        assert out.result is Result.UNSAT
+
+    def test_branching_needed(self):
+        # 2x = y, 3 <= y <= 3 -> y=3 odd: UNSAT over ints.
+        out = check_int(cons((2 * x).eq(y), y.eq(3)))
+        assert out.result is Result.UNSAT
+
+    def test_branching_finds_model(self):
+        out = check_int(cons((2 * x + 3 * y).eq(7), x.ge(0), y.ge(0)))
+        assert out.result is Result.SAT
+        m = out.model
+        assert 2 * m["x"] + 3 * m["y"] == 7
+
+    def test_disjoint_index_question(self):
+        # The FormAD shape: knowledge c_i != c_ip, question c_i + 7 == c_ip + 7.
+        ci, cip = Int("ci"), Int("cip")
+        out = check_int(cons(ci.le(cip - 1), (ci + 7).eq(cip + 7)))
+        assert out.result is Result.UNSAT
+
+    def test_boxed_diophantine_refuted(self):
+        # LP-feasible but integer-infeasible; the Omega equality
+        # elimination in the presolve refutes it without branching.
+        boxed = cons((2 * x + 3 * y).eq(1), x.ge(0), x.le(1), y.ge(0), y.le(1))
+        assert check_int(boxed).result is Result.UNSAT
+
+    def test_pivot_budget_exhaustion_returns_unknown(self):
+        # (x + y) >= 1 needs at least one pivot to become feasible; a
+        # zero pivot budget forces an honest UNKNOWN.
+        out = check_int(cons((x + y).ge(1)), pivot_budget=0)
+        assert out.result is Result.UNKNOWN
+
+    def test_unbounded_equality_with_coprime_coeffs(self):
+        # 2x - 2y - 3z = 1 has integer solutions; pure branch & bound
+        # wanders on the unbounded polyhedron, the Omega elimination
+        # solves it exactly.
+        out = check_int(cons((x - 2 * y).eq(-x + 3 * z + 1)))
+        assert out.result is Result.SAT
+        m = out.model
+        assert 2 * m["x"] - 2 * m["y"] - 3 * m["z"] == 1
+
+    def test_implicit_equality_folded(self):
+        # 2x - 2y - 3z <= 1 and >= 1 form an implicit equality that
+        # would stall branch & bound if left as two inequalities.
+        out = check_int(cons((2 * x - 2 * y - 3 * z).le(1),
+                             (2 * x - 2 * y - 3 * z).ge(1)))
+        assert out.result is Result.SAT
+        m = out.model
+        assert 2 * m["x"] - 2 * m["y"] - 3 * m["z"] == 1
+
+    def test_parity_system_decided_by_presolve(self):
+        # i = 2k, i' = 2k', i' = i - 1 has no integer solution; pure
+        # branch & bound diverges here, the equality-elimination
+        # presolve refutes it instantly.
+        i, ip, k, kp = Int("i"), Int("ip"), Int("k"), Int("kp")
+        out = check_int(cons(i.eq(2 * k), ip.eq(2 * kp), ip.eq(i - 1)))
+        assert out.result is Result.UNSAT
+
+    def test_empty_conjunction_sat(self):
+        out = check_int([])
+        assert out.result is Result.SAT
+
+    def test_negative_solutions_found(self):
+        out = check_int(cons(x.le(-5), x.ge(-7), (x + y).eq(0)))
+        assert out.result is Result.SAT
+        assert out.model["x"] + out.model["y"] == 0
+        assert -7 <= out.model["x"] <= -5
+
+    def test_three_var_system(self):
+        out = check_int(cons(
+            (x + y + z).eq(6), (x - y).eq(1), (y - z).eq(1)))
+        assert out.result is Result.SAT
+        m = out.model
+        assert (m["x"], m["y"], m["z"]) == (3, 2, 1)

@@ -1,0 +1,208 @@
+"""Tests for clausification, Ackermann elimination, and the Solver facade."""
+
+import pytest
+
+from repro.smt import (And, FAtom, Int, Not, Or, Rel, SAT, UNKNOWN, UNSAT,
+                       Solver, TApp, ackermannize, clausify, prove_distinct,
+                       to_nnf)
+
+i, ip, j, jp = Int("i"), Int("ip"), Int("j"), Int("jp")
+
+
+class TestClausify:
+    def test_atom_passthrough(self):
+        clauses = clausify(i.le(j))
+        assert clauses == [(i.le(j),)]
+
+    def test_ne_splits(self):
+        clauses = clausify(i.ne(j))
+        assert len(clauses) == 1
+        (clause,) = clauses
+        assert {a.rel for a in clause} == {Rel.LT, Rel.GT}
+
+    def test_negation_folds_into_relation(self):
+        clauses = clausify(Not(i.le(j)))
+        assert clauses == [(i.gt(j),)]
+
+    def test_negated_eq_becomes_split_ne(self):
+        clauses = clausify(Not(i.eq(j)))
+        (clause,) = clauses
+        assert len(clause) == 2
+
+    def test_and_gives_multiple_clauses(self):
+        clauses = clausify(And(i.le(j), j.le(i)))
+        assert len(clauses) == 2
+
+    def test_or_gives_one_clause(self):
+        clauses = clausify(Or(i.lt(j), i.gt(j)))
+        assert len(clauses) == 1 and len(clauses[0]) == 2
+
+    def test_or_of_ands_distributes(self):
+        f = Or(And(i.le(0), j.le(0)), And(i.ge(5), j.ge(5)))
+        clauses = clausify(f)
+        assert len(clauses) == 4
+
+    def test_demorgan(self):
+        f = Not(And(i.le(j), j.le(i)))
+        nnf = to_nnf(f)
+        clauses = clausify(f)
+        assert len(clauses) == 1 and len(clauses[0]) == 2
+
+
+class TestAckermann:
+    def test_single_app_becomes_variable(self):
+        c_i = TApp("c", (i,))
+        res = ackermannize([c_i.le(5)])
+        assert not res.congruence
+        assert len(res.formulas) == 1
+
+    def test_congruence_axiom_generated(self):
+        c_i = TApp("c", (i,))
+        c_ip = TApp("c", (ip,))
+        res = ackermannize([c_i.ne(c_ip)])
+        assert len(res.congruence) == 1
+
+    def test_identical_apps_share_a_variable(self):
+        c_i = TApp("c", (i,))
+        res = ackermannize([c_i.le(5), c_i.ge(5)])
+        assert not res.congruence  # one distinct application only
+        names = set(res.app_names.values())
+        assert len(names) == 1
+
+    def test_nested_apps(self):
+        inner = TApp("c", (i,))
+        outer = TApp("m", (inner, j))
+        res = ackermannize([outer.le(0)])
+        assert len(res.app_names) == 2
+
+    def test_different_arity_kept_separate(self):
+        res = ackermannize([TApp("f", (i,)).le(0), TApp("f", (i, j)).le(0)])
+        assert not res.congruence
+
+
+class TestSolverFacade:
+    def test_empty_solver_sat(self):
+        assert Solver().check() is SAT
+
+    def test_basic_sat_unsat(self):
+        s = Solver()
+        s.add(i.ge(0), i.le(10))
+        assert s.check() is SAT
+        s.add(i.ge(11))
+        assert s.check() is UNSAT
+
+    def test_push_pop_restores(self):
+        s = Solver()
+        s.add(i.ge(0))
+        s.push()
+        s.add(i.le(-1))
+        assert s.check() is UNSAT
+        s.pop()
+        assert s.check() is SAT
+
+    def test_pop_too_far_raises(self):
+        with pytest.raises(RuntimeError):
+            Solver().pop()
+
+    def test_model_available_after_sat(self):
+        s = Solver()
+        s.add(i.eq(4), j.eq(i + 1))
+        assert s.check() is SAT
+        m = s.model()
+        assert m["i"] == 4 and m["j"] == 5
+
+    def test_model_without_check_raises(self):
+        with pytest.raises(RuntimeError):
+            Solver().model()
+
+    def test_model_invalidated_by_add(self):
+        s = Solver()
+        s.add(i.eq(1))
+        s.check()
+        s.add(i.ge(0))
+        with pytest.raises(RuntimeError):
+            s.model()
+
+    def test_stats_accumulate(self):
+        s = Solver()
+        s.add(i.ge(0))
+        s.check()
+        s.check()
+        assert s.stats.checks == 2 and s.stats.sat == 2
+
+    def test_disjunction_handling(self):
+        s = Solver()
+        s.add(Or(i.eq(0), i.eq(5)), i.ge(3))
+        assert s.check() is SAT
+        assert s.model()["i"] == 5
+
+    def test_all_branches_refuted(self):
+        s = Solver()
+        s.add(Or(i.eq(0), i.eq(5)), i.ge(6))
+        assert s.check() is UNSAT
+
+
+class TestFig2Scenario:
+    """The paper's Figure 2 reasoning, end to end at the solver level."""
+
+    def _knowledge(self, s: Solver):
+        c_i = TApp("c", (i,))
+        c_ip = TApp("c", (ip,))
+        s.add(ip.ne(i))       # distinct loop iterations
+        s.add(c_ip.ne(c_i))   # primal writes y(c(i)) are disjoint
+        return c_i, c_ip
+
+    def test_knowledge_is_consistent(self):
+        s = Solver()
+        self._knowledge(s)
+        assert s.check() is SAT
+
+    def test_xb_increment_proven_safe(self):
+        # Question: can xb(c(i)+7) and xb(c(i')+7) collide? Expect UNSAT.
+        s = Solver()
+        c_i, c_ip = self._knowledge(s)
+        s.push()
+        s.add((c_ip + 7).eq(c_i + 7))
+        assert s.check() is UNSAT
+        s.pop()
+        assert s.check() is SAT
+
+    def test_unrelated_access_not_proven_safe(self):
+        # A different indirection d(i) has no disjointness knowledge:
+        # d(i') == d(i) is satisfiable (congruence permits equal values).
+        s = Solver()
+        self._knowledge(s)
+        d_i = TApp("d", (i,))
+        d_ip = TApp("d", (ip,))
+        s.push()
+        s.add(d_ip.eq(d_i))
+        assert s.check() is SAT
+
+    def test_prove_distinct_helper(self):
+        s = Solver()
+        c_i, c_ip = self._knowledge(s)
+        assert prove_distinct(s, c_ip + 7, c_i + 7)
+        d_i, d_ip = TApp("d", (i,)), TApp("d", (ip,))
+        assert not prove_distinct(s, d_ip, d_i)
+        # push/pop inside the helper must leave the solver usable
+        assert s.check() is SAT
+
+
+class TestStencilScenario:
+    """Small-stencil reasoning: write set {i, i-1} under i != i'."""
+
+    def test_adjoint_reads_same_offsets_safe(self):
+        s = Solver()
+        s.add(ip.ne(i))
+        # Knowledge from primal: writes at i and i-1 are all disjoint
+        # across iterations (the loop steps by 2).
+        # i' != i (given), and the stride-2 structure: model i = 2k.
+        k, kp = Int("k"), Int("kp")
+        s.add(i.eq(2 * k), ip.eq(2 * kp), kp.ne(k))
+        s.push()
+        s.add(ip.eq(i - 1))  # can unew(i'-... ) alias unew(i-1)? i' = i-1 odd vs even
+        assert s.check() is UNSAT
+        s.pop()
+        s.push()
+        s.add((ip - 1).eq(i - 1))  # same offset, different iterations
+        assert s.check() is UNSAT

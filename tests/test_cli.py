@@ -1,0 +1,96 @@
+"""Tests for the command-line front end."""
+
+import pytest
+
+from repro.cli import main
+
+FIG2 = """
+subroutine fig2(x, y, c, n)
+  integer, intent(in) :: n
+  real, intent(in) :: x(2000)
+  real, intent(out) :: y(1000)
+  integer, intent(in) :: c(1000)
+  !$omp parallel do
+  do i = 1, n
+    y(c(i)) = x(c(i) + 7)
+  end do
+end subroutine fig2
+"""
+
+
+@pytest.fixture()
+def src_file(tmp_path):
+    path = tmp_path / "fig2.f90"
+    path.write_text(FIG2)
+    return str(path)
+
+
+class TestAnalyze:
+    def test_prints_verdicts_and_stats(self, src_file, capsys):
+        assert main(["analyze", src_file, "-i", "x", "-o", "y"]) == 0
+        out = capsys.readouterr().out
+        assert "safe (shared)" in out
+        assert "model_size=" in out
+
+    def test_no_parallel_loops(self, tmp_path, capsys):
+        path = tmp_path / "plain.f90"
+        path.write_text("""
+subroutine plain(x, y)
+  real, intent(in) :: x
+  real, intent(out) :: y
+  y = x * 2.0
+end subroutine plain
+""")
+        assert main(["analyze", str(path), "-i", "x", "-o", "y"]) == 0
+        assert "no parallel loops" in capsys.readouterr().out
+
+
+class TestDifferentiate:
+    def test_formad_strategy_to_stdout(self, src_file, capsys):
+        assert main(["differentiate", src_file, "-i", "x", "-o", "y"]) == 0
+        out = capsys.readouterr().out
+        assert "subroutine fig2_b" in out
+        assert "!$omp atomic" not in out  # FormAD proved safety
+
+    def test_atomic_strategy(self, src_file, capsys):
+        assert main(["differentiate", src_file, "-i", "x", "-o", "y",
+                     "--strategy", "atomic"]) == 0
+        assert "!$omp atomic" in capsys.readouterr().out
+
+    def test_output_file(self, src_file, tmp_path, capsys):
+        out_file = tmp_path / "adjoint.f90"
+        assert main(["differentiate", src_file, "-i", "x", "-o", "y",
+                     "-O", str(out_file)]) == 0
+        assert "subroutine fig2_b" in out_file.read_text()
+
+    def test_head_selection(self, tmp_path, capsys):
+        path = tmp_path / "two.f90"
+        path.write_text(FIG2 + "\nsubroutine other()\nend subroutine other\n")
+        assert main(["differentiate", str(path), "-i", "x", "-o", "y",
+                     "--head", "fig2"]) == 0
+        assert "fig2_b" in capsys.readouterr().out
+
+    def test_unknown_head_fails(self, src_file):
+        with pytest.raises(SystemExit):
+            main(["differentiate", src_file, "-i", "x", "-o", "y",
+                  "--head", "nope"])
+
+    def test_bad_independent_reports_error(self, src_file, capsys):
+        assert main(["differentiate", src_file, "-i", "zz", "-o", "y"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTangent:
+    def test_tangent_to_stdout(self, src_file, capsys):
+        assert main(["tangent", src_file, "-i", "x", "-o", "y"]) == 0
+        out = capsys.readouterr().out
+        assert "subroutine fig2_d" in out
+        assert "yd(c(i)) = xd(c(i) + 7)" in out
+
+
+class TestParseErrors:
+    def test_parse_error_reported(self, tmp_path, capsys):
+        path = tmp_path / "bad.f90"
+        path.write_text("subroutine oops(\n")
+        assert main(["analyze", str(path), "-i", "x", "-o", "y"]) == 1
+        assert "error:" in capsys.readouterr().err
