@@ -1,0 +1,151 @@
+"""Analysis-pipeline performance: incremental vs from-scratch solving.
+
+Runs the FormAD analysis on the paper kernels twice — once through the
+incremental, memoized pipeline (the default) and once through the
+seed-equivalent baseline that re-ackermannizes and re-clausifies the
+whole assertion stack on every ``check()`` (``incremental=False``, memo
+off) — and asserts that
+
+* verdicts and Table-1 query totals are identical in both modes, and
+* the incremental pipeline cuts total translate+clausify time by at
+  least 3x on the large-stencil and GFMC regions.
+
+The per-kernel phase breakdown is written to ``BENCH_ANALYSIS.json`` at
+the repository root so the performance trajectory of later PRs can be
+tracked machine-readably (CI uploads it as an artifact). Set
+``REPRO_BENCH_QUICK=1`` to skip the slow LBM baseline.
+"""
+
+import json
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import ActivityAnalysis
+from repro.formad import FormADEngine
+from repro.programs import (build_gfmc, build_greengauss, build_lbm,
+                            build_stencil)
+from repro.smt import clausify_cache_clear
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+#: Timing repetitions per mode; the speedup uses the fastest repetition
+#: of each mode (counts are identical across repetitions by assertion).
+#: Quick mode saves its time by skipping LBM, not by skimping on the
+#: millisecond-scale kernels the speedup bar applies to.
+REPEATS = 2 if QUICK else 3
+
+#: The paper kernels (LBM is the rejection case) with their Table-1
+#: independent/dependent sets.
+KERNELS = {
+    "stencil 8": (lambda: build_stencil(8, name="stencil_large"),
+                  ["uold"], ["unew"]),
+    "GFMC": (build_gfmc, ["cl", "cr"], ["cl", "cr"]),
+    "LBM": (build_lbm, ["srcgrid"], ["dstgrid"]),
+    "GreenGauss": (build_greengauss, ["dv"], ["grad"]),
+}
+
+#: The acceptance bar applies to these regions.
+SPEEDUP_KERNELS = ("stencil 8", "GFMC")
+MIN_SPEEDUP = 3.0
+
+
+def _run_mode(name: str, incremental: bool) -> dict:
+    """One full analysis of *name* in the given solver mode, with the
+    global clause cache dropped first so the modes are compared cold."""
+    builder, independents, dependents = KERNELS[name]
+    proc = builder()
+    activity = ActivityAnalysis(proc, independents, dependents)
+    engine = FormADEngine(proc, activity, incremental=incremental,
+                          use_question_memo=incremental)
+    clausify_cache_clear()
+    analyses = engine.analyze_all()
+    stats = [a.stats for a in analyses]
+    return {
+        "verdicts": {array: v.safe for a in analyses
+                     for array, v in a.verdicts.items()},
+        "queries": sum(s.queries for s in stats),
+        "consistency_checks": sum(s.consistency_checks for s in stats),
+        "exploitation_checks": sum(s.exploitation_checks for s in stats),
+        "memo_hits": sum(s.memo_hits for s in stats),
+        "translate_seconds": sum(s.translate_seconds for s in stats),
+        "clausify_seconds": sum(s.clausify_seconds for s in stats),
+        "search_seconds": sum(s.search_seconds for s in stats),
+        "time_seconds": sum(s.time_seconds for s in stats),
+        "clausify_hits": sum(s.clausify_hits for s in stats),
+        "clausify_misses": sum(s.clausify_misses for s in stats),
+    }
+
+
+def _translate_clausify(mode: dict) -> float:
+    return mode["translate_seconds"] + mode["clausify_seconds"]
+
+
+_COUNT_KEYS = ("verdicts", "queries", "consistency_checks",
+               "exploitation_checks", "memo_hits")
+
+
+def _run_best(name: str, incremental: bool) -> dict:
+    """Fastest of ``REPEATS`` runs (by translate+clausify time); the
+    deterministic counts must agree across repetitions."""
+    runs = [_run_mode(name, incremental=incremental)
+            for _ in range(REPEATS)]
+    for run in runs[1:]:
+        for key in _COUNT_KEYS:
+            assert run[key] == runs[0][key], (name, key)
+    return min(runs, key=_translate_clausify)
+
+
+@pytest.mark.figure("analysis-perf")
+def test_incremental_pipeline_speedup():
+    names = [n for n in KERNELS if not (QUICK and n == "LBM")]
+    results = {}
+    for name in names:
+        incremental = _run_best(name, incremental=True)
+        fresh = _run_best(name, incremental=False)
+
+        # Same analysis either way: verdicts and Table-1 totals must
+        # not depend on the solving strategy (memo hits are reported
+        # separately and do not change the question count).
+        assert incremental["verdicts"] == fresh["verdicts"], name
+        assert incremental["queries"] == fresh["queries"], name
+        assert fresh["memo_hits"] == 0, name
+
+        denom = max(_translate_clausify(incremental), 1e-9)
+        speedup = _translate_clausify(fresh) / denom
+        results[name] = {
+            "incremental": incremental,
+            "fresh": fresh,
+            "translate_clausify_speedup": speedup,
+        }
+
+    for name in SPEEDUP_KERNELS:
+        speedup = results[name]["translate_clausify_speedup"]
+        assert speedup >= MIN_SPEEDUP, (
+            f"{name}: translate+clausify only {speedup:.1f}x faster "
+            f"than the from-scratch baseline (need >= {MIN_SPEEDUP}x)")
+
+    out = {
+        "schema": "repro-analysis-perf/1",
+        "quick_mode": QUICK,
+        "repeats": REPEATS,
+        "min_required_speedup": MIN_SPEEDUP,
+        "speedup_kernels": list(SPEEDUP_KERNELS),
+        "kernels": results,
+    }
+    path = Path(__file__).resolve().parent.parent / "BENCH_ANALYSIS.json"
+    path.write_text(json.dumps(out, indent=2, sort_keys=True) + "\n")
+
+
+@pytest.mark.figure("analysis-perf")
+def test_lbm_rejection_identical_across_modes():
+    """The LBM rejection (the paper's negative result) must be
+    reproduced identically by both pipelines."""
+    if QUICK:
+        pytest.skip("REPRO_BENCH_QUICK=1 skips the LBM baseline")
+    incremental = _run_mode("LBM", incremental=True)
+    fresh = _run_mode("LBM", incremental=False)
+    assert incremental["verdicts"]["srcgrid"] is False
+    assert incremental["verdicts"] == fresh["verdicts"]
+    assert incremental["queries"] == fresh["queries"]

@@ -71,10 +71,15 @@ def analyze_formad(
     proc: Procedure,
     independents: Sequence[str],
     dependents: Sequence[str],
+    *,
+    jobs: Optional[int] = None,
 ) -> List[LoopAnalysis]:
-    """Run the FormAD analysis on every parallel loop of *proc*."""
+    """Run the FormAD analysis on every parallel loop of *proc*.
+
+    ``jobs`` > 1 analyzes independent parallel regions concurrently.
+    """
     activity = ActivityAnalysis(proc, independents, dependents)
-    return FormADEngine(proc, activity).analyze_all()
+    return FormADEngine(proc, activity).analyze_all(jobs=jobs)
 
 
 __all__ = [

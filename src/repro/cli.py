@@ -74,6 +74,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("analyze", help="run the FormAD analysis only")
     _add_io_args(p)
+    p.add_argument("--jobs", type=int, default=None,
+                   help="analyze independent parallel regions over N "
+                        "worker threads")
 
     p = sub.add_parser("differentiate", help="generate the reverse-mode "
                                              "(adjoint) procedure")
@@ -89,8 +92,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_io_args(p)
     p.add_argument("-O", "--output", default=None, help="output file")
 
-    sub.add_parser("experiments", help="regenerate EXPERIMENTS.md "
-                                       "(Table 1 and Figures 3-10)")
+    p = sub.add_parser("experiments", help="regenerate EXPERIMENTS.md "
+                                           "(Table 1 and Figures 3-10)")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="fan independent kernels and program versions out "
+                        "over N worker threads")
     return parser
 
 
@@ -98,14 +104,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "experiments":
         from .experiments.report import main as experiments_main
-        experiments_main()
+        experiments_main(jobs=args.jobs)
         return 0
     try:
         proc = _load(args)
         independents = _names(args.independents)
         dependents = _names(args.dependents)
         if args.command == "analyze":
-            analyses = analyze_formad(proc, independents, dependents)
+            analyses = analyze_formad(proc, independents, dependents,
+                                      jobs=args.jobs)
             if not analyses:
                 print("no parallel loops found")
                 return 0
@@ -115,6 +122,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 print(f"  stats: time={s.time_seconds:.3f}s "
                       f"model_size={s.model_size} queries={s.queries} "
                       f"exprs={s.unique_exprs} loc={s.region_loc}")
+                print(f"  phases: translate={s.translate_seconds:.4f}s "
+                      f"clausify={s.clausify_seconds:.4f}s "
+                      f"search={s.search_seconds:.4f}s "
+                      f"solver_checks={s.solver_checks} "
+                      f"memo_hits={s.memo_hits}")
             return 0
         if args.command == "differentiate":
             result = differentiate(proc, independents, dependents,

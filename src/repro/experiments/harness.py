@@ -18,8 +18,9 @@ use the serial version without any OpenMP pragmas as the baseline").
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -122,28 +123,50 @@ def run_kernel_experiment(
     threads: Sequence[int] = PAPER_THREADS,
     machine: MachineModel = BROADWELL_18,
     strategies: Sequence[str] = ADJOINT_STRATEGIES,
+    jobs: Optional[int] = None,
 ) -> KernelExperiment:
-    """Build, differentiate, interpret, and simulate one kernel."""
-    primal_times = _simulate_parallel(spec.proc, spec.bindings, spec,
-                                      threads, machine)
-    primal_serial = _simulate_serial(_serialized(spec.proc), spec.bindings,
-                                     spec, machine)
-    primal = VariantResult("primal", primal_times, primal_serial)
+    """Build, differentiate, interpret, and simulate one kernel.
 
-    adj_serial = differentiate(spec.proc, spec.independents, spec.dependents,
-                               strategy="serial")
-    adjoint_serial_time = _simulate_serial(
-        adj_serial.procedure, _adjoint_bindings(spec, adj_serial), spec, machine)
+    The program versions (primal parallel/serial, adjoint serial, one
+    adjoint per strategy) are independent differentiate+interpret
+    pipelines; ``jobs`` > 1 fans them out over a thread pool.
+    """
 
-    adjoints: Dict[str, VariantResult] = {}
-    for strategy in strategies:
+    def primal_parallel() -> VariantResult:
+        times = _simulate_parallel(spec.proc, spec.bindings, spec,
+                                   threads, machine)
+        serial = _simulate_serial(_serialized(spec.proc), spec.bindings,
+                                  spec, machine)
+        return VariantResult("primal", times, serial)
+
+    def adjoint_serial() -> float:
         adj = differentiate(spec.proc, spec.independents, spec.dependents,
-                            strategy=strategy)
-        times = _simulate_parallel(adj.procedure,
-                                   _adjoint_bindings(spec, adj),
-                                   spec, threads, machine)
-        adjoints[strategy] = VariantResult(f"adjoint-{strategy}", times)
+                            strategy="serial")
+        return _simulate_serial(adj.procedure, _adjoint_bindings(spec, adj),
+                                spec, machine)
 
+    def adjoint_variant(strategy: str) -> Callable[[], VariantResult]:
+        def run() -> VariantResult:
+            adj = differentiate(spec.proc, spec.independents, spec.dependents,
+                                strategy=strategy)
+            times = _simulate_parallel(adj.procedure,
+                                       _adjoint_bindings(spec, adj),
+                                       spec, threads, machine)
+            return VariantResult(f"adjoint-{strategy}", times)
+        return run
+
+    tasks: List[Callable] = [primal_parallel, adjoint_serial]
+    tasks += [adjoint_variant(s) for s in strategies]
+    if jobs is not None and jobs > 1:
+        with ThreadPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+            futures = [pool.submit(task) for task in tasks]
+            results = [f.result() for f in futures]
+    else:
+        results = [task() for task in tasks]
+
+    primal, adjoint_serial_time = results[0], results[1]
+    adjoints = {strategy: result
+                for strategy, result in zip(strategies, results[2:])}
     return KernelExperiment(spec, list(threads), primal, adjoints,
                             adjoint_serial_time)
 

@@ -14,7 +14,8 @@ from .knowledge import (KnowledgeBase, KnowledgeFact, disjointness_formula,
 from .engine import (AnalysisStats, ArrayVerdict, FormADEngine, LoopAnalysis,
                      PrimalRaceError)
 from .policy import FormADGuardPolicy
-from .report import AnalysisReport, format_table1, format_verdicts
+from .report import (AnalysisReport, format_phase_table, format_table1,
+                     format_verdicts)
 
 __all__ = [
     "IndexTranslator", "UntranslatableError", "render_term",
@@ -23,5 +24,6 @@ __all__ = [
     "AnalysisStats", "ArrayVerdict", "FormADEngine", "LoopAnalysis",
     "PrimalRaceError",
     "FormADGuardPolicy",
-    "AnalysisReport", "format_table1", "format_verdicts",
+    "AnalysisReport", "format_phase_table", "format_table1",
+    "format_verdicts",
 ]

@@ -2,10 +2,13 @@
 
 Phase 1 (*knowledge extraction*) turns the assumed-correct primal
 parallelization into per-context disjointness assertions. This module
-then builds one solver per control context — a context's model holds
-the root axiom ``i ≠ i'`` plus every fact attached to it or inherited
-from its ancestors — asserting satisfiability after every addition (a
-failing check means the *primal* was racy: :class:`PrimalRaceError`).
+then builds the context tree's models on **one shared incremental
+solver**: a context's model holds the root axiom ``i ≠ i'`` plus every
+fact attached to it or inherited from its ancestors, and the solver
+reaches each context by push/pop along a DFS of the tree instead of
+re-asserting the inherited prefix into a fresh solver per context.
+Satisfiability is asserted after every fact addition (a failing check
+means the *primal* was racy: :class:`PrimalRaceError`).
 
 Phase 2 (*knowledge exploitation*) derives, for each active shared
 array, the index tuples its adjoint will write and read:
@@ -18,12 +21,18 @@ For every pair of future adjoint references with at least one write,
 the solver is asked — under the knowledge of the pair's common-root
 context — whether the primed and unprimed index tuples can coincide.
 ``UNSAT`` proves the pair conflict-free; anything else (including
-solver resource exhaustion) keeps the safeguards in place.
+solver resource exhaustion) keeps the safeguards in place. Identical
+questions under the same common-root context are answered once and
+memoized (``AnalysisStats.memo_hits`` counts the cached answers;
+``exploitation_checks`` still counts every question asked, so Table-1
+query totals are unchanged by the memo).
 """
 
 from __future__ import annotations
 
+import threading
 import time
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -35,8 +44,9 @@ from ..cfg.instances import number_instances
 from ..ir.printer import format_stmt
 from ..ir.program import Procedure
 from ..ir.stmt import Assign, Loop
+from ..smt.intsolver import Result
 from ..smt.solver import SAT, UNSAT, Solver
-from ..smt.terms import And, FAtom, Rel, Term
+from ..smt.terms import And, FAtom, Formula, Rel, Term
 from .knowledge import KnowledgeBase, extract_knowledge, is_atomic_access
 from .translate import IndexTranslator, UntranslatableError, render_term
 
@@ -48,19 +58,52 @@ class PrimalRaceError(RuntimeError):
 
 @dataclass
 class AnalysisStats:
-    """The Table-1 columns for one analyzed parallel region."""
+    """The Table-1 columns for one analyzed parallel region, plus the
+    per-phase performance breakdown.
+
+    ``exploitation_checks`` counts every testVar question *asked*
+    (matching the paper's counting); ``memo_hits`` counts the subset
+    answered from the question memo instead of the solver, so the
+    number of actual solver question checks is
+    ``exploitation_checks - memo_hits``.
+    """
 
     time_seconds: float = 0.0
     model_size: int = 0            # assertions incl. the root axiom
     consistency_checks: int = 0    # buildModel's per-add SAT checks
-    exploitation_checks: int = 0   # testVar question checks
+    exploitation_checks: int = 0   # testVar questions asked
+    memo_hits: int = 0             # ... of which answered from the memo
     unique_exprs: int = 0
     region_loc: int = 0
     skipped_pairs: int = 0
+    # Per-phase solver breakdown (see repro.smt.solver.SolverStats).
+    translate_seconds: float = 0.0
+    clausify_seconds: float = 0.0
+    search_seconds: float = 0.0
+    solver_time_seconds: float = 0.0
+    theory_checks: int = 0
+    clausify_hits: int = 0
+    clausify_misses: int = 0
 
     @property
     def queries(self) -> int:
         return self.consistency_checks + self.exploitation_checks
+
+    @property
+    def solver_checks(self) -> int:
+        """Checks actually answered by the solver (memo hits excluded)."""
+        return self.consistency_checks + self.exploitation_checks - self.memo_hits
+
+    def absorb_solver(self, solver: Solver) -> None:
+        """Fold one solver's phase counters into this record."""
+        s = solver.stats
+        self.translate_seconds += s.translate_seconds
+        self.clausify_seconds += s.clausify_seconds
+        self.search_seconds += s.search_seconds
+        self.solver_time_seconds += s.time_seconds
+        self.theory_checks += s.theory_checks
+        self.clausify_hits += s.clausify_hits
+        self.clausify_misses += s.clausify_misses
 
 
 @dataclass
@@ -106,6 +149,23 @@ class _QuestionRef:
     rendering: str
 
 
+@dataclass(frozen=True)
+class _EngineConfig:
+    """Immutable analysis configuration (see the satellite bugfix note
+    on :class:`FormADEngine`: the per-loop result cache keys on the
+    loop's uid only, which is sound precisely because this record
+    cannot change after construction)."""
+
+    max_theory_checks: int
+    node_budget: int
+    use_increment_detection: bool
+    use_activity: bool
+    use_instances: bool
+    use_contexts: bool
+    incremental: bool
+    use_question_memo: bool
+
+
 class _ZeroInstances:
     """Degenerate instance numbering for the §5.2 ablation: every use
     of a variable maps to instance 0."""
@@ -121,6 +181,88 @@ def _render_tuple(terms: Sequence[Term]) -> str:
     if len(terms) == 1:
         return render_term(terms[0])
     return "(" + ", ".join(render_term(t) for t in terms) + ")"
+
+
+class _ContextModel:
+    """The paper's buildModel on one shared incremental solver.
+
+    The seed built one solver per context, re-asserting the inherited
+    prefix each time and re-translating the whole stack on every check.
+    Here a single solver walks the context tree: the root axiom and the
+    root context's facts live at the solver's base level, every deeper
+    context is one push level holding its own facts, and navigation
+    between contexts pops up to the common ancestor and pushes back
+    down. With the incremental solver this makes each consistency check
+    translate one new fact and each exploitation question translate only
+    the question.
+    """
+
+    def __init__(self, solver: Solver, axiom: FAtom,
+                 facts_by_context: Dict[int, List],
+                 stats: AnalysisStats) -> None:
+        self._solver = solver
+        self._facts = facts_by_context
+        self._stats = stats
+        self._path: List[Context] = []
+        solver.add(axiom)
+
+    def build(self, root: Context) -> None:
+        """DFS consistency pass: every fact is asserted exactly once in
+        its owning context, with a satisfiability safeguard check after
+        each addition (the paper's recursive buildModel)."""
+        self._add_facts(root, check=True)
+
+        def rec(ctx: Context) -> None:
+            for child in ctx.children:
+                self._solver.push()
+                self._add_facts(child, check=True)
+                rec(child)
+                self._solver.pop()
+
+        rec(root)
+        self._path = [root]
+
+    def ask(self, ctx: Context, question: Formula) -> Result:
+        """Answer one exploitation question under *ctx*'s knowledge."""
+        self._navigate(ctx)
+        solver = self._solver
+        solver.push()
+        try:
+            solver.add(question)
+            return solver.check()
+        finally:
+            solver.pop()
+
+    # ------------------------------------------------------------------
+    def _add_facts(self, ctx: Context, check: bool) -> None:
+        for fact in self._facts.get(id(ctx), []):
+            self._solver.add(fact.formula)
+            if check:
+                self._stats.consistency_checks += 1
+                if self._solver.check() is not SAT:
+                    raise PrimalRaceError(
+                        f"inconsistent knowledge while adding {fact}: the "
+                        f"primal parallel loop cannot be correctly "
+                        f"parallelized")
+
+    def _navigate(self, ctx: Context) -> None:
+        """Pop/push the solver to *ctx*'s model state. Re-descending
+        re-asserts facts without consistency checks — they were proven
+        consistent during :meth:`build`."""
+        target = list(ctx.ancestors())
+        target.reverse()                 # root ... ctx
+        keep = 0
+        limit = min(len(self._path), len(target))
+        while keep < limit and self._path[keep] is target[keep]:
+            keep += 1
+        keep = max(keep, 1)              # the root level is never popped
+        while len(self._path) > keep:
+            self._solver.pop()
+            self._path.pop()
+        for c in target[len(self._path):]:
+            self._solver.push()
+            self._path.append(c)
+            self._add_facts(c, check=False)
 
 
 class FormADEngine:
@@ -141,6 +283,18 @@ class FormADEngine:
     * ``use_contexts`` — §5.1: with it off, all knowledge attaches to
       the root context. **Unsound** for may-executed branches, kept for
       the same demonstrative purpose.
+
+    Performance knobs: ``incremental`` selects the incremental solver
+    pipeline (the from-scratch baseline is kept for benchmarking), and
+    ``use_question_memo`` enables the per-region (common-root context,
+    question) → result memo.
+
+    All configuration is **immutable after construction** — the flags
+    are read-only properties over a frozen record. This is what makes
+    the per-loop result cache (keyed on ``loop.uid`` alone) sound: a
+    cached :class:`LoopAnalysis` can never describe a different flag
+    combination than the engine's current one. To analyze under other
+    flags, build another engine.
     """
 
     def __init__(
@@ -154,35 +308,95 @@ class FormADEngine:
         use_activity: bool = True,
         use_instances: bool = True,
         use_contexts: bool = True,
+        incremental: bool = True,
+        use_question_memo: bool = True,
     ) -> None:
         self.proc = proc
         self.activity = activity
-        self.max_theory_checks = max_theory_checks
-        self.node_budget = node_budget
-        self.use_increment_detection = use_increment_detection
-        self.use_activity = use_activity
-        self.use_instances = use_instances
-        self.use_contexts = use_contexts
+        self._config = _EngineConfig(
+            max_theory_checks=max_theory_checks,
+            node_budget=node_budget,
+            use_increment_detection=use_increment_detection,
+            use_activity=use_activity,
+            use_instances=use_instances,
+            use_contexts=use_contexts,
+            incremental=incremental,
+            use_question_memo=use_question_memo,
+        )
         self._cache: Dict[int, LoopAnalysis] = {}
+        self._cache_lock = threading.Lock()
 
-    def analyze_all(self) -> List[LoopAnalysis]:
-        return [self.analyze_loop(loop) for loop in self.proc.parallel_loops()]
+    # Read-only views of the frozen configuration.
+    @property
+    def max_theory_checks(self) -> int:
+        return self._config.max_theory_checks
+
+    @property
+    def node_budget(self) -> int:
+        return self._config.node_budget
+
+    @property
+    def use_increment_detection(self) -> bool:
+        return self._config.use_increment_detection
+
+    @property
+    def use_activity(self) -> bool:
+        return self._config.use_activity
+
+    @property
+    def use_instances(self) -> bool:
+        return self._config.use_instances
+
+    @property
+    def use_contexts(self) -> bool:
+        return self._config.use_contexts
+
+    @property
+    def incremental(self) -> bool:
+        return self._config.incremental
+
+    @property
+    def use_question_memo(self) -> bool:
+        return self._config.use_question_memo
+
+    def analyze_all(self, jobs: Optional[int] = None) -> List[LoopAnalysis]:
+        """Analyze every parallel loop of the procedure.
+
+        ``jobs`` > 1 fans independent regions out over a thread pool
+        (regions share no solver state; the global formula caches are
+        thread-safe). The result order matches the loop order either
+        way.
+        """
+        loops = list(self.proc.parallel_loops())
+        if jobs is not None and jobs > 1 and len(loops) > 1:
+            with ThreadPoolExecutor(max_workers=min(jobs, len(loops))) as pool:
+                return list(pool.map(self.analyze_loop, loops))
+        return [self.analyze_loop(loop) for loop in loops]
 
     def analyze_loop(self, loop: Loop) -> LoopAnalysis:
-        cached = self._cache.get(loop.uid)
+        with self._cache_lock:
+            cached = self._cache.get(loop.uid)
         if cached is None:
-            cached = self._analyze(loop)
-            self._cache[loop.uid] = cached
+            analysis = self._analyze(loop)
+            with self._cache_lock:
+                cached = self._cache.setdefault(loop.uid, analysis)
         return cached
+
+    def knowledge(self, loop: Loop) -> Tuple[FAtom, KnowledgeBase]:
+        """Phase-1 output for *loop*: the root axiom and the knowledge
+        base (exposed for tests and tooling, e.g. the incremental-solver
+        property harness)."""
+        refs, translator, kb, axiom = self._extract(loop)
+        return axiom, kb
 
     # ------------------------------------------------------------------
     def _new_solver(self) -> Solver:
         return Solver(max_theory_checks=self.max_theory_checks,
-                      node_budget=self.node_budget)
+                      node_budget=self.node_budget,
+                      incremental=self.incremental)
 
-    def _analyze(self, loop: Loop) -> LoopAnalysis:
-        start = time.perf_counter()
-        stats = AnalysisStats()
+    def _extract(self, loop: Loop):
+        """Shared phase-1 setup: references, translator, knowledge."""
         refs = collect_region_references(loop.body)
         if self.use_instances:
             instancer = number_instances(loop.body, list(self.proc.scalars()))
@@ -194,18 +408,30 @@ class FormADEngine:
             name for name in refs.arrays()
             if any(a.kind.is_write for a in refs.of_array(name)))
         translator = IndexTranslator(instancer, primed, written_arrays)
-
         kb = extract_knowledge(refs, translator,
                                use_contexts=self.use_contexts)
+        axiom = self._root_axiom(loop, translator)
+        return refs, translator, kb, axiom
+
+    def _analyze(self, loop: Loop) -> LoopAnalysis:
+        start = time.perf_counter()
+        stats = AnalysisStats()
+        refs, translator, kb, axiom = self._extract(loop)
         stats.skipped_pairs = kb.skipped_pairs
         stats.model_size = 1 + kb.size
 
-        axiom = self._root_axiom(loop, translator)
-        models = self._build_models(refs.contexts.root, kb, axiom, stats)
+        solver = self._new_solver()
+        by_context: Dict[int, List] = {}
+        for fact in kb.facts:
+            by_context.setdefault(id(fact.context), []).append(fact)
+        model = _ContextModel(solver, axiom, by_context, stats)
+        model.build(refs.contexts.root)
 
         verdicts: Dict[str, ArrayVerdict] = {}
         safe_writes: List[str] = []
         offending: List[str] = []
+        memo: Optional[Dict[Tuple[int, Formula], Result]] = (
+            {} if self.use_question_memo else None)
         # Paper Table 1: "number of unique index expressions included in
         # the model" — the knowledge side (LBM: the 19 safe write
         # expressions), not the question expressions.
@@ -222,8 +448,8 @@ class FormADEngine:
                 if not (self.proc.has_symbol(array)
                         and self.proc.type_of(array).kind is Kind.REAL):
                     continue
-            verdict = self._test_array(array, refs, translator, models,
-                                       stats, unique_exprs, offending)
+            verdict = self._test_array(array, refs, translator, model,
+                                       memo, stats, offending)
             verdicts[array] = verdict
 
         # The paper's LBM listing: the set of known-safe write
@@ -237,6 +463,7 @@ class FormADEngine:
 
         stats.unique_exprs = len(unique_exprs)
         stats.region_loc = max(0, len(format_stmt(loop)) - 2)
+        stats.absorb_solver(solver)
         stats.time_seconds = time.perf_counter() - start
         return LoopAnalysis(loop, verdicts, stats, safe_writes, offending)
 
@@ -263,37 +490,6 @@ class FormADEngine:
             from ..smt.terms import TVar
             plain, prime = TVar(f"{loop.var}_0"), TVar(f"{loop.var}_0'")
         return FAtom(Rel.NE, prime, plain)
-
-    def _build_models(self, root: Context, kb: KnowledgeBase, axiom: FAtom,
-                      stats: AnalysisStats) -> Dict[int, Solver]:
-        """The paper's recursive buildModel: one solver per context, each
-        addition followed by a satisfiability safeguard check."""
-        models: Dict[int, Solver] = {}
-        by_context: Dict[int, List] = {}
-        for fact in kb.facts:
-            by_context.setdefault(id(fact.context), []).append(fact)
-
-        def rec(ctx: Context, inherited: List) -> None:
-            solver = self._new_solver()
-            solver.add(axiom)
-            for formula in inherited:
-                solver.add(formula)
-            own = by_context.get(id(ctx), [])
-            for fact in own:
-                solver.add(fact.formula)
-                stats.consistency_checks += 1
-                if solver.check() is not SAT:
-                    raise PrimalRaceError(
-                        f"inconsistent knowledge while adding {fact}: the "
-                        f"primal parallel loop cannot be correctly "
-                        f"parallelized")
-            models[id(ctx)] = solver
-            passed = inherited + [f.formula for f in own]
-            for child in ctx.children:
-                rec(child, passed)
-
-        rec(root, [])
-        return models
 
     def _adjoint_refs(
         self, array: str, refs: RegionReferences, translator: IndexTranslator,
@@ -335,9 +531,9 @@ class FormADEngine:
         array: str,
         refs: RegionReferences,
         translator: IndexTranslator,
-        models: Dict[int, Solver],
+        model: _ContextModel,
+        memo: Optional[Dict[Tuple[int, Formula], Result]],
         stats: AnalysisStats,
-        unique_exprs: Set[str],
         offending: List[str],
     ) -> ArrayVerdict:
         try:
@@ -357,16 +553,17 @@ class FormADEngine:
                 verdict.reason = "rank mismatch"
                 break
             ctx = w.context.common_root(other.context)
-            solver = models[id(ctx)]
             question = And(*[FAtom(Rel.EQ, lp, r)
                              for lp, r in zip(w.primed, other.plain)])
-            solver.push()
-            try:
-                solver.add(question)
-                stats.exploitation_checks += 1
-                result = solver.check()
-            finally:
-                solver.pop()
+            stats.exploitation_checks += 1
+            key = (id(ctx), question)
+            result = memo.get(key) if memo is not None else None
+            if result is not None:
+                stats.memo_hits += 1
+            else:
+                result = model.ask(ctx, question)
+                if memo is not None:
+                    memo[key] = result
             if result is UNSAT:
                 verdict.pairs_proven += 1
             else:

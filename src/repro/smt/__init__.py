@@ -15,8 +15,9 @@ from .terms import (And, FAtom, FAnd, FFalse, FNot, FOr, Formula, FTrue,
 from .linform import Constraint, LinForm, TrivialConstraint, canonicalize, linearize
 from .simplex import ResourceError, SimplexSolver
 from .intsolver import IntCheckOutcome, Result, check_int
-from .ackermann import AckermannResult, ackermannize
-from .clausify import Clause, ClausifyBudgetError, clausify, clausify_all, to_nnf
+from .ackermann import AckermannResult, Ackermannizer, ackermannize
+from .clausify import (Clause, ClausifyBudgetError, clausify, clausify_all,
+                       clausify_cache_clear, clausify_cache_info, to_nnf)
 from .search import SearchOutcome, SearchStats, search
 from .solver import SAT, UNKNOWN, UNSAT, Solver, SolverStats, prove_distinct
 
@@ -29,8 +30,9 @@ __all__ = [
     "Constraint", "LinForm", "TrivialConstraint", "canonicalize", "linearize",
     "ResourceError", "SimplexSolver",
     "IntCheckOutcome", "Result", "check_int",
-    "AckermannResult", "ackermannize",
-    "Clause", "ClausifyBudgetError", "clausify", "clausify_all", "to_nnf",
+    "AckermannResult", "Ackermannizer", "ackermannize",
+    "Clause", "ClausifyBudgetError", "clausify", "clausify_all",
+    "clausify_cache_clear", "clausify_cache_info", "to_nnf",
     "SearchOutcome", "SearchStats", "search",
     "SAT", "UNKNOWN", "UNSAT", "Solver", "SolverStats", "prove_distinct",
 ]

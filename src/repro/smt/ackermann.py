@@ -10,12 +10,19 @@ the same function symbol, the congruence axiom
 Applications may be nested (``mss(1, ig, c(i))``); inner applications
 are eliminated first so the arguments of the rewritten terms are pure
 linear terms.
+
+The :class:`Ackermannizer` is *stateful and incremental*: the Solver
+keeps one instance alive across ``check()`` calls, rewriting only newly
+added assertions, asking for only the congruence axioms of freshly
+introduced application pairs, and unwinding applications whose owning
+assertion-stack level is popped. The one-shot :func:`ackermannize`
+wrapper preserves the original batch interface.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from .terms import (And, FAnd, FAtom, FFalse, FNot, FOr, Formula, FTrue,
                     Not, Or, TAdd, TApp, TConst, Term, TMul, TVar)
@@ -34,13 +41,45 @@ class AckermannResult:
         return self.formulas + self.congruence
 
 
-class _Ackermannizer:
+class Ackermannizer:
+    """Incremental UF elimination with unwinding support.
+
+    Invariants relied on by the incremental solver:
+
+    * ``introduced`` lists the distinct (rewritten) applications in
+      registration order; the solver snapshots ``num_apps`` around each
+      formula rewrite to learn which level owns which applications.
+    * :meth:`new_congruence_axioms` emits exactly the axioms for pairs
+      involving at least one application registered since the previous
+      call, so axioms are produced once and can be level-tagged by the
+      caller (a pair's newest member determines the tag).
+    * :meth:`forget_apps` removes applications again; per function
+      symbol the forgotten applications always form a suffix of the
+      registration order, because assertion levels are translated
+      oldest-first and popped newest-first.
+    """
+
     def __init__(self) -> None:
         # Keyed by the *rewritten* application (pure-linear arguments),
         # so syntactically identical applications share one variable.
         self._cache: Dict[TApp, TVar] = {}
         self._by_func: Dict[Tuple[str, int], List[TApp]] = {}
+        self._emitted: Dict[Tuple[str, int], int] = {}
         self._counter = 0
+        self.introduced: List[TApp] = []
+
+    @property
+    def num_apps(self) -> int:
+        return len(self.introduced)
+
+    def name_of(self, app: TApp) -> str | None:
+        """Ackermann variable name of a rewritten application."""
+        var = self._cache.get(app)
+        return None if var is None else var.name
+
+    @property
+    def app_names(self) -> Dict[TApp, str]:
+        return {app: var.name for app, var in self._cache.items()}
 
     def rewrite_term(self, term: Term) -> Term:
         if isinstance(term, (TConst, TVar)):
@@ -61,6 +100,7 @@ class _Ackermannizer:
                 self._counter += 1
                 self._cache[rewritten] = var
                 self._by_func.setdefault((term.func, len(term.args)), []).append(rewritten)
+                self.introduced.append(rewritten)
             return var
         raise TypeError(f"not a term: {term!r}")  # pragma: no cover
 
@@ -81,13 +121,24 @@ class _Ackermannizer:
             return formula
         raise TypeError(f"not a formula: {formula!r}")  # pragma: no cover
 
-    def congruence_axioms(self) -> List[Formula]:
+    def new_congruence_axioms(self) -> List[Formula]:
+        """Congruence axioms for pairs not yet emitted.
+
+        Each call pairs the applications registered since the previous
+        call with every older application of the same symbol (and with
+        each other), then advances the per-symbol emission watermark.
+        """
         axioms: List[Formula] = []
-        for apps in self._by_func.values():
-            for j in range(len(apps)):
-                for k in range(j + 1, len(apps)):
-                    a, b = apps[j], apps[k]
-                    va, vb = self._cache[a], self._cache[b]
+        for key, apps in self._by_func.items():
+            start = self._emitted.get(key, 0)
+            if start >= len(apps):
+                continue
+            for j in range(start, len(apps)):
+                b = apps[j]
+                vb = self._cache[b]
+                for k in range(j):
+                    a = apps[k]
+                    va = self._cache[a]
                     args_differ = [arg_a.ne(arg_b)
                                    for arg_a, arg_b in zip(a.args, b.args)
                                    if arg_a != arg_b]
@@ -97,17 +148,37 @@ class _Ackermannizer:
                         axioms.append(va.eq(vb))  # pragma: no cover
                         continue
                     axioms.append(Or(*args_differ, va.eq(vb)))
+            self._emitted[key] = len(apps)
         return axioms
+
+    def forget_apps(self, apps: Iterable[TApp]) -> None:
+        """Unwind applications (their assertion level was popped)."""
+        removed = set()
+        for app in apps:
+            if self._cache.pop(app, None) is None:
+                continue
+            removed.add(app)
+            key = (app.func, len(app.args))
+            lst = self._by_func[key]
+            # Popped levels own the newest applications, so scan from
+            # the tail.
+            for idx in range(len(lst) - 1, -1, -1):
+                if lst[idx] == app:
+                    del lst[idx]
+                    break
+            self._emitted[key] = min(self._emitted.get(key, 0), len(lst))
+        if removed:
+            self.introduced = [a for a in self.introduced if a not in removed]
 
 
 def ackermannize(formulas: List[Formula]) -> AckermannResult:
-    """Eliminate UF applications from *formulas*.
+    """Eliminate UF applications from *formulas* (one-shot).
 
     Returns the rewritten formulas and the congruence clauses; the
     conjunction of both is equisatisfiable with the input.
     """
-    ack = _Ackermannizer()
+    ack = Ackermannizer()
     rewritten = [ack.rewrite_formula(f) for f in formulas]
-    result = AckermannResult(rewritten, ack.congruence_axioms())
-    result.app_names = {app: var.name for app, var in ack._cache.items()}
+    result = AckermannResult(rewritten, ack.new_congruence_axioms())
+    result.app_names = ack.app_names
     return result

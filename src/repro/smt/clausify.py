@@ -60,9 +60,30 @@ def _clausify_cached(formula: Formula, max_clauses: int) -> Tuple[Clause, ...]:
 
 def clausify(formula: Formula, *, max_clauses: int = 100_000) -> List[Clause]:
     """CNF clauses for *formula*. ``[]`` means trivially true; a clause
-    ``()`` (empty) means trivially false. Cached per formula — solvers
-    re-translate their assertion stacks on every check."""
+    ``()`` (empty) means trivially false. Cached per formula — the same
+    knowledge assertions and congruence axioms recur across thousands of
+    checks in a FormAD analysis."""
     return list(_clausify_cached(formula, max_clauses))
+
+
+def clausify_cached(formula: Formula, *, max_clauses: int = 100_000) -> Tuple[Clause, ...]:
+    """Like :func:`clausify` but returns the (shared, immutable) cached
+    tuple without copying — callers must not mutate it."""
+    return _clausify_cached(formula, max_clauses)
+
+
+def clausify_cache_info():
+    """``functools.lru_cache`` statistics of the per-formula clause
+    cache. The cache is process-global; per-solver phase stats take
+    deltas around their translation phase, which is approximate when
+    several solver threads translate concurrently."""
+    return _clausify_cached.cache_info()
+
+
+def clausify_cache_clear() -> None:
+    """Drop the per-formula clause cache (benchmarks use this to keep
+    mode-vs-mode comparisons fair)."""
+    _clausify_cached.cache_clear()
 
 
 def _cnf(formula: Formula, budget: int) -> List[Clause]:

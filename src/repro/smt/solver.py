@@ -8,24 +8,30 @@ provides that interface on top of the from-scratch QF_UFLIA pipeline:
                --clausify-----> base constraints + clauses
                --search-------> SAT (with model) / UNSAT / UNKNOWN
 
-``check()`` re-translates the current assertion stack each call; the
-problems FormAD produces are small (the paper's largest model has 362
-assertions) and the paper itself reports whole analyses completing in
-seconds, so clarity wins over incrementality here.
+``check()`` is *incremental*: every assertion is ackermannized,
+clausified, and canonicalized exactly once, when first seen, into a
+clause store tagged with its assertion-stack level; ``pop()`` unwinds
+the popped levels' clauses and Ackermann applications. The buildModel
+pattern — add one fact, re-check — therefore translates one formula per
+check instead of the whole stack, and the push/add-question/check/pop
+pattern of exploitation queries translates only the question. The
+pre-existing from-scratch behavior is kept behind
+``Solver(incremental=False)`` as the benchmark baseline.
 """
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, List, Optional
 
-from .ackermann import ackermannize
-from .clausify import Clause, ClausifyBudgetError, clausify_all
+from .ackermann import Ackermannizer, ackermannize
+from .clausify import (Clause, ClausifyBudgetError, clausify_all,
+                       clausify_cache_info, clausify_cached)
 from .intsolver import Result
 from .linform import Constraint, TrivialConstraint, canonicalize
 from .search import SearchOutcome, search
-from .terms import FAtom, Formula, TApp, Term, formula_apps
+from .terms import FAtom, Formula, TApp, Term
 
 SAT = Result.SAT
 UNSAT = Result.UNSAT
@@ -34,7 +40,16 @@ UNKNOWN = Result.UNKNOWN
 
 @dataclass
 class SolverStats:
-    """Cumulative statistics over the lifetime of a solver instance."""
+    """Cumulative statistics over the lifetime of a solver instance.
+
+    ``time_seconds`` is the end-to-end ``check()`` time; the three
+    ``*_seconds`` phase counters break its translation/search split
+    down (``translate`` is Ackermann rewriting + congruence-axiom
+    generation, ``clausify`` is CNF conversion + unit canonicalization,
+    ``search`` is the DPLL(T) layer). ``clausify_hits``/``misses`` are
+    deltas of the process-global per-formula clause cache taken around
+    this solver's translation phases.
+    """
 
     checks: int = 0
     sat: int = 0
@@ -42,6 +57,13 @@ class SolverStats:
     unknown: int = 0
     theory_checks: int = 0
     time_seconds: float = 0.0
+    translate_seconds: float = 0.0
+    clausify_seconds: float = 0.0
+    search_seconds: float = 0.0
+    formulas_translated: int = 0
+    congruence_axioms: int = 0
+    clausify_hits: int = 0
+    clausify_misses: int = 0
 
     def record(self, result: Result, elapsed: float, theory_checks: int) -> None:
         self.checks += 1
@@ -54,6 +76,28 @@ class SolverStats:
         else:
             self.unknown += 1
 
+    def merge_into(self, other: "SolverStats") -> None:
+        """Accumulate this solver's counters onto *other*."""
+        for name in self.__dataclass_fields__:
+            setattr(other, name, getattr(other, name) + getattr(self, name))
+
+
+class _Level:
+    """Translated state of one assertion-stack level."""
+
+    __slots__ = ("formulas", "translated", "apps", "base", "clauses",
+                 "nclauses", "falsified", "poisoned")
+
+    def __init__(self) -> None:
+        self.formulas: List[Formula] = []
+        self.translated = 0              # prefix of `formulas` translated
+        self.apps: List[TApp] = []       # Ackermann apps owned by level
+        self.base: List[Constraint] = [] # canonical unit constraints
+        self.clauses: List[Clause] = []  # multi-literal clauses
+        self.nclauses = 0                # raw clause count (budget)
+        self.falsified = False           # a unit clausified to false
+        self.poisoned = False            # clausify budget blown
+
 
 class Solver:
     """An assertion-stack SMT solver for QF_UFLIA."""
@@ -64,55 +108,71 @@ class Solver:
         max_theory_checks: int = 20000,
         node_budget: int = 2000,
         max_clauses: int = 100_000,
+        incremental: bool = True,
     ) -> None:
-        self._stack: List[List[Formula]] = [[]]
+        self._levels: List[_Level] = [_Level()]
         self._model: Optional[Dict[str, int]] = None
         self._warm_model: Optional[Dict[str, int]] = None
+        self._warm_level = 0             # stack depth the hint came from
+        self._ack = Ackermannizer()
         self._app_names: Dict[TApp, str] = {}
         self.stats = SolverStats()
         self.max_theory_checks = max_theory_checks
         self.node_budget = node_budget
         self.max_clauses = max_clauses
+        self.incremental = incremental
 
     # ------------------------------------------------------------------
     # Z3-style interface
     # ------------------------------------------------------------------
     def add(self, *formulas: Formula) -> None:
         """Assert formulas at the current stack level."""
-        for f in formulas:
-            self._stack[-1].append(f)
+        self._levels[-1].formulas.extend(formulas)
         self._model = None
 
     def push(self) -> None:
         """Save the assertion state."""
-        self._stack.append([])
+        self._levels.append(_Level())
 
     def pop(self, num: int = 1) -> None:
-        """Restore the assertion state ``num`` levels up."""
+        """Restore the assertion state ``num`` levels up, unwinding the
+        popped levels' clause store and Ackermann applications."""
         for _ in range(num):
-            if len(self._stack) == 1:
+            if len(self._levels) == 1:
                 raise RuntimeError("pop on an empty solver stack")
-            self._stack.pop()
+            level = self._levels.pop()
+            if level.apps:
+                self._ack.forget_apps(level.apps)
+        if self._warm_level > len(self._levels):
+            # The warm-start hint was derived from popped assertions;
+            # never seed a post-pop check with it.
+            self._warm_model = None
+            self._warm_level = 0
         self._model = None
 
     def assertions(self) -> List[Formula]:
-        return [f for level in self._stack for f in level]
+        return [f for level in self._levels for f in level.formulas]
 
     @property
     def num_assertions(self) -> int:
-        return sum(len(level) for level in self._stack)
+        return sum(len(level.formulas) for level in self._levels)
 
     def check(self) -> Result:
         """Decide the conjunction of all current assertions."""
         start = time.perf_counter()
-        outcome = self._check_now()
+        if self.incremental:
+            outcome = self._check_incremental()
+        else:
+            outcome = self._check_fresh()
         elapsed = time.perf_counter() - start
         self.stats.record(outcome.result, elapsed, outcome.stats.theory_checks)
         self._model = outcome.model
         if outcome.model is not None:
             # Warm start for the next check on a grown assertion set
-            # (the buildModel pattern: add one fact, re-check).
+            # (the buildModel pattern: add one fact, re-check). Tagged
+            # with the stack depth so pop() can invalidate it.
             self._warm_model = outcome.model
+            self._warm_level = len(self._levels)
         return outcome.result
 
     def model(self) -> Dict[str, int]:
@@ -127,35 +187,123 @@ class Solver:
 
     def app_value(self, app: TApp) -> Optional[int]:
         """Model value of a UF application from the last SAT check."""
-        name = self._app_names.get(app)
-        if name is None or self._model is None:
+        if self._model is None:
+            return None
+        name = (self._ack.name_of(app) if self.incremental
+                else self._app_names.get(app))
+        if name is None:
             return None
         return self._model.get(name, 0)
 
     # ------------------------------------------------------------------
-    def _check_now(self) -> SearchOutcome:
+    def _translate_pending(self) -> None:
+        """Translate every not-yet-translated assertion into the
+        level-tagged clause store (oldest level first, so congruence
+        axioms always pair a new application with same-or-older-level
+        ones and can be tagged with the new application's level)."""
+        stats = self.stats
+        for level in self._levels:
+            while level.translated < len(level.formulas):
+                formula = level.formulas[level.translated]
+                level.translated += 1
+                t0 = time.perf_counter()
+                mark = self._ack.num_apps
+                rewritten = self._ack.rewrite_formula(formula)
+                level.apps.extend(self._ack.introduced[mark:])
+                axioms = self._ack.new_congruence_axioms()
+                t1 = time.perf_counter()
+                stats.translate_seconds += t1 - t0
+                stats.formulas_translated += 1
+                stats.congruence_axioms += len(axioms)
+                try:
+                    for f in (rewritten, *axioms):
+                        self._store_clauses(level, clausify_cached(
+                            f, max_clauses=self.max_clauses))
+                except ClausifyBudgetError:
+                    level.poisoned = True
+                    stats.clausify_seconds += time.perf_counter() - t1
+                    return
+                stats.clausify_seconds += time.perf_counter() - t1
+
+    def _store_clauses(self, level: _Level, clauses) -> None:
+        for clause in clauses:
+            level.nclauses += 1
+            if len(clause) == 1:
+                try:
+                    level.base.extend(canonicalize(clause[0]))
+                except TrivialConstraint as t:
+                    if not t.truth:
+                        level.falsified = True
+            elif not clause:
+                level.falsified = True
+            else:
+                level.clauses.append(clause)
+
+    def _check_incremental(self) -> SearchOutcome:
+        info0 = clausify_cache_info()
+        self._translate_pending()
+        info1 = clausify_cache_info()
+        self.stats.clausify_hits += info1.hits - info0.hits
+        self.stats.clausify_misses += info1.misses - info0.misses
+        if any(level.falsified for level in self._levels):
+            return SearchOutcome(UNSAT)
+        if any(level.poisoned for level in self._levels):
+            return SearchOutcome(UNKNOWN)
+        if sum(level.nclauses for level in self._levels) > self.max_clauses:
+            return SearchOutcome(UNKNOWN)
+        base = [c for level in self._levels for c in level.base]
+        pending = [c for level in self._levels for c in level.clauses]
+        t0 = time.perf_counter()
+        outcome = search(base, pending,
+                         max_theory_checks=self.max_theory_checks,
+                         node_budget=self.node_budget,
+                         initial_model=self._warm_model)
+        self.stats.search_seconds += time.perf_counter() - t0
+        return outcome
+
+    def _check_fresh(self) -> SearchOutcome:
+        """The seed's from-scratch pipeline: re-ackermannize and
+        re-clausify the whole assertion stack (benchmark baseline)."""
         formulas = self.assertions()
+        info0 = clausify_cache_info()
+        t0 = time.perf_counter()
         ack = ackermannize(formulas)
         self._app_names = ack.app_names
+        t1 = time.perf_counter()
+        self.stats.translate_seconds += t1 - t0
+        self.stats.formulas_translated += len(formulas)
+        self.stats.congruence_axioms += len(ack.congruence)
         try:
             clauses = clausify_all(ack.all_formulas, max_clauses=self.max_clauses)
         except ClausifyBudgetError:
+            self.stats.clausify_seconds += time.perf_counter() - t1
             return SearchOutcome(UNKNOWN)
         base: List[Constraint] = []
         pending: List[Clause] = []
+        falsified = False
         for clause in clauses:
             if len(clause) == 1:
                 try:
                     base.extend(canonicalize(clause[0]))
                 except TrivialConstraint as t:
                     if not t.truth:
-                        return SearchOutcome(UNSAT)
+                        falsified = True
+                        break
             else:
                 pending.append(clause)
-        return search(base, pending,
-                      max_theory_checks=self.max_theory_checks,
-                      node_budget=self.node_budget,
-                      initial_model=self._warm_model)
+        t2 = time.perf_counter()
+        self.stats.clausify_seconds += t2 - t1
+        info1 = clausify_cache_info()
+        self.stats.clausify_hits += info1.hits - info0.hits
+        self.stats.clausify_misses += info1.misses - info0.misses
+        if falsified:
+            return SearchOutcome(UNSAT)
+        outcome = search(base, pending,
+                         max_theory_checks=self.max_theory_checks,
+                         node_budget=self.node_budget,
+                         initial_model=self._warm_model)
+        self.stats.search_seconds += time.perf_counter() - t2
+        return outcome
 
 
 def prove_distinct(solver: Solver, left: Term, right: Term) -> bool:

@@ -11,6 +11,12 @@ Terms and formulas are immutable, hashable dataclasses with operator
 overloading, mirroring the small slice of the Z3 Python API the paper
 uses (``Int``, arithmetic, ``==``-style comparisons via methods,
 ``And``/``Or``/``Not``).
+
+Composite nodes cache their structural hash on first use: the whole
+incremental pipeline (per-formula clausification, atom canonicalization,
+Ackermann application interning, the engine's exploitation-question
+memo) keys dictionaries on terms and formulas, so hashing the same deep
+tree thousands of times would otherwise dominate translation time.
 """
 
 from __future__ import annotations
@@ -71,6 +77,23 @@ class _TermOps:
 
 class NonLinearTermError(TypeError):
     """Raised when a term falls outside linear integer arithmetic."""
+
+
+def _cache_structural_hash(cls):
+    """Wrap the dataclass-generated ``__hash__`` of *cls* so the
+    structural hash of a (deep, immutable) node is computed once and
+    stored on the instance instead of being recomputed per call."""
+    base_hash = cls.__hash__
+
+    def __hash__(self):
+        h = self.__dict__.get("_hash")
+        if h is None:
+            h = base_hash(self)
+            object.__setattr__(self, "_hash", h)
+        return h
+
+    cls.__hash__ = __hash__
+    return cls
 
 
 @dataclass(frozen=True)
@@ -148,6 +171,9 @@ class TApp(_TermOps):
 
 
 Term = TConst | TVar | TAdd | TMul | TApp
+
+for _cls in (TAdd, TMul, TApp):
+    _cache_structural_hash(_cls)
 
 
 def Int(name: str) -> TVar:
@@ -267,6 +293,10 @@ class FFalse:
 
 
 Formula = FAtom | FAnd | FOr | FNot | FTrue | FFalse
+
+for _cls in (FAtom, FAnd, FOr, FNot):
+    _cache_structural_hash(_cls)
+del _cls
 
 TRUE = FTrue()
 FALSE = FFalse()

@@ -302,3 +302,40 @@ class TestTable1Report:
         text = format_table1([report])
         assert "stencil 1" in text and "queries" in text
         assert report.unique_exprs == 2
+
+
+class TestEngineConfigImmutable:
+    """The per-loop result cache is keyed on ``loop.uid`` alone; that
+    is only sound because an engine's flags cannot change after
+    construction (regression: the flags used to be plain mutable
+    attributes, so flipping one silently served stale analyses)."""
+
+    def _engine(self, **flags):
+        proc = parse_procedure(FIG2)
+        activity = ActivityAnalysis(proc, ["x"], ["y"])
+        return FormADEngine(proc, activity, **flags)
+
+    @pytest.mark.parametrize("flag", [
+        "use_increment_detection", "use_activity", "use_instances",
+        "use_contexts", "incremental", "use_question_memo",
+        "max_theory_checks", "node_budget",
+    ])
+    def test_flags_cannot_be_reassigned(self, flag):
+        engine = self._engine()
+        assert getattr(engine, flag) is not None
+        with pytest.raises(AttributeError):
+            setattr(engine, flag, False)
+
+    def test_cache_serves_same_object_for_same_loop(self):
+        engine = self._engine()
+        proc = engine.proc
+        (loop,) = proc.parallel_loops()
+        first = engine.analyze_loop(loop)
+        assert engine.analyze_loop(loop) is first
+
+    def test_flag_choice_needs_a_new_engine(self):
+        full = self._engine()
+        ablated = self._engine(use_activity=False)
+        (loop,) = full.proc.parallel_loops()
+        assert full.analyze_loop(loop).stats.exploitation_checks <= \
+            ablated.analyze_loop(ablated.proc.parallel_loops()[0]).stats.exploitation_checks

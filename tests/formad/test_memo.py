@@ -1,0 +1,126 @@
+"""Unit tests for the exploitation-question memo.
+
+The memo answers a repeated (common-root context, question) pair
+without re-entering the solver. These tests pin its three contracts:
+a repeated question is a hit, questions asked under *different*
+contexts never share answers, and the stats counters stay consistent
+with the Table-1 totals (``exploitation_checks`` counts every question
+asked, memoized or not, so ``queries`` is memo-invariant;
+``solver_checks = queries - memo_hits`` is what actually reached the
+solver).
+"""
+
+import pytest
+
+from repro import parse_procedure
+from repro.analysis import ActivityAnalysis
+from repro.formad import FormADEngine
+
+# Two independent arrays read through the same index expression: the
+# disjointness question for x's adjoint and for z's adjoint is the
+# same formula at the same (root) context, so the second one must be
+# a memo hit.
+SHARED_QUESTION = """
+subroutine shared(x, z, y, c, n)
+  integer, intent(in) :: n
+  real, intent(in) :: x(40)
+  real, intent(in) :: z(40)
+  real, intent(inout) :: y(20)
+  integer, intent(in) :: c(20)
+  !$omp parallel do
+  do i = 1, n
+    y(c(i)) = x(c(i) + 7) * z(c(i) + 7)
+  end do
+end subroutine shared
+"""
+
+# The same index expression read under *different* branches: the
+# questions live at different common-root contexts, so nothing may be
+# shared between them.
+BRANCHED = """
+subroutine branched(x, z, y, c, b, n)
+  integer, intent(in) :: n
+  real, intent(in) :: x(40)
+  real, intent(in) :: z(40)
+  real, intent(inout) :: y(20)
+  integer, intent(in) :: c(20)
+  integer, intent(in) :: b(20)
+  !$omp parallel do
+  do i = 1, n
+    if (b(i) > 0) then
+      y(c(i)) = x(c(i) + 7)
+    else
+      y(c(i)) = z(c(i) + 7)
+    end if
+  end do
+end subroutine branched
+"""
+
+
+def _analyze(source, independents, dependents, **flags):
+    proc = parse_procedure(source)
+    activity = ActivityAnalysis(proc, independents, dependents)
+    engine = FormADEngine(proc, activity, **flags)
+    (analysis,) = engine.analyze_all()
+    return analysis
+
+
+class TestMemoHits:
+    def test_repeated_question_hits_memo(self):
+        analysis = _analyze(SHARED_QUESTION, ["x", "z"], ["y"])
+        assert analysis.verdicts["x"].safe
+        assert analysis.verdicts["z"].safe
+        assert analysis.stats.memo_hits >= 1
+
+    def test_memo_does_not_change_question_count(self):
+        with_memo = _analyze(SHARED_QUESTION, ["x", "z"], ["y"])
+        without = _analyze(SHARED_QUESTION, ["x", "z"], ["y"],
+                           use_question_memo=False)
+        assert without.stats.memo_hits == 0
+        # Table-1 invariant: the memo changes who answers, not what is
+        # asked. Verdicts and counts must be identical.
+        assert with_memo.stats.exploitation_checks == \
+            without.stats.exploitation_checks
+        assert with_memo.stats.consistency_checks == \
+            without.stats.consistency_checks
+        assert with_memo.stats.queries == without.stats.queries
+        assert {a: v.safe for a, v in with_memo.verdicts.items()} == \
+            {a: v.safe for a, v in without.verdicts.items()}
+
+    def test_memoized_answers_skip_the_solver(self):
+        analysis = _analyze(SHARED_QUESTION, ["x", "z"], ["y"])
+        s = analysis.stats
+        assert s.solver_checks == s.queries - s.memo_hits
+        assert s.solver_checks < s.queries
+
+
+class TestNoCrossContextSharing:
+    def test_questions_under_different_branches_are_distinct(self):
+        analysis = _analyze(BRANCHED, ["x", "z"], ["y"])
+        # x is read only in the then-branch, z only in the else-branch:
+        # their questions are asked at different common-root contexts
+        # and must not be conflated, even though the index expressions
+        # coincide syntactically.
+        assert analysis.stats.memo_hits == 0
+        assert analysis.verdicts["x"].safe
+        assert analysis.verdicts["z"].safe
+
+    def test_branch_verdicts_match_memo_off(self):
+        with_memo = _analyze(BRANCHED, ["x", "z"], ["y"])
+        without = _analyze(BRANCHED, ["x", "z"], ["y"],
+                           use_question_memo=False)
+        assert with_memo.stats.queries == without.stats.queries
+        assert {a: v.safe for a, v in with_memo.verdicts.items()} == \
+            {a: v.safe for a, v in without.verdicts.items()}
+
+
+class TestCounterConsistency:
+    @pytest.mark.parametrize("source,ind,dep", [
+        (SHARED_QUESTION, ["x", "z"], ["y"]),
+        (BRANCHED, ["x", "z"], ["y"]),
+    ])
+    def test_queries_decompose(self, source, ind, dep):
+        s = _analyze(source, ind, dep).stats
+        assert s.queries == s.consistency_checks + s.exploitation_checks
+        assert 0 <= s.memo_hits <= s.exploitation_checks
+        assert s.solver_checks == s.queries - s.memo_hits

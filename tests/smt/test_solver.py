@@ -206,3 +206,54 @@ class TestStencilScenario:
         s.push()
         s.add((ip - 1).eq(i - 1))  # same offset, different iterations
         assert s.check() is UNSAT
+
+
+class TestWarmModelInvalidation:
+    """pop() must not keep warm-start hints minted at deeper levels
+    (regression: a stale hint survived pop() and was fed to every
+    later search)."""
+
+    def test_pop_below_warm_level_drops_hint(self):
+        s = Solver()
+        s.add(i.ge(0))
+        s.push()
+        s.add(j.ge(5))
+        assert s.check() is SAT
+        assert s._warm_model is not None
+        s.pop()
+        assert s._warm_model is None
+        assert s._warm_level == 0
+
+    def test_pop_above_warm_level_keeps_hint(self):
+        s = Solver()
+        s.add(i.ge(0))
+        assert s.check() is SAT
+        warm = s._warm_model
+        assert warm is not None
+        s.push()
+        s.pop()  # the hint came from below this frame: still valid
+        assert s._warm_model == warm
+        assert s.check() is SAT
+
+    def test_checks_after_pop_stay_correct(self):
+        s = Solver()
+        s.add(i.ge(0), i.le(10))
+        s.push()
+        s.add(i.eq(5))
+        assert s.check() is SAT
+        s.pop()
+        s.push()
+        s.add(i.gt(10))
+        assert s.check() is UNSAT
+        s.pop()
+        assert s.check() is SAT
+
+    def test_non_incremental_solver_matches(self):
+        for incremental in (True, False):
+            s = Solver(incremental=incremental)
+            s.add(i.ge(0))
+            s.push()
+            s.add(i.lt(0))
+            assert s.check() is UNSAT
+            s.pop()
+            assert s.check() is SAT
