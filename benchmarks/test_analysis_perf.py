@@ -24,6 +24,7 @@ import pytest
 
 from repro.analysis import ActivityAnalysis
 from repro.formad import FormADEngine
+from repro.obs import METRICS_SCHEMA, counters_only, stats_metrics
 from repro.programs import (build_gfmc, build_greengauss, build_lbm,
                             build_stencil)
 from repro.smt import clausify_cache_clear
@@ -75,6 +76,10 @@ def _run_mode(name: str, incremental: bool) -> dict:
         "time_seconds": sum(s.time_seconds for s in stats),
         "clausify_hits": sum(s.clausify_hits for s in stats),
         "clausify_misses": sum(s.clausify_misses for s in stats),
+        # the full stable metrics mapping (schema repro-metrics/1), so
+        # BENCH_ANALYSIS.json consumers can diff counter-level behavior
+        # across PRs without scraping the ad-hoc keys above
+        "metrics": stats_metrics(stats),
     }
 
 
@@ -94,6 +99,8 @@ def _run_best(name: str, incremental: bool) -> dict:
     for run in runs[1:]:
         for key in _COUNT_KEYS:
             assert run[key] == runs[0][key], (name, key)
+        assert counters_only(run["metrics"]) \
+            == counters_only(runs[0]["metrics"]), name
     return min(runs, key=_translate_clausify)
 
 
@@ -128,6 +135,7 @@ def test_incremental_pipeline_speedup():
 
     out = {
         "schema": "repro-analysis-perf/1",
+        "metrics_schema": METRICS_SCHEMA,
         "quick_mode": QUICK,
         "repeats": REPEATS,
         "min_required_speedup": MIN_SPEEDUP,

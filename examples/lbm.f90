@@ -1,0 +1,61 @@
+! lbm — generated from repro.programs (the D3Q19 stream-collide rejection case, §7.3).
+! Analyze with:
+!   python -m repro analyze examples/lbm.f90 -i srcgrid -o dstgrid --trace t.jsonl
+! then replay the proof chain:
+!   python -m repro explain t.jsonl --array srcgridb
+subroutine lbm(srcgrid, dstgrid, omega, n_cell_entries, ifirst, ilast, c, n, s, e, w, t, b, ne, nw, se, sw, nt, nb, st, sb, et, eb, wt, wb)
+  real, intent(in) :: srcgrid(*)
+  real, intent(inout) :: dstgrid(*)
+  real, intent(in) :: omega
+  integer, intent(in) :: n_cell_entries
+  integer, intent(in) :: ifirst
+  integer, intent(in) :: ilast
+  integer, intent(in) :: c
+  integer, intent(in) :: n
+  integer, intent(in) :: s
+  integer, intent(in) :: e
+  integer, intent(in) :: w
+  integer, intent(in) :: t
+  integer, intent(in) :: b
+  integer, intent(in) :: ne
+  integer, intent(in) :: nw
+  integer, intent(in) :: se
+  integer, intent(in) :: sw
+  integer, intent(in) :: nt
+  integer, intent(in) :: nb
+  integer, intent(in) :: st
+  integer, intent(in) :: sb
+  integer, intent(in) :: et
+  integer, intent(in) :: eb
+  integer, intent(in) :: wt
+  integer, intent(in) :: wb
+  integer :: i
+  real :: rho
+  integer :: sweep
+
+  do sweep = 1, 1
+    !$omp parallel do private(rho)
+    do i = ifirst, ilast
+      rho = srcgrid(c + n_cell_entries * 0 + i) + srcgrid(n + n_cell_entries * 0 + i) + srcgrid(s + n_cell_entries * 0 + i) + srcgrid(e + n_cell_entries * 0 + i) + srcgrid(w + n_cell_entries * 0 + i) + srcgrid(t + n_cell_entries * 0 + i) + srcgrid(b + n_cell_entries * 0 + i) + srcgrid(ne + n_cell_entries * 0 + i) + srcgrid(nw + n_cell_entries * 0 + i) + srcgrid(se + n_cell_entries * 0 + i) + srcgrid(sw + n_cell_entries * 0 + i) + srcgrid(nt + n_cell_entries * 0 + i) + srcgrid(nb + n_cell_entries * 0 + i) + srcgrid(st + n_cell_entries * 0 + i) + srcgrid(sb + n_cell_entries * 0 + i) + srcgrid(et + n_cell_entries * 0 + i) + srcgrid(eb + n_cell_entries * 0 + i) + srcgrid(wt + n_cell_entries * 0 + i) + srcgrid(wb + n_cell_entries * 0 + i)
+      dstgrid(c + n_cell_entries * 0 + i) = (1.0 - omega) * srcgrid(c + n_cell_entries * 0 + i) + omega * 0.3333333333333333 * rho
+      dstgrid(n + n_cell_entries * 120 + i) = (1.0 - omega) * srcgrid(n + n_cell_entries * 0 + i) + omega * 0.05555555555555555 * rho
+      dstgrid(s + n_cell_entries * (-120) + i) = (1.0 - omega) * srcgrid(s + n_cell_entries * 0 + i) + omega * 0.05555555555555555 * rho
+      dstgrid(e + n_cell_entries * 1 + i) = (1.0 - omega) * srcgrid(e + n_cell_entries * 0 + i) + omega * 0.05555555555555555 * rho
+      dstgrid(w + n_cell_entries * (-1) + i) = (1.0 - omega) * srcgrid(w + n_cell_entries * 0 + i) + omega * 0.05555555555555555 * rho
+      dstgrid(t + n_cell_entries * 14400 + i) = (1.0 - omega) * srcgrid(t + n_cell_entries * 0 + i) + omega * 0.05555555555555555 * rho
+      dstgrid(b + n_cell_entries * (-14400) + i) = (1.0 - omega) * srcgrid(b + n_cell_entries * 0 + i) + omega * 0.05555555555555555 * rho
+      dstgrid(ne + n_cell_entries * 121 + i) = (1.0 - omega) * srcgrid(ne + n_cell_entries * 0 + i) + omega * 0.027777777777777776 * rho
+      dstgrid(nw + n_cell_entries * 119 + i) = (1.0 - omega) * srcgrid(nw + n_cell_entries * 0 + i) + omega * 0.027777777777777776 * rho
+      dstgrid(se + n_cell_entries * (-119) + i) = (1.0 - omega) * srcgrid(se + n_cell_entries * 0 + i) + omega * 0.027777777777777776 * rho
+      dstgrid(sw + n_cell_entries * (-121) + i) = (1.0 - omega) * srcgrid(sw + n_cell_entries * 0 + i) + omega * 0.027777777777777776 * rho
+      dstgrid(nt + n_cell_entries * 14520 + i) = (1.0 - omega) * srcgrid(nt + n_cell_entries * 0 + i) + omega * 0.027777777777777776 * rho
+      dstgrid(nb + n_cell_entries * (-14280) + i) = (1.0 - omega) * srcgrid(nb + n_cell_entries * 0 + i) + omega * 0.027777777777777776 * rho
+      dstgrid(st + n_cell_entries * 14280 + i) = (1.0 - omega) * srcgrid(st + n_cell_entries * 0 + i) + omega * 0.027777777777777776 * rho
+      dstgrid(sb + n_cell_entries * (-14520) + i) = (1.0 - omega) * srcgrid(sb + n_cell_entries * 0 + i) + omega * 0.027777777777777776 * rho
+      dstgrid(et + n_cell_entries * 14401 + i) = (1.0 - omega) * srcgrid(et + n_cell_entries * 0 + i) + omega * 0.027777777777777776 * rho
+      dstgrid(eb + n_cell_entries * (-14399) + i) = (1.0 - omega) * srcgrid(eb + n_cell_entries * 0 + i) + omega * 0.027777777777777776 * rho
+      dstgrid(wt + n_cell_entries * 14399 + i) = (1.0 - omega) * srcgrid(wt + n_cell_entries * 0 + i) + omega * 0.027777777777777776 * rho
+      dstgrid(wb + n_cell_entries * (-14401) + i) = (1.0 - omega) * srcgrid(wb + n_cell_entries * 0 + i) + omega * 0.027777777777777776 * rho
+    end do
+  end do
+end subroutine lbm

@@ -1,0 +1,27 @@
+! stencil_small — generated from repro.programs (the paper's 3-point compact stencil, §7.1).
+! Analyze with:
+!   python -m repro analyze examples/stencil_small.f90 -i uold -o unew --trace t.jsonl
+! then replay the proof chain:
+!   python -m repro explain t.jsonl --array unewb
+subroutine stencil_small(uold, unew, w, n)
+  real, intent(in) :: uold(*)
+  real, intent(inout) :: unew(*)
+  real, intent(in) :: w(3)
+  integer, intent(in) :: n
+  integer :: i
+  integer :: offset
+  integer :: start
+  integer :: sweep
+
+  do sweep = 1, 1
+    do offset = 0, 1
+      start = 2 + offset
+      !$omp parallel do
+      do i = start, n - 1, 2
+        unew(i) = unew(i) + w(1) * uold(i - 1)
+        unew(i - 1) = unew(i - 1) + w(2) * uold(i)
+        unew(i - 1) = unew(i - 1) + w(3) * uold(i)
+      end do
+    end do
+  end do
+end subroutine stencil_small

@@ -14,10 +14,13 @@ Strategies mirror the paper's program versions: ``"serial"``,
 drops every safeguard without proof — only for experiments).
 """
 
+import logging
 from typing import List, Optional, Sequence
 
 from .ir import (Procedure, Program, ProcedureBuilder, format_procedure,
                  parse_expression, parse_procedure, parse_program, validate)
+from .obs import (NULL_TRACER, CollectingTracer, JsonlTracer, NullTracer,
+                  Tracer)
 from .ad import (ALL_ATOMIC, ALL_REDUCTION, ALL_SHARED, GuardKind,
                  GuardPolicy, ReverseResult, TangentResult,
                  differentiate_reverse, differentiate_tangent)
@@ -28,6 +31,10 @@ from .runtime import (BROADWELL_18, MachineModel, Memory, detect_races,
                       profile_run, run_procedure, simulate_thread_sweep)
 
 __version__ = "1.0.0"
+
+# Library convention: the `repro` root logger stays silent unless the
+# application configures handlers (the CLI's --log-level does).
+logging.getLogger(__name__).addHandler(logging.NullHandler())
 
 #: Strategy names accepted by :func:`differentiate`.
 STRATEGIES = ("serial", "atomic", "reduction", "shared", "formad")
@@ -73,13 +80,16 @@ def analyze_formad(
     dependents: Sequence[str],
     *,
     jobs: Optional[int] = None,
+    tracer: NullTracer = NULL_TRACER,
 ) -> List[LoopAnalysis]:
     """Run the FormAD analysis on every parallel loop of *proc*.
 
     ``jobs`` > 1 analyzes independent parallel regions concurrently.
+    ``tracer`` receives the structured provenance/span event stream
+    (see :mod:`repro.obs`); the no-op default records nothing.
     """
     activity = ActivityAnalysis(proc, independents, dependents)
-    return FormADEngine(proc, activity).analyze_all(jobs=jobs)
+    return FormADEngine(proc, activity, tracer=tracer).analyze_all(jobs=jobs)
 
 
 __all__ = [
@@ -93,5 +103,6 @@ __all__ = [
     "PrimalRaceError", "format_table1",
     "BROADWELL_18", "MachineModel", "Memory", "detect_races", "profile_run",
     "run_procedure", "simulate_thread_sweep",
+    "NULL_TRACER", "CollectingTracer", "JsonlTracer", "NullTracer", "Tracer",
     "STRATEGIES", "differentiate", "analyze_formad", "__version__",
 ]

@@ -2,19 +2,28 @@
 
 ::
 
-    python -m repro analyze kernel.f90 -i x -o y
+    python -m repro analyze kernel.f90 -i x -o y [--json] [--trace t.jsonl]
     python -m repro differentiate kernel.f90 -i x -o y --strategy formad
     python -m repro tangent kernel.f90 -i x -o y
-    python -m repro experiments
+    python -m repro experiments [--trace t.jsonl]
+    python -m repro explain t.jsonl --array yb
+    python -m repro profile t.jsonl
 
 ``analyze`` prints the FormAD verdicts and Table-1 statistics for every
-parallel loop; ``differentiate``/``tangent`` print generated Fortran-
-flavored source to stdout (or ``-O out.f90``).
+parallel loop (``--json`` for the machine-readable form);
+``differentiate``/``tangent`` print generated Fortran-flavored source
+to stdout (or ``-O out.f90``). ``--trace out.jsonl`` records the
+structured observability stream (see ``docs/OBSERVABILITY.md``), which
+``explain`` replays into a per-array proof chain and ``profile``
+renders as a span/phase time tree. ``--log-level debug`` surfaces the
+pipeline's stdlib-``logging`` diagnostics.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import logging
 import sys
 from typing import List, Optional, Sequence
 
@@ -23,6 +32,10 @@ from . import (STRATEGIES, analyze_formad, differentiate,
 from .ad import GuardKind
 from .formad import format_verdicts
 from .ir import ParseError, parse_program
+from .obs import (NULL_TRACER, JsonlTracer, explain_array, format_profile,
+                  load_trace, stats_metrics, validate_events)
+
+LOG_LEVELS = ("debug", "info", "warning", "error")
 
 
 def _add_io_args(p: argparse.ArgumentParser) -> None:
@@ -65,21 +78,52 @@ def _emit(text: str, out: Optional[str]) -> None:
         print(f"wrote {out}", file=sys.stderr)
 
 
+def _configure_logging(level: Optional[str]) -> None:
+    """Attach a stderr handler to the ``repro`` root logger."""
+    if level is None:
+        return
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter(
+        "%(asctime)s %(name)s %(levelname)s: %(message)s"))
+    root = logging.getLogger("repro")
+    root.addHandler(handler)
+    root.setLevel(getattr(logging, level.upper()))
+
+
+def _open_tracer(path: Optional[str]):
+    """The ``--trace`` sink: a JSONL tracer, or the no-op default."""
+    if path is None:
+        return NULL_TRACER
+    return JsonlTracer(path)
+
+
 def build_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--log-level", choices=LOG_LEVELS, default=None,
+                        help="enable pipeline logging on stderr at this "
+                             "level (the 'repro' logger hierarchy)")
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="FormAD: automatic differentiation of parallel loops "
                     "with formal methods (ICPP 2022 reproduction)")
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p = sub.add_parser("analyze", help="run the FormAD analysis only")
+    p = sub.add_parser("analyze", parents=[common],
+                       help="run the FormAD analysis only")
     _add_io_args(p)
     p.add_argument("--jobs", type=int, default=None,
                    help="analyze independent parallel regions over N "
                         "worker threads")
+    p.add_argument("--trace", default=None, metavar="OUT.jsonl",
+                   help="record the structured provenance/span event "
+                        "stream (replay with 'repro explain/profile')")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable verdicts + metrics on stdout "
+                        "(stable schema, sorted keys)")
 
-    p = sub.add_parser("differentiate", help="generate the reverse-mode "
-                                             "(adjoint) procedure")
+    p = sub.add_parser("differentiate", parents=[common],
+                       help="generate the reverse-mode (adjoint) procedure")
     _add_io_args(p)
     p.add_argument("--strategy", choices=STRATEGIES, default="formad")
     p.add_argument("--fallback", choices=["atomic", "reduction"],
@@ -87,32 +131,130 @@ def build_parser() -> argparse.ArgumentParser:
                    help="safeguard for arrays FormAD cannot prove safe")
     p.add_argument("-O", "--output", default=None, help="output file")
 
-    p = sub.add_parser("tangent", help="generate the forward-mode "
-                                       "(tangent) procedure")
+    p = sub.add_parser("tangent", parents=[common],
+                       help="generate the forward-mode (tangent) procedure")
     _add_io_args(p)
     p.add_argument("-O", "--output", default=None, help="output file")
 
-    p = sub.add_parser("experiments", help="regenerate EXPERIMENTS.md "
-                                           "(Table 1 and Figures 3-10)")
+    p = sub.add_parser("experiments", parents=[common],
+                       help="regenerate EXPERIMENTS.md (Table 1 and "
+                            "Figures 3-10)")
     p.add_argument("--jobs", type=int, default=None,
                    help="fan independent kernels and program versions out "
                         "over N worker threads")
+    p.add_argument("--trace", default=None, metavar="OUT.jsonl",
+                   help="record the analysis/simulation event stream")
+
+    p = sub.add_parser("explain", parents=[common],
+                       help="replay a trace: why is an array safe (the "
+                            "UNSAT query chain) or unsafe (the SAT "
+                            "witness)?")
+    p.add_argument("trace", help="trace file recorded with --trace")
+    p.add_argument("--array", required=True,
+                   help="array to explain (primal name or its adjoint, "
+                        "e.g. unew or unewb)")
+    p.add_argument("--loop", default=None,
+                   help="restrict to the parallel loop over this counter")
+
+    p = sub.add_parser("profile", parents=[common],
+                       help="replay a trace as a per-phase/per-context "
+                            "time tree")
+    p.add_argument("trace", help="trace file recorded with --trace")
     return parser
 
 
+def _analysis_json(proc, analyses) -> str:
+    """The ``analyze --json`` document: verdicts + metrics, keys sorted
+    for byte-stable output (schema ``repro-analyze/1``)."""
+    loops = []
+    for analysis in analyses:
+        loops.append({
+            "loop": analysis.loop.var,
+            "uid": analysis.loop.uid,
+            "all_safe": analysis.all_safe,
+            "verdicts": [
+                {"array": v.array, "safe": v.safe,
+                 "pairs_total": v.pairs_total,
+                 "pairs_proven": v.pairs_proven, "reason": v.reason}
+                for _, v in sorted(analysis.verdicts.items())
+            ],
+            "metrics": stats_metrics([analysis.stats]),
+        })
+    doc = {
+        "schema": "repro-analyze/1",
+        "procedure": proc.name,
+        "all_safe": all(a.all_safe for a in analyses),
+        "loops": loops,
+        "totals": stats_metrics([a.stats for a in analyses]),
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def _run_explain(args) -> int:
+    try:
+        events = load_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    errors = validate_events(events)
+    if errors:
+        print(f"warning: trace has {len(errors)} schema violation(s); "
+              f"replaying anyway", file=sys.stderr)
+    print(explain_array(events, args.array, loop=args.loop))
+    return 0
+
+
+def _run_profile(args) -> int:
+    try:
+        events = load_trace(args.trace)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(format_profile(events))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    try:
+        return _dispatch(argv)
+    except BrokenPipeError:
+        # stdout went away (e.g. piped into `head`); not an error
+        try:
+            sys.stdout.close()
+        except OSError:  # pragma: no cover
+            pass
+        return 0
+
+
+def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    _configure_logging(getattr(args, "log_level", None))
+    if args.command == "explain":
+        return _run_explain(args)
+    if args.command == "profile":
+        return _run_profile(args)
     if args.command == "experiments":
         from .experiments.report import main as experiments_main
-        experiments_main(jobs=args.jobs)
+        tracer = _open_tracer(args.trace)
+        try:
+            experiments_main(jobs=args.jobs, tracer=tracer)
+        finally:
+            tracer.close()
         return 0
     try:
         proc = _load(args)
         independents = _names(args.independents)
         dependents = _names(args.dependents)
         if args.command == "analyze":
-            analyses = analyze_formad(proc, independents, dependents,
-                                      jobs=args.jobs)
+            tracer = _open_tracer(args.trace)
+            try:
+                analyses = analyze_formad(proc, independents, dependents,
+                                          jobs=args.jobs, tracer=tracer)
+            finally:
+                tracer.close()
+            if args.json:
+                print(_analysis_json(proc, analyses))
+                return 0
             if not analyses:
                 print("no parallel loops found")
                 return 0
@@ -127,6 +269,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                       f"search={s.search_seconds:.4f}s "
                       f"solver_checks={s.solver_checks} "
                       f"memo_hits={s.memo_hits}")
+            if args.trace:
+                print(f"trace written to {args.trace} (replay with "
+                      f"'repro explain {args.trace} --array A' or "
+                      f"'repro profile {args.trace}')", file=sys.stderr)
             return 0
         if args.command == "differentiate":
             result = differentiate(proc, independents, dependents,

@@ -18,6 +18,7 @@ use the serial version without any OpenMP pragmas as the baseline").
 
 from __future__ import annotations
 
+import logging
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Sequence
@@ -28,10 +29,13 @@ from .. import differentiate
 from ..ad import GuardKind, ReverseResult
 from ..ir.program import Procedure
 from ..ir.stmt import strip_parallel
+from ..obs.tracer import NULL_TRACER, NullTracer
 from ..runtime import BROADWELL_18, MachineModel, profile_run
 from ..runtime.costmodel import total_time
 from .paper_reference import PAPER_THREADS
 from .specs import KernelSpec
+
+logger = logging.getLogger(__name__)
 
 #: The adjoint strategies measured by the figures.
 ADJOINT_STRATEGIES = ("formad", "atomic", "reduction")
@@ -97,8 +101,9 @@ class KernelExperiment:
 
 def _simulate_parallel(proc: Procedure, bindings: Mapping[str, object],
                        spec: KernelSpec, threads: Sequence[int],
-                       machine: MachineModel) -> Dict[int, float]:
-    run = profile_run(proc, bindings)
+                       machine: MachineModel,
+                       tracer: NullTracer = NULL_TRACER) -> Dict[int, float]:
+    run = profile_run(proc, bindings, tracer=tracer)
     return {
         t: total_time(run.profile, machine, t, iter_scale=spec.iter_scale,
                       invocation_scale=spec.invocation_scale,
@@ -108,10 +113,11 @@ def _simulate_parallel(proc: Procedure, bindings: Mapping[str, object],
 
 
 def _simulate_serial(proc: Procedure, bindings: Mapping[str, object],
-                     spec: KernelSpec, machine: MachineModel) -> float:
+                     spec: KernelSpec, machine: MachineModel,
+                     tracer: NullTracer = NULL_TRACER) -> float:
     """A pragma-free build: every op lands in the serial segment, which
     must be scaled by both the trip-count and repetition factors."""
-    run = profile_run(proc, bindings)
+    run = profile_run(proc, bindings, tracer=tracer)
     assert not run.profile.parallel_loops
     return (run.profile.serial.serial_seconds(machine)
             * spec.iter_scale * spec.invocation_scale)
@@ -124,26 +130,30 @@ def run_kernel_experiment(
     machine: MachineModel = BROADWELL_18,
     strategies: Sequence[str] = ADJOINT_STRATEGIES,
     jobs: Optional[int] = None,
+    tracer: NullTracer = NULL_TRACER,
 ) -> KernelExperiment:
     """Build, differentiate, interpret, and simulate one kernel.
 
     The program versions (primal parallel/serial, adjoint serial, one
     adjoint per strategy) are independent differentiate+interpret
-    pipelines; ``jobs`` > 1 fans them out over a thread pool.
+    pipelines; ``jobs`` > 1 fans them out over a thread pool. Each
+    version runs under an ``experiment.variant`` span whose events
+    carry the executing worker thread's name, so a trace shows which
+    pool worker simulated which program version.
     """
 
     def primal_parallel() -> VariantResult:
         times = _simulate_parallel(spec.proc, spec.bindings, spec,
-                                   threads, machine)
+                                   threads, machine, tracer)
         serial = _simulate_serial(_serialized(spec.proc), spec.bindings,
-                                  spec, machine)
+                                  spec, machine, tracer)
         return VariantResult("primal", times, serial)
 
     def adjoint_serial() -> float:
         adj = differentiate(spec.proc, spec.independents, spec.dependents,
                             strategy="serial")
         return _simulate_serial(adj.procedure, _adjoint_bindings(spec, adj),
-                                spec, machine)
+                                spec, machine, tracer)
 
     def adjoint_variant(strategy: str) -> Callable[[], VariantResult]:
         def run() -> VariantResult:
@@ -151,18 +161,31 @@ def run_kernel_experiment(
                                 strategy=strategy)
             times = _simulate_parallel(adj.procedure,
                                        _adjoint_bindings(spec, adj),
-                                       spec, threads, machine)
+                                       spec, threads, machine, tracer)
             return VariantResult(f"adjoint-{strategy}", times)
         return run
 
+    def traced(task: Callable, label: str) -> Callable:
+        def run():
+            with tracer.span("experiment.variant", kernel=spec.name,
+                             variant=label):
+                result = task()
+            logger.info("%s: simulated %s", spec.name, label)
+            return result
+        return run
+
+    labels = ["primal", "adjoint-serial"] + [f"adjoint-{s}"
+                                             for s in strategies]
     tasks: List[Callable] = [primal_parallel, adjoint_serial]
     tasks += [adjoint_variant(s) for s in strategies]
-    if jobs is not None and jobs > 1:
-        with ThreadPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
-            futures = [pool.submit(task) for task in tasks]
-            results = [f.result() for f in futures]
-    else:
-        results = [task() for task in tasks]
+    tasks = [traced(task, label) for task, label in zip(tasks, labels)]
+    with tracer.span("experiment.kernel", kernel=spec.name):
+        if jobs is not None and jobs > 1:
+            with ThreadPoolExecutor(max_workers=min(jobs, len(tasks))) as pool:
+                futures = [pool.submit(task) for task in tasks]
+                results = [f.result() for f in futures]
+        else:
+            results = [task() for task in tasks]
 
     primal, adjoint_serial_time = results[0], results[1]
     adjoints = {strategy: result

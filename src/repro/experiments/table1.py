@@ -7,6 +7,7 @@ from typing import Dict, List, Optional, Tuple
 
 from .. import analyze_formad
 from ..formad import AnalysisReport, format_table1
+from ..obs.tracer import NULL_TRACER, NullTracer
 from ..programs import (build_gfmc, build_gfmc_star, build_greengauss,
                         build_lbm, build_stencil)
 from .paper_reference import PAPER_TABLE1
@@ -25,7 +26,8 @@ TABLE1_PROBLEMS = {
 }
 
 
-def run_table1(jobs: Optional[int] = None) -> List[AnalysisReport]:
+def run_table1(jobs: Optional[int] = None,
+               tracer: NullTracer = NULL_TRACER) -> List[AnalysisReport]:
     """Run FormAD on all six Table-1 problems.
 
     ``jobs`` > 1 fans the independent problems out over a thread pool
@@ -36,7 +38,8 @@ def run_table1(jobs: Optional[int] = None) -> List[AnalysisReport]:
     def one(item) -> AnalysisReport:
         name, (builder, independents, dependents) = item
         return AnalysisReport(
-            name, analyze_formad(builder(), independents, dependents))
+            name, analyze_formad(builder(), independents, dependents,
+                                 tracer=tracer))
 
     items = list(TABLE1_PROBLEMS.items())
     if jobs is not None and jobs > 1:

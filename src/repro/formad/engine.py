@@ -30,6 +30,7 @@ query totals are unchanged by the memo).
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -44,11 +45,14 @@ from ..cfg.instances import number_instances
 from ..ir.printer import format_stmt
 from ..ir.program import Procedure
 from ..ir.stmt import Assign, Loop
+from ..obs.tracer import NULL_TRACER, NullTracer
 from ..smt.intsolver import Result
 from ..smt.solver import SAT, UNSAT, Solver
-from ..smt.terms import And, FAtom, Formula, Rel, Term
+from ..smt.terms import And, FAtom, Formula, Rel, Term, formula_vars
 from .knowledge import KnowledgeBase, extract_knowledge, is_atomic_access
 from .translate import IndexTranslator, UntranslatableError, render_term
+
+logger = logging.getLogger(__name__)
 
 
 class PrimalRaceError(RuntimeError):
@@ -82,6 +86,13 @@ class AnalysisStats:
     search_seconds: float = 0.0
     solver_time_seconds: float = 0.0
     theory_checks: int = 0
+    search_branches: int = 0
+    search_propagations: int = 0
+    solver_sat: int = 0
+    solver_unsat: int = 0
+    solver_unknown: int = 0
+    formulas_translated: int = 0
+    congruence_axioms: int = 0
     clausify_hits: int = 0
     clausify_misses: int = 0
 
@@ -95,13 +106,24 @@ class AnalysisStats:
         return self.consistency_checks + self.exploitation_checks - self.memo_hits
 
     def absorb_solver(self, solver: Solver) -> None:
-        """Fold one solver's phase counters into this record."""
+        """Fold one solver's counters into this record — every
+        ``SolverStats`` field except ``checks`` (recoverable as
+        ``solver_sat + solver_unsat + solver_unknown``; see
+        ``tests/smt/test_solver_stats_merge.py`` for the audit that
+        keeps this mapping complete under ``--jobs`` fan-out)."""
         s = solver.stats
         self.translate_seconds += s.translate_seconds
         self.clausify_seconds += s.clausify_seconds
         self.search_seconds += s.search_seconds
         self.solver_time_seconds += s.time_seconds
         self.theory_checks += s.theory_checks
+        self.search_branches += s.branches
+        self.search_propagations += s.propagations
+        self.solver_sat += s.sat
+        self.solver_unsat += s.unsat
+        self.solver_unknown += s.unknown
+        self.formulas_translated += s.formulas_translated
+        self.congruence_axioms += s.congruence_axioms
         self.clausify_hits += s.clausify_hits
         self.clausify_misses += s.clausify_misses
 
@@ -222,14 +244,21 @@ class _ContextModel:
         rec(root)
         self._path = [root]
 
-    def ask(self, ctx: Context, question: Formula) -> Result:
-        """Answer one exploitation question under *ctx*'s knowledge."""
+    def ask(self, ctx: Context,
+            question: Formula) -> Tuple[Result, Optional[Dict[str, int]]]:
+        """Answer one exploitation question under *ctx*'s knowledge.
+
+        Returns the result plus, for SAT answers, the witness model —
+        the concrete counter/scalar values under which the two adjoint
+        references collide (the provenance trail's counterexample)."""
         self._navigate(ctx)
         solver = self._solver
         solver.push()
         try:
             solver.add(question)
-            return solver.check()
+            result = solver.check()
+            witness = solver.model() if result is SAT else None
+            return result, witness
         finally:
             solver.pop()
 
@@ -310,9 +339,11 @@ class FormADEngine:
         use_contexts: bool = True,
         incremental: bool = True,
         use_question_memo: bool = True,
+        tracer: NullTracer = NULL_TRACER,
     ) -> None:
         self.proc = proc
         self.activity = activity
+        self.tracer = tracer
         self._config = _EngineConfig(
             max_theory_checks=max_theory_checks,
             node_budget=node_budget,
@@ -393,7 +424,8 @@ class FormADEngine:
     def _new_solver(self) -> Solver:
         return Solver(max_theory_checks=self.max_theory_checks,
                       node_budget=self.node_budget,
-                      incremental=self.incremental)
+                      incremental=self.incremental,
+                      tracer=self.tracer)
 
     def _extract(self, loop: Loop):
         """Shared phase-1 setup: references, translator, knowledge."""
@@ -414,23 +446,38 @@ class FormADEngine:
         return refs, translator, kb, axiom
 
     def _analyze(self, loop: Loop) -> LoopAnalysis:
+        with self.tracer.span("analysis.loop", loop=loop.var, uid=loop.uid):
+            return self._analyze_traced(loop)
+
+    def _analyze_traced(self, loop: Loop) -> LoopAnalysis:
         start = time.perf_counter()
+        tracer = self.tracer
         stats = AnalysisStats()
         refs, translator, kb, axiom = self._extract(loop)
         stats.skipped_pairs = kb.skipped_pairs
         stats.model_size = 1 + kb.size
+        logger.debug("loop over %r: %d knowledge facts, %d pairs skipped",
+                     loop.var, kb.size, kb.skipped_pairs)
+        if tracer.enabled:
+            for fact in kb.facts:
+                tracer.emit("fact", loop=loop.var,
+                            context=fact.context.path(),
+                            array=fact.source_array,
+                            formula=str(fact.formula))
 
         solver = self._new_solver()
         by_context: Dict[int, List] = {}
         for fact in kb.facts:
             by_context.setdefault(id(fact.context), []).append(fact)
         model = _ContextModel(solver, axiom, by_context, stats)
-        model.build(refs.contexts.root)
+        with tracer.span("analysis.build_model", loop=loop.var):
+            model.build(refs.contexts.root)
 
         verdicts: Dict[str, ArrayVerdict] = {}
         safe_writes: List[str] = []
         offending: List[str] = []
-        memo: Optional[Dict[Tuple[int, Formula], Result]] = (
+        memo: Optional[Dict[Tuple[int, Formula],
+                            Tuple[Result, Optional[Dict[str, int]]]]] = (
             {} if self.use_question_memo else None)
         # Paper Table 1: "number of unique index expressions included in
         # the model" — the knowledge side (LBM: the 19 safe write
@@ -448,9 +495,17 @@ class FormADEngine:
                 if not (self.proc.has_symbol(array)
                         and self.proc.type_of(array).kind is Kind.REAL):
                     continue
-            verdict = self._test_array(array, refs, translator, model,
-                                       memo, stats, offending)
+            with tracer.span("analysis.array", loop=loop.var, array=array):
+                verdict = self._test_array(loop, array, refs, translator,
+                                           model, memo, stats, offending)
             verdicts[array] = verdict
+            logger.debug("loop over %r: %s", loop.var, verdict)
+            if tracer.enabled:
+                tracer.emit("verdict", loop=loop.var, array=array,
+                            safe=verdict.safe,
+                            pairs_total=verdict.pairs_total,
+                            pairs_proven=verdict.pairs_proven,
+                            reason=verdict.reason)
 
         # The paper's LBM listing: the set of known-safe write
         # expressions extracted from the primal.
@@ -465,6 +520,11 @@ class FormADEngine:
         stats.region_loc = max(0, len(format_stmt(loop)) - 2)
         stats.absorb_solver(solver)
         stats.time_seconds = time.perf_counter() - start
+        logger.info(
+            "analyzed loop over %r: %d/%d arrays safe, %d queries "
+            "(%d memo hits) in %.3fs", loop.var,
+            sum(v.safe for v in verdicts.values()), len(verdicts),
+            stats.queries, stats.memo_hits, stats.time_seconds)
         return LoopAnalysis(loop, verdicts, stats, safe_writes, offending)
 
     def _scalars_assigned_in(self, loop: Loop) -> Set[str]:
@@ -528,14 +588,17 @@ class FormADEngine:
 
     def _test_array(
         self,
+        loop: Loop,
         array: str,
         refs: RegionReferences,
         translator: IndexTranslator,
         model: _ContextModel,
-        memo: Optional[Dict[Tuple[int, Formula], Result]],
+        memo: Optional[Dict[Tuple[int, Formula],
+                            Tuple[Result, Optional[Dict[str, int]]]]],
         stats: AnalysisStats,
         offending: List[str],
     ) -> ArrayVerdict:
+        tracer = self.tracer
         try:
             writes, reads = self._adjoint_refs(array, refs, translator)
         except UntranslatableError as exc:
@@ -557,13 +620,30 @@ class FormADEngine:
                              for lp, r in zip(w.primed, other.plain)])
             stats.exploitation_checks += 1
             key = (id(ctx), question)
-            result = memo.get(key) if memo is not None else None
-            if result is not None:
+            entry = memo.get(key) if memo is not None else None
+            memo_hit = entry is not None
+            asked = 0.0
+            if memo_hit:
                 stats.memo_hits += 1
+                result, witness = entry
             else:
-                result = model.ask(ctx, question)
+                asked = time.perf_counter()
+                result, witness = model.ask(ctx, question)
+                asked = time.perf_counter() - asked
                 if memo is not None:
-                    memo[key] = result
+                    memo[key] = (result, witness)
+            if tracer.enabled:
+                # One provenance record per exploitation question: the
+                # trail `repro explain` replays into a proof chain.
+                extra = {}
+                if witness is not None and result is not UNSAT:
+                    extra["witness"] = witness
+                tracer.emit("question", loop=loop.var, array=array,
+                            context=ctx.path(), write=w.rendering,
+                            other=other.rendering, question=str(question),
+                            instances=sorted(formula_vars(question)),
+                            result=result.name, memo_hit=memo_hit,
+                            dur_s=asked, **extra)
             if result is UNSAT:
                 verdict.pairs_proven += 1
             else:

@@ -13,6 +13,7 @@ Accesses performed under ``!$omp atomic`` are excluded: atomics are
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -21,6 +22,8 @@ from ..cfg.contexts import Context
 from ..ir.stmt import Assign
 from ..smt.terms import FAtom, Formula, Or, Rel, Term
 from .translate import IndexTranslator, UntranslatableError
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -133,4 +136,7 @@ def extract_knowledge(
                 kb.facts.append(KnowledgeFact(
                     target, disjointness_formula(left, right), array,
                     left, right))
+    logger.debug("extracted %d disjointness facts over %d arrays "
+                 "(%d pairs skipped)", kb.size, len(refs.arrays()),
+                 kb.skipped_pairs)
     return kb

@@ -1,0 +1,37 @@
+"""Observability: structured tracing, provenance, and metrics.
+
+The pipeline (SMT solver, FormAD engine, runtime, experiment harness)
+is instrumented against a tiny tracer interface whose default,
+:data:`NULL_TRACER`, does nothing — tracing costs nothing until a real
+sink is injected (``--trace out.jsonl`` on the CLI builds a
+:class:`JsonlTracer`). Recorded traces are replayed by ``repro
+explain`` (the per-array proof chain, :mod:`repro.obs.explain`) and
+``repro profile`` (the span/phase time tree, :mod:`repro.obs.profile`),
+and validated against the versioned event schema
+(:mod:`repro.obs.events`).
+"""
+
+from .events import (EVENT_FIELDS, SCHEMA_NAME, SCHEMA_VERSION,
+                     TraceValidationError, validate_event, validate_events)
+from .tracer import (NULL_TRACER, CollectingTracer, JsonlTracer, NullTracer,
+                     Tracer, load_trace)
+from .metrics import (COUNTER_KEYS, METRICS_SCHEMA, TIMER_KEYS,
+                      counters_only, stats_metrics)
+from .explain import explain_array, known_arrays, resolve_array
+from .profile import build_span_tree, context_table, format_profile
+
+# NB: repro.obs.validate is deliberately not imported here — it is the
+# ``python -m repro.obs.validate`` entry point, and importing it from
+# the package would trigger runpy's double-import RuntimeWarning.
+# Use ``from repro.obs.validate import validate_file`` directly.
+
+__all__ = [
+    "EVENT_FIELDS", "SCHEMA_NAME", "SCHEMA_VERSION",
+    "TraceValidationError", "validate_event", "validate_events",
+    "NULL_TRACER", "CollectingTracer", "JsonlTracer", "NullTracer",
+    "Tracer", "load_trace",
+    "COUNTER_KEYS", "METRICS_SCHEMA", "TIMER_KEYS",
+    "counters_only", "stats_metrics",
+    "explain_array", "known_arrays", "resolve_array",
+    "build_span_tree", "context_table", "format_profile",
+]

@@ -1,0 +1,138 @@
+"""The trace event schema (version 1) and its validator.
+
+Every trace is a JSONL stream: one JSON object per line. The first
+line is a ``meta`` event naming the schema (``repro-trace/1``); the
+``v`` field on every event carries the same version number so
+consumers can reject traces they do not understand (bump
+:data:`SCHEMA_VERSION` on any incompatible change and keep readers for
+the old number around for one release).
+
+Common fields (present on **every** event):
+
+``v``       int    schema version (:data:`SCHEMA_VERSION`)
+``seq``     int    monotonically increasing sequence number
+``t``       float  seconds since the tracer was opened (monotonic clock)
+``type``    str    event type (one of :data:`EVENT_FIELDS`)
+``thread``  str    name of the emitting thread (``--jobs`` attribution)
+``span``    int?   id of the innermost open span on that thread, or None
+
+Per-type payloads are listed in :data:`EVENT_FIELDS`; optional fields
+in :data:`OPTIONAL_FIELDS`. :func:`validate_events` checks structure
+*and* span discipline (begin/end pairing, per-thread nesting).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+#: Version number stamped on every event (and the meta line's schema).
+SCHEMA_VERSION = 1
+
+#: The schema name written into the ``meta`` event.
+SCHEMA_NAME = f"repro-trace/{SCHEMA_VERSION}"
+
+#: Required payload fields per event type (beyond the common fields).
+EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
+    # Stream header: first event of every trace.
+    "meta": ("schema", "created"),
+    # Hierarchical spans (begin carries the attrs, end the duration).
+    "span_begin": ("id", "name", "parent", "attrs"),
+    "span_end": ("id", "name", "dur_s"),
+    # Phase-1 knowledge: one disjointness fact asserted into the model.
+    "fact": ("loop", "context", "array", "formula"),
+    # Phase-2 provenance: one exploitation question (testVar).
+    "question": ("loop", "array", "context", "write", "other", "question",
+                 "instances", "result", "memo_hit", "dur_s"),
+    # FormAD's per-array answer.
+    "verdict": ("loop", "array", "safe", "pairs_total", "pairs_proven",
+                "reason"),
+    # One Solver.check() with its phase breakdown.
+    "solver_check": ("result", "dur_s", "translate_s", "clausify_s",
+                     "search_s", "theory_checks", "branches", "propagations",
+                     "clausify_hits", "clausify_misses"),
+    # Final counter/gauge totals, emitted once when the tracer closes.
+    "metrics": ("counters", "gauges"),
+}
+
+#: Recognized optional payload fields per event type.
+OPTIONAL_FIELDS: Dict[str, Tuple[str, ...]] = {
+    "question": ("witness",),
+}
+
+_COMMON = ("v", "seq", "t", "type", "thread", "span")
+
+
+class TraceValidationError(ValueError):
+    """A trace stream violates the schema."""
+
+
+def validate_event(event: dict) -> List[str]:
+    """Structural errors of a single event (empty list = valid)."""
+    errors: List[str] = []
+    for name in _COMMON:
+        if name not in event:
+            errors.append(f"missing common field {name!r}")
+    if errors:
+        return errors
+    if event["v"] != SCHEMA_VERSION:
+        errors.append(f"schema version {event['v']!r}, expected "
+                      f"{SCHEMA_VERSION}")
+    etype = event["type"]
+    required = EVENT_FIELDS.get(etype)
+    if required is None:
+        errors.append(f"unknown event type {etype!r}")
+        return errors
+    for name in required:
+        if name not in event:
+            errors.append(f"{etype}: missing field {name!r}")
+    known = set(_COMMON) | set(required) | set(OPTIONAL_FIELDS.get(etype, ()))
+    for name in event:
+        if name not in known:
+            errors.append(f"{etype}: unknown field {name!r}")
+    return errors
+
+
+def validate_events(events: Iterable[dict]) -> List[str]:
+    """All schema and span-discipline errors of an event stream."""
+    errors: List[str] = []
+    open_spans: Dict[int, str] = {}          # id -> name
+    stacks: Dict[str, List[int]] = {}        # thread -> open span ids
+    last_seq = -1
+    for index, event in enumerate(events):
+        where = f"event {index}"
+        local = validate_event(event)
+        errors.extend(f"{where}: {e}" for e in local)
+        if local:
+            continue
+        if index == 0 and event["type"] != "meta":
+            errors.append(f"{where}: stream must start with a meta event")
+        if event["seq"] <= last_seq:
+            errors.append(f"{where}: non-increasing seq {event['seq']}")
+        last_seq = event["seq"]
+        stack = stacks.setdefault(event["thread"], [])
+        if event["type"] == "span_begin":
+            sid = event["id"]
+            if sid in open_spans:
+                errors.append(f"{where}: duplicate span id {sid}")
+            if event["parent"] != (stack[-1] if stack else None):
+                errors.append(f"{where}: span {sid} parent {event['parent']}"
+                              f" does not match the open span stack")
+            open_spans[sid] = event["name"]
+            stack.append(sid)
+        elif event["type"] == "span_end":
+            sid = event["id"]
+            if not stack or stack[-1] != sid:
+                errors.append(f"{where}: span_end {sid} does not close the "
+                              f"innermost open span")
+                open_spans.pop(sid, None)
+            else:
+                stack.pop()
+                name = open_spans.pop(sid)
+                if name != event["name"]:
+                    errors.append(f"{where}: span {sid} ends as "
+                                  f"{event['name']!r}, began as {name!r}")
+        elif event["span"] is not None and event["span"] not in open_spans:
+            errors.append(f"{where}: references closed span {event['span']}")
+    for sid, name in open_spans.items():
+        errors.append(f"span {sid} ({name!r}) never ended")
+    return errors

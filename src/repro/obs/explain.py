@@ -1,0 +1,110 @@
+"""``repro explain`` — replay a trace into a human-readable proof.
+
+FormAD's verdict for an array is only as trustworthy as the chain of
+solver answers behind it. Given a trace recorded with ``repro analyze
+--trace``, :func:`explain_array` reconstructs, per parallel loop, the
+exact exploitation questions asked about one array and renders
+
+* for a **safe** array: the chain of ``UNSAT`` disjointness queries —
+  each with its control-flow context, the adjoint reference pair it
+  covers, the instance-numbered question formula, and whether the
+  answer came from the solver or the question memo;
+* for an **unsafe** array (the LBM case): the first failing query and,
+  when the solver produced one, the ``SAT`` witness model — concrete
+  loop-counter/scalar values under which the two adjoint references
+  collide.
+
+Arrays may be named by their primal name (``unew``) or their adjoint
+name (``unewb``): a trailing ``b`` is stripped when the literal name
+does not occur in the trace.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def _fmt_ms(dur_s: float) -> str:
+    return f"{dur_s * 1000.0:.2f} ms"
+
+
+def resolve_array(events: Sequence[dict], array: str) -> Optional[str]:
+    """Map a primal or adjoint array name onto the traced verdicts."""
+    known = {e["array"] for e in events if e["type"] == "verdict"}
+    if array in known:
+        return array
+    if array.endswith("b") and array[:-1] in known:
+        return array[:-1]
+    return None
+
+
+def known_arrays(events: Sequence[dict]) -> List[str]:
+    return sorted({e["array"] for e in events if e["type"] == "verdict"})
+
+
+def _witness_lines(witness: Dict[str, int]) -> List[str]:
+    items = sorted(witness.items())
+    lines = ["counterexample (SAT witness model):"]
+    for chunk_start in range(0, len(items), 4):
+        chunk = items[chunk_start:chunk_start + 4]
+        lines.append("  " + "  ".join(f"{n} = {v}" for n, v in chunk))
+    return lines
+
+
+def explain_array(events: Sequence[dict], array: str,
+                  loop: Optional[str] = None) -> str:
+    """Render the proof (or refutation) chain for one array."""
+    resolved = resolve_array(events, array)
+    if resolved is None:
+        names = ", ".join(known_arrays(events)) or "none"
+        return (f"no verdict for array {array!r} in this trace "
+                f"(analyzed arrays: {names})")
+    out: List[str] = []
+    if resolved != array:
+        out.append(f"{array!r} is the adjoint of {resolved!r}; explaining "
+                   f"the primal array's analysis.")
+    verdicts = [e for e in events if e["type"] == "verdict"
+                and e["array"] == resolved
+                and (loop is None or e["loop"] == loop)]
+    if not verdicts:
+        return f"no verdict for array {resolved!r} in loop {loop!r}"
+    questions = [e for e in events if e["type"] == "question"
+                 and e["array"] == resolved]
+    for verdict in verdicts:
+        qs = [q for q in questions if q["loop"] == verdict["loop"]]
+        out.extend(_explain_one(verdict, qs))
+        out.append("")
+    return "\n".join(out).rstrip()
+
+
+def _explain_one(verdict: dict, questions: List[dict]) -> List[str]:
+    loop = verdict["loop"]
+    array = verdict["array"]
+    out: List[str] = []
+    if verdict["safe"]:
+        out.append(f"array {array!r} in parallel loop over {loop!r}: SAFE — "
+                   f"the adjoint stays shared with no atomics.")
+        out.append(f"All {verdict['pairs_total']} future adjoint reference "
+                   f"pair(s) were proven disjoint across iterations "
+                   f"(under the root axiom {loop}' ≠ {loop}):")
+    else:
+        out.append(f"array {array!r} in parallel loop over {loop!r}: UNSAFE "
+                   f"({verdict['reason']}) — safeguards stay in place.")
+        out.append(f"{verdict['pairs_proven']}/{verdict['pairs_total']} "
+                   f"pair(s) proven disjoint before the failing query:")
+    if not questions:
+        out.append("  (no exploitation queries were needed)")
+        return out
+    for k, q in enumerate(questions, 1):
+        source = "memo" if q["memo_hit"] else "solver"
+        out.append(f"  {k}. [{q['context']}] adjoint {q['write']} vs "
+                   f"{q['other']}")
+        out.append(f"     can they coincide?  {q['question']}")
+        out.append(f"     -> {q['result']} ({source}, {_fmt_ms(q['dur_s'])})")
+        if q["result"] == "UNSAT":
+            out.append(f"     proven disjoint for all "
+                       f"{loop} ≠ {loop}'")
+        elif q.get("witness"):
+            out.extend("     " + line for line in
+                       _witness_lines(q["witness"]))
+    return out

@@ -1,0 +1,96 @@
+"""Aggregated analysis metrics in a stable, machine-readable schema.
+
+One flat mapping per analysis (or group of analyses), covering every
+counter and phase timer :class:`~repro.formad.engine.AnalysisStats`
+records. The key set and order are fixed by :data:`COUNTER_KEYS` /
+:data:`TIMER_KEYS` and versioned by :data:`METRICS_SCHEMA`, so
+downstream tooling (``BENCH_ANALYSIS.json`` consumers, ``repro analyze
+--json`` scrapers) can diff counter-level behavior across PRs instead
+of scraping the human-readable tables. Add new keys at the end and
+bump the schema version; never rename or repurpose existing keys.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Union
+
+#: Version tag embedded in every exported metrics mapping.
+METRICS_SCHEMA = "repro-metrics/1"
+
+#: Deterministic counters: identical across runs of the same analysis.
+COUNTER_KEYS = (
+    "queries",
+    "consistency_checks",
+    "exploitation_checks",
+    "memo_hits",
+    "solver_checks",
+    "solver_sat",
+    "solver_unsat",
+    "solver_unknown",
+    "theory_checks",
+    "search_branches",
+    "search_propagations",
+    "formulas_translated",
+    "congruence_axioms",
+    "clausify_hits",
+    "clausify_misses",
+    "model_size",
+    "unique_exprs",
+    "skipped_pairs",
+)
+
+#: Wall-clock timers: machine-dependent, useful for trend lines only.
+TIMER_KEYS = (
+    "time_seconds",
+    "solver_time_seconds",
+    "translate_seconds",
+    "clausify_seconds",
+    "search_seconds",
+)
+
+Number = Union[int, float]
+
+
+def stats_metrics(stats_list: Iterable) -> Dict[str, Number]:
+    """Fold one or more ``AnalysisStats`` into a stable metrics mapping.
+
+    Every key of :data:`COUNTER_KEYS` and :data:`TIMER_KEYS` is present
+    (zero when nothing contributed), in that order, after the
+    ``schema`` tag.
+    """
+    out: Dict[str, Number] = {"schema": METRICS_SCHEMA}
+    for key in COUNTER_KEYS:
+        out[key] = 0
+    for key in TIMER_KEYS:
+        out[key] = 0.0
+    for stats in stats_list:
+        out["queries"] += stats.queries
+        out["solver_checks"] += stats.solver_checks
+        out["consistency_checks"] += stats.consistency_checks
+        out["exploitation_checks"] += stats.exploitation_checks
+        out["memo_hits"] += stats.memo_hits
+        out["solver_sat"] += stats.solver_sat
+        out["solver_unsat"] += stats.solver_unsat
+        out["solver_unknown"] += stats.solver_unknown
+        out["theory_checks"] += stats.theory_checks
+        out["search_branches"] += stats.search_branches
+        out["search_propagations"] += stats.search_propagations
+        out["formulas_translated"] += stats.formulas_translated
+        out["congruence_axioms"] += stats.congruence_axioms
+        out["clausify_hits"] += stats.clausify_hits
+        out["clausify_misses"] += stats.clausify_misses
+        out["model_size"] += stats.model_size
+        out["unique_exprs"] += stats.unique_exprs
+        out["skipped_pairs"] += stats.skipped_pairs
+        out["time_seconds"] += stats.time_seconds
+        out["solver_time_seconds"] += stats.solver_time_seconds
+        out["translate_seconds"] += stats.translate_seconds
+        out["clausify_seconds"] += stats.clausify_seconds
+        out["search_seconds"] += stats.search_seconds
+    return out
+
+
+def counters_only(metrics: Dict[str, Number]) -> Dict[str, Number]:
+    """The deterministic subset of a metrics mapping (for equality
+    assertions across runs and solver modes)."""
+    return {k: metrics[k] for k in COUNTER_KEYS}

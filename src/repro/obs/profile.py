@@ -1,0 +1,135 @@
+"""``repro profile`` — render a trace as a per-phase time tree.
+
+Spans reconstruct the call hierarchy (kernel → loop analysis → model
+build → per-array testing); ``solver_check`` events attach the solver's
+translate/clausify/search phase split to the span they ran under. Two
+views come out:
+
+* the **span tree** — every span path with call count, total wall
+  time, and the solver phase seconds spent directly inside it;
+* the **context table** — exploitation-question time grouped by
+  control-flow context path, the "where does solver time go as the
+  incremental pipeline evolves" view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass
+class SpanNode:
+    """Aggregated statistics of one span path in the tree."""
+
+    name: str
+    count: int = 0
+    total_s: float = 0.0
+    translate_s: float = 0.0
+    clausify_s: float = 0.0
+    search_s: float = 0.0
+    checks: int = 0
+    children: Dict[str, "SpanNode"] = field(default_factory=dict)
+
+    def child(self, name: str) -> "SpanNode":
+        node = self.children.get(name)
+        if node is None:
+            node = self.children[name] = SpanNode(name)
+        return node
+
+
+def _span_label(event: dict) -> str:
+    attrs = event.get("attrs") or {}
+    detail = ",".join(str(v) for k, v in sorted(attrs.items())
+                      if k in ("loop", "array", "kernel", "variant", "proc"))
+    return f"{event['name']}{{{detail}}}" if detail else event["name"]
+
+
+def build_span_tree(events: Sequence[dict]) -> SpanNode:
+    """Fold a trace's span and solver_check events into one tree."""
+    root = SpanNode("trace")
+    nodes: Dict[int, SpanNode] = {}          # open span id -> node
+    parents: Dict[int, Optional[int]] = {}
+    for event in events:
+        etype = event["type"]
+        if etype == "span_begin":
+            parent = event["parent"]
+            holder = nodes[parent] if parent in nodes else root
+            node = holder.child(_span_label(event))
+            node.count += 1
+            nodes[event["id"]] = node
+            parents[event["id"]] = parent
+        elif etype == "span_end":
+            node = nodes.pop(event["id"], None)
+            parents.pop(event["id"], None)
+            if node is not None:
+                node.total_s += event["dur_s"]
+        elif etype == "solver_check":
+            node = nodes.get(event["span"])
+            if node is None:
+                node = root
+            node.checks += 1
+            node.translate_s += event["translate_s"]
+            node.clausify_s += event["clausify_s"]
+            node.search_s += event["search_s"]
+    return root
+
+
+def _render_node(node: SpanNode, indent: str, lines: List[str]) -> None:
+    phases = ""
+    if node.checks:
+        phases = (f"  [checks {node.checks} | translate "
+                  f"{node.translate_s * 1000:.1f} ms | clausify "
+                  f"{node.clausify_s * 1000:.1f} ms | search "
+                  f"{node.search_s * 1000:.1f} ms]")
+    lines.append(f"{indent}{node.name}  x{node.count}  "
+                 f"{node.total_s * 1000:.1f} ms{phases}")
+    for child in node.children.values():
+        _render_node(child, indent + "  ", lines)
+
+
+def context_table(events: Sequence[dict]) -> List[Tuple[str, int, int, float]]:
+    """(context path, questions, memo hits, seconds) rows, slowest first."""
+    rows: Dict[str, List[float]] = {}
+    for event in events:
+        if event["type"] != "question":
+            continue
+        row = rows.setdefault(event["context"], [0, 0, 0.0])
+        row[0] += 1
+        row[1] += 1 if event["memo_hit"] else 0
+        row[2] += event["dur_s"]
+    out = [(ctx, int(r[0]), int(r[1]), r[2]) for ctx, r in rows.items()]
+    out.sort(key=lambda r: (-r[3], r[0]))
+    return out
+
+
+def format_profile(events: Sequence[dict]) -> str:
+    """The full ``repro profile`` rendering of one trace."""
+    lines: List[str] = ["span tree (count, wall time, solver phases):"]
+    root = build_span_tree(events)
+    if not root.children and not root.checks:
+        lines.append("  (no spans recorded)")
+    for child in root.children.values():
+        _render_node(child, "  ", lines)
+    if root.checks:
+        lines.append(f"  (outside any span)  checks {root.checks}  "
+                     f"[translate {root.translate_s * 1000:.1f} ms | "
+                     f"clausify {root.clausify_s * 1000:.1f} ms | "
+                     f"search {root.search_s * 1000:.1f} ms]")
+    rows = context_table(events)
+    if rows:
+        lines.append("")
+        lines.append("exploitation-question time by control context:")
+        width = max(len(r[0]) for r in rows)
+        lines.append(f"  {'context':<{width}}  {'questions':>9} "
+                     f"{'memo':>5} {'time':>10}")
+        for ctx, count, memo, seconds in rows:
+            lines.append(f"  {ctx:<{width}}  {count:>9d} {memo:>5d} "
+                         f"{seconds * 1000.0:>7.2f} ms")
+    for event in events:
+        if event["type"] == "metrics" and event["counters"]:
+            lines.append("")
+            lines.append("counters:")
+            for name, value in event["counters"].items():
+                lines.append(f"  {name} = {value}")
+    return "\n".join(lines)

@@ -1,0 +1,241 @@
+"""Hierarchical span tracer with a zero-overhead no-op default.
+
+The pipeline is instrumented against the tiny :class:`NullTracer`
+interface: ``emit`` structured events, open ``span``\\ s, bump
+``counter``\\ s and set ``gauge``\\ s. The default is the process-wide
+:data:`NULL_TRACER`, whose methods do nothing and whose ``enabled``
+flag is ``False`` — hot paths guard event construction behind
+``if tracer.enabled:`` so an untraced run pays a single attribute read
+per potential event and allocates nothing.
+
+Recording is decoupled from handling (the OpDiLib split): the engine
+only calls ``emit``/``span``; *where* events go is the sink's business.
+Two sinks ship: :class:`JsonlTracer` appends one JSON object per line
+to a file (the ``--trace out.jsonl`` CLI path), and
+:class:`CollectingTracer` keeps events in memory for tests and for the
+in-process ``repro explain``/``repro profile`` replay helpers.
+
+Both sinks are thread-safe; every event records its emitting thread's
+name, which is what attributes work to ``--jobs`` pool workers. Span
+nesting is tracked per thread, so a span opened inside a worker is a
+root span of that worker's timeline.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import logging
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from .events import SCHEMA_NAME, SCHEMA_VERSION
+
+logger = logging.getLogger(__name__)
+
+
+class _NullSpan:
+    """The reusable no-op context manager ``NullTracer.span`` returns."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """Does nothing, as fast as possible. The default everywhere."""
+
+    enabled = False
+
+    def emit(self, etype: str, **fields: Any) -> None:
+        return None
+
+    def span(self, name: str, **attrs: Any) -> _NullSpan:
+        return _NULL_SPAN
+
+    def counter(self, name: str, value: int = 1) -> None:
+        return None
+
+    def gauge(self, name: str, value: float) -> None:
+        return None
+
+    def metrics(self) -> Dict[str, Dict[str, float]]:
+        return {"counters": {}, "gauges": {}}
+
+    def close(self) -> None:
+        return None
+
+
+#: The shared no-op tracer (there is no reason to build another one).
+NULL_TRACER = NullTracer()
+
+
+class _Span:
+    """An open span: a context manager emitting begin/end events."""
+
+    __slots__ = ("_tracer", "_name", "_attrs", "_id", "_start")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]):
+        self._tracer = tracer
+        self._name = name
+        self._attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        self._id = self._tracer._begin_span(self._name, self._attrs)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._tracer._end_span(self._id, self._name,
+                               time.perf_counter() - self._start)
+
+
+class Tracer:
+    """An active tracer: assigns ids, tracks per-thread span stacks,
+    accumulates counters/gauges, and hands finished events to
+    :meth:`_sink` (subclass responsibility)."""
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._next_span_id = 0
+        self._local = threading.local()
+        self._origin = time.perf_counter()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._closed = False
+        self.emit("meta", schema=SCHEMA_NAME,
+                  created=datetime.datetime.now(
+                      datetime.timezone.utc).isoformat())
+
+    # -------------------------------------------------------------- sink
+    def _sink(self, event: Dict[str, Any]) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    # ------------------------------------------------------------ events
+    def _stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def emit(self, etype: str, **fields: Any) -> None:
+        stack = self._stack()
+        event: Dict[str, Any] = {
+            "v": SCHEMA_VERSION,
+            "type": etype,
+            "t": time.perf_counter() - self._origin,
+            "thread": threading.current_thread().name,
+            "span": stack[-1] if stack else None,
+        }
+        event.update(fields)
+        with self._lock:
+            if self._closed:
+                return
+            event["seq"] = self._seq
+            self._seq += 1
+            self._sink(event)
+
+    def span(self, name: str, **attrs: Any) -> _Span:
+        return _Span(self, name, attrs)
+
+    def _begin_span(self, name: str, attrs: Dict[str, Any]) -> int:
+        stack = self._stack()
+        with self._lock:
+            sid = self._next_span_id
+            self._next_span_id += 1
+        self.emit("span_begin", id=sid, name=name,
+                  parent=stack[-1] if stack else None, attrs=attrs)
+        stack.append(sid)
+        return sid
+
+    def _end_span(self, sid: int, name: str, dur_s: float) -> None:
+        stack = self._stack()
+        if stack and stack[-1] == sid:
+            stack.pop()
+        self.emit("span_end", id=sid, name=name, dur_s=dur_s)
+
+    # --------------------------------------------------- counters/gauges
+    def counter(self, name: str, value: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        with self._lock:
+            self._gauges[name] = value
+
+    def metrics(self) -> Dict[str, Dict[str, float]]:
+        with self._lock:
+            return {"counters": dict(sorted(self._counters.items())),
+                    "gauges": dict(sorted(self._gauges.items()))}
+
+    # ------------------------------------------------------------- close
+    def close(self) -> None:
+        """Flush the final counter/gauge totals and seal the stream."""
+        if self._closed:
+            return
+        self.emit("metrics", **self.metrics())
+        with self._lock:
+            self._closed = True
+            self._close_sink()
+
+    def _close_sink(self) -> None:
+        return None
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class CollectingTracer(Tracer):
+    """Keeps every event in memory (tests, in-process replay)."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+        super().__init__()
+
+    def _sink(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+
+
+class JsonlTracer(Tracer):
+    """Appends one JSON object per line to *path* (the ``--trace`` sink)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fh = open(path, "w")
+        super().__init__()
+
+    def _sink(self, event: Dict[str, Any]) -> None:
+        self._fh.write(json.dumps(event, sort_keys=True) + "\n")
+
+    def _close_sink(self) -> None:
+        self._fh.close()
+        logger.info("trace written to %s", self.path)
+
+
+def load_trace(path: str) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace file back into its event list."""
+    events: List[Dict[str, Any]] = []
+    with open(path) as fh:
+        for number, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                events.append(json.loads(line))
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{number}: not JSON: {exc}") from exc
+    return events

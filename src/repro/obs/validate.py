@@ -1,0 +1,45 @@
+"""Trace validation entry point: ``python -m repro.obs.validate t.jsonl``.
+
+Exits 0 when every event parses and satisfies the version-1 schema
+(structure, unknown-field rejection, span begin/end discipline); exits
+1 listing the violations otherwise. CI runs this over the trace it
+records before uploading it as an artifact.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional, Sequence
+
+from .events import validate_events
+from .tracer import load_trace
+
+
+def validate_file(path: str) -> List[str]:
+    """All schema errors of the JSONL trace at *path*."""
+    try:
+        events = load_trace(path)
+    except (OSError, ValueError) as exc:
+        return [str(exc)]
+    if not events:
+        return ["empty trace"]
+    return validate_events(events)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = list(sys.argv[1:] if argv is None else argv)
+    if len(args) != 1:
+        print("usage: python -m repro.obs.validate TRACE.jsonl",
+              file=sys.stderr)
+        return 2
+    errors = validate_file(args[0])
+    if errors:
+        for error in errors:
+            print(f"invalid: {error}", file=sys.stderr)
+        return 1
+    print(f"{args[0]}: valid")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -12,16 +12,20 @@ into the calls the experiment harness uses:
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..ir.program import Procedure
 from ..ir.stmt import Loop
+from ..obs.tracer import NULL_TRACER, NullTracer
 from .costmodel import (CostTracer, ExecutionProfile, total_time)
 from .interp import Interpreter, Tracer
 from .machine import BROADWELL_18, MachineModel
 from .memory import Memory
 from .racecheck import Race, RaceDetector
+
+logger = logging.getLogger(__name__)
 
 
 def _loop_counter_names(proc: Procedure) -> List[str]:
@@ -48,12 +52,21 @@ def profile_run(
     proc: Procedure,
     bindings: Mapping[str, object] = (),
     extents: Mapping[str, Sequence[int]] = (),
+    *,
+    tracer: NullTracer = NULL_TRACER,
 ) -> ProfiledRun:
-    """Run *proc* once under the cost tracer."""
-    memory = Memory.for_procedure(proc, bindings, extents)
-    tracer = CostTracer(_loop_counter_names(proc), _array_sizes(memory))
-    Interpreter(proc, memory, tracer).run()
-    return ProfiledRun(memory, tracer.profile)
+    """Run *proc* once under the cost tracer.
+
+    ``tracer`` is the observability sink (:mod:`repro.obs`), not the
+    cost tracer: the interpretation shows up as one kernel-level span.
+    """
+    with tracer.span("runtime.profile_run", proc=proc.name):
+        memory = Memory.for_procedure(proc, bindings, extents)
+        cost = CostTracer(_loop_counter_names(proc), _array_sizes(memory))
+        Interpreter(proc, memory, cost).run()
+        logger.debug("profiled %s: %d parallel loop(s)", proc.name,
+                     len(cost.profile.parallel_loops))
+        return ProfiledRun(memory, cost.profile)
 
 
 def simulate_thread_sweep(
@@ -86,9 +99,15 @@ def detect_races(
     proc: Procedure,
     bindings: Mapping[str, object] = (),
     extents: Mapping[str, Sequence[int]] = (),
+    *,
+    tracer: NullTracer = NULL_TRACER,
 ) -> RaceReport:
     """Run *proc* once under the dynamic race detector."""
-    memory = Memory.for_procedure(proc, bindings, extents)
-    detector = RaceDetector()
-    Interpreter(proc, memory, detector).run()
-    return RaceReport(detector.races, memory)
+    with tracer.span("runtime.detect_races", proc=proc.name):
+        memory = Memory.for_procedure(proc, bindings, extents)
+        detector = RaceDetector()
+        Interpreter(proc, memory, detector).run()
+        if detector.races:
+            logger.warning("%s: %d race(s) detected", proc.name,
+                           len(detector.races))
+        return RaceReport(detector.races, memory)

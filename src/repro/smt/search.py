@@ -30,10 +30,17 @@ from .terms import FAtom
 
 @dataclass
 class SearchStats:
-    """Counters for one :func:`search` call."""
+    """Counters for one :func:`search` call.
+
+    ``propagations`` counts clause-to-unit promotions: clauses whose
+    literals were narrowed down to one surviving atom (by trivial
+    filtering, the substitution presolve, or per-literal theory checks)
+    and therefore asserted into the base without branching.
+    """
 
     theory_checks: int = 0
     branches: int = 0
+    propagations: int = 0
 
 
 @dataclass
@@ -160,6 +167,7 @@ def search(
         if not literals:
             return SearchOutcome(Result.UNSAT, stats=stats)
         if len(literals) == 1:
+            stats.propagations += 1
             base_list.extend(_atom_constraints(literals[0]) or ())
         else:
             pending.append(tuple(literals))
@@ -202,6 +210,7 @@ def search(
         if not kept:
             return SearchOutcome(Result.UNSAT, stats=stats)
         if len(kept) == 1:
+            stats.propagations += 1
             base_list.extend(_atom_constraints(kept[0]) or ())
             try:
                 pres = presolve(base_list)
@@ -233,6 +242,7 @@ def search(
                 if not kept:
                     return SearchOutcome(Result.UNSAT, stats=stats)
                 if len(kept) == 1:
+                    stats.propagations += 1
                     base_list.extend(_atom_constraints(kept[0]) or ())
                     changed = True  # stronger base: re-filter survivors
                 else:

@@ -21,21 +21,25 @@ pre-existing from-scratch behavior is kept behind
 
 from __future__ import annotations
 
+import logging
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..obs.tracer import NULL_TRACER, NullTracer
 from .ackermann import Ackermannizer, ackermannize
 from .clausify import (Clause, ClausifyBudgetError, clausify_all,
                        clausify_cache_info, clausify_cached)
 from .intsolver import Result
 from .linform import Constraint, TrivialConstraint, canonicalize
-from .search import SearchOutcome, search
+from .search import SearchOutcome, SearchStats, search
 from .terms import FAtom, Formula, TApp, Term
 
 SAT = Result.SAT
 UNSAT = Result.UNSAT
 UNKNOWN = Result.UNKNOWN
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -56,6 +60,8 @@ class SolverStats:
     unsat: int = 0
     unknown: int = 0
     theory_checks: int = 0
+    branches: int = 0
+    propagations: int = 0
     time_seconds: float = 0.0
     translate_seconds: float = 0.0
     clausify_seconds: float = 0.0
@@ -65,10 +71,13 @@ class SolverStats:
     clausify_hits: int = 0
     clausify_misses: int = 0
 
-    def record(self, result: Result, elapsed: float, theory_checks: int) -> None:
+    def record(self, result: Result, elapsed: float,
+               search_stats: SearchStats) -> None:
         self.checks += 1
         self.time_seconds += elapsed
-        self.theory_checks += theory_checks
+        self.theory_checks += search_stats.theory_checks
+        self.branches += search_stats.branches
+        self.propagations += search_stats.propagations
         if result is SAT:
             self.sat += 1
         elif result is UNSAT:
@@ -109,6 +118,7 @@ class Solver:
         node_budget: int = 2000,
         max_clauses: int = 100_000,
         incremental: bool = True,
+        tracer: NullTracer = NULL_TRACER,
     ) -> None:
         self._levels: List[_Level] = [_Level()]
         self._model: Optional[Dict[str, int]] = None
@@ -121,6 +131,7 @@ class Solver:
         self.node_budget = node_budget
         self.max_clauses = max_clauses
         self.incremental = incremental
+        self.tracer = tracer
 
     # ------------------------------------------------------------------
     # Z3-style interface
@@ -159,13 +170,32 @@ class Solver:
 
     def check(self) -> Result:
         """Decide the conjunction of all current assertions."""
+        tracer = self.tracer
+        stats = self.stats
+        if tracer.enabled:
+            before = (stats.translate_seconds, stats.clausify_seconds,
+                      stats.search_seconds, stats.clausify_hits,
+                      stats.clausify_misses)
         start = time.perf_counter()
         if self.incremental:
             outcome = self._check_incremental()
         else:
             outcome = self._check_fresh()
         elapsed = time.perf_counter() - start
-        self.stats.record(outcome.result, elapsed, outcome.stats.theory_checks)
+        stats.record(outcome.result, elapsed, outcome.stats)
+        if tracer.enabled:
+            tracer.emit(
+                "solver_check",
+                result=outcome.result.name,
+                dur_s=elapsed,
+                translate_s=stats.translate_seconds - before[0],
+                clausify_s=stats.clausify_seconds - before[1],
+                search_s=stats.search_seconds - before[2],
+                theory_checks=outcome.stats.theory_checks,
+                branches=outcome.stats.branches,
+                propagations=outcome.stats.propagations,
+                clausify_hits=stats.clausify_hits - before[3],
+                clausify_misses=stats.clausify_misses - before[4])
         self._model = outcome.model
         if outcome.model is not None:
             # Warm start for the next check on a grown assertion set
@@ -248,8 +278,12 @@ class Solver:
         if any(level.falsified for level in self._levels):
             return SearchOutcome(UNSAT)
         if any(level.poisoned for level in self._levels):
+            logger.warning("check is UNKNOWN: clausify budget exhausted "
+                           "(max_clauses=%d)", self.max_clauses)
             return SearchOutcome(UNKNOWN)
         if sum(level.nclauses for level in self._levels) > self.max_clauses:
+            logger.warning("check is UNKNOWN: clause store exceeds "
+                           "max_clauses=%d", self.max_clauses)
             return SearchOutcome(UNKNOWN)
         base = [c for level in self._levels for c in level.base]
         pending = [c for level in self._levels for c in level.clauses]
@@ -277,6 +311,8 @@ class Solver:
             clauses = clausify_all(ack.all_formulas, max_clauses=self.max_clauses)
         except ClausifyBudgetError:
             self.stats.clausify_seconds += time.perf_counter() - t1
+            logger.warning("check is UNKNOWN: clausify budget exhausted "
+                           "(max_clauses=%d)", self.max_clauses)
             return SearchOutcome(UNKNOWN)
         base: List[Constraint] = []
         pending: List[Clause] = []

@@ -1,0 +1,180 @@
+"""Stats aggregation audit: no counter may be silently dropped.
+
+PR 1 added per-phase fields to ``SolverStats``; this PR adds more and
+routes them through ``AnalysisStats.absorb_solver`` and the ``--jobs``
+fan-out. These tests pin the aggregation paths:
+
+* ``SolverStats.merge_into`` sums **every** dataclass field (it
+  iterates ``__dataclass_fields__``, so new fields are covered by
+  construction — the test proves the iteration really happens);
+* merging two independent solvers' stats equals one solver doing both
+  workloads;
+* ``absorb_solver`` accounts for every ``SolverStats`` field — a new
+  field that is not mapped (or deliberately recoverable) fails the
+  audit here instead of silently vanishing from Table 1/metrics;
+* per-loop ``AnalysisStats`` counters are identical whether regions
+  are analyzed sequentially or fanned out with ``--jobs``.
+"""
+
+import dataclasses
+
+from repro import analyze_formad
+from repro.formad.engine import AnalysisStats
+from repro.ir import parse_program
+from repro.smt import Int, Solver
+from repro.smt.clausify import clausify_cache_clear
+from repro.smt.solver import SolverStats
+
+INT_FIELDS = [f.name for f in dataclasses.fields(SolverStats)
+              if f.type == "int"]
+FLOAT_FIELDS = [f.name for f in dataclasses.fields(SolverStats)
+                if f.type == "float"]
+
+
+def distinct_stats(offset: int) -> SolverStats:
+    """A SolverStats whose every field holds a distinct sentinel."""
+    values = {}
+    for n, name in enumerate(INT_FIELDS):
+        values[name] = offset + n
+    for n, name in enumerate(FLOAT_FIELDS):
+        values[name] = float(offset + 100 + n) / 8.0
+    return SolverStats(**values)
+
+
+class TestMergeInto:
+    def test_every_field_is_summed(self):
+        a, b = distinct_stats(1), distinct_stats(1000)
+        expected = {name: getattr(a, name) + getattr(b, name)
+                    for name in a.__dataclass_fields__}
+        a.merge_into(b)
+        assert {name: getattr(b, name)
+                for name in b.__dataclass_fields__} == expected
+
+    def test_field_inventory_is_typed(self):
+        # every field is summable; a non-int/float addition would need
+        # its own merge rule and must show up here first
+        assert set(INT_FIELDS) | set(FLOAT_FIELDS) \
+            == set(SolverStats.__dataclass_fields__)
+
+    def test_merging_two_solvers_equals_combined_run(self):
+        """solver(A).stats + solver(B).stats == solver(A then B).stats
+        on every deterministic (int) counter.
+
+        The workloads use disjoint variable sets so the process-global
+        clause cache treats the separate and combined runs identically.
+        """
+
+        def workload_a(names):
+            x, y = (Int(n) for n in names)
+            return [x.gt(y), y.ge(0), x.le(10)]
+
+        def workload_b(names):
+            x, y = (Int(n) for n in names)
+            return [x.eq(y + 3), x.lt(y)]  # UNSAT
+
+        clausify_cache_clear()
+        s1 = Solver()
+        s1.add(*workload_a(("ma1", "ma2")))
+        s1.check()
+        s2 = Solver()
+        s2.add(*workload_b(("mb1", "mb2")))
+        s2.check()
+        merged = SolverStats()
+        s1.stats.merge_into(merged)
+        s2.stats.merge_into(merged)
+
+        combined = Solver()
+        combined.push()
+        combined.add(*workload_a(("mc1", "mc2")))
+        combined.check()
+        combined.pop()
+        combined.push()
+        combined.add(*workload_b(("md1", "md2")))
+        combined.check()
+        combined.pop()
+
+        for name in INT_FIELDS:
+            assert getattr(combined.stats, name) == getattr(merged, name), name
+        for name in FLOAT_FIELDS:
+            assert getattr(merged, name) > 0.0, name
+
+
+class TestAbsorbSolver:
+    #: SolverStats field -> how AnalysisStats records it. ``checks`` is
+    #: deliberately recoverable instead of stored. Extending
+    #: SolverStats without extending this table fails test_audit.
+    MAPPING = {
+        "checks": lambda a: a.solver_sat + a.solver_unsat + a.solver_unknown,
+        "sat": lambda a: a.solver_sat,
+        "unsat": lambda a: a.solver_unsat,
+        "unknown": lambda a: a.solver_unknown,
+        "theory_checks": lambda a: a.theory_checks,
+        "branches": lambda a: a.search_branches,
+        "propagations": lambda a: a.search_propagations,
+        "time_seconds": lambda a: a.solver_time_seconds,
+        "translate_seconds": lambda a: a.translate_seconds,
+        "clausify_seconds": lambda a: a.clausify_seconds,
+        "search_seconds": lambda a: a.search_seconds,
+        "formulas_translated": lambda a: a.formulas_translated,
+        "congruence_axioms": lambda a: a.congruence_axioms,
+        "clausify_hits": lambda a: a.clausify_hits,
+        "clausify_misses": lambda a: a.clausify_misses,
+    }
+
+    def test_audit_covers_every_solver_stats_field(self):
+        assert set(self.MAPPING) == set(SolverStats.__dataclass_fields__)
+
+    def test_no_field_is_dropped(self):
+        solver = Solver()
+        # sentinel values; make the checks identity hold
+        solver.stats = distinct_stats(3)
+        solver.stats.checks = (solver.stats.sat + solver.stats.unsat
+                               + solver.stats.unknown)
+        analysis = AnalysisStats()
+        analysis.absorb_solver(solver)
+        for name, read in self.MAPPING.items():
+            assert read(analysis) == getattr(solver.stats, name), name
+
+
+TWO_LOOPS = """
+subroutine two(x, y, z, n)
+  real, intent(in) :: x(1000)
+  real, intent(out) :: y(1000)
+  real, intent(out) :: z(1000)
+  integer, intent(in) :: n
+  !$omp parallel do
+  do i = 2, n
+    y(i) = x(i) + x(i - 1)
+  end do
+  !$omp parallel do
+  do j = 2, n
+    z(j) = x(j) * x(j - 1)
+  end do
+end subroutine two
+"""
+
+#: Counters that must agree between sequential and --jobs runs.
+#: clausify_hits/misses are excluded: the cache is process-global, so
+#: its hit pattern depends on what ran earlier in the process, not on
+#: the fan-out.
+JOBS_INVARIANT = (
+    "consistency_checks", "exploitation_checks", "memo_hits",
+    "model_size", "unique_exprs", "skipped_pairs", "theory_checks",
+    "search_branches", "search_propagations", "solver_sat",
+    "solver_unsat", "solver_unknown", "formulas_translated",
+    "congruence_axioms",
+)
+
+
+class TestJobsFanOut:
+    def test_parallel_equals_sequential_per_loop(self):
+        proc = parse_program(TWO_LOOPS)["two"]
+        seq = analyze_formad(proc, ["x"], ["y", "z"])
+        par = analyze_formad(proc, ["x"], ["y", "z"], jobs=2)
+        assert len(seq) == 2 and len(par) == 2
+        for a, b in zip(seq, par):
+            assert a.loop.uid == b.loop.uid
+            assert {n: v.safe for n, v in a.verdicts.items()} \
+                == {n: v.safe for n, v in b.verdicts.items()}
+            for name in JOBS_INVARIANT:
+                assert getattr(a.stats, name) == getattr(b.stats, name), name
