@@ -1,0 +1,39 @@
+"""Differential soundness audit (fuzzing + fault injection).
+
+Self-validation layer for the FormAD reproduction: a seeded random
+kernel generator over the project IR, three concrete-execution oracles
+(dynamic race detection of the generated adjoint, shadow-traced
+collision search for the engine's "safe" claims, finite-difference
+numerics), a fault-injecting solver wrapper that proves the engine
+degrades to safeguards instead of crashing or over-claiming, and a
+delta-debugging shrinker for anything that fails. Exposed on the
+command line as ``repro audit``; see ``docs/AUDIT.md``.
+"""
+
+from .chaos import (ChaosConfig, ChaosError, ChaosSolver, KINDS,
+                    chaos_factory, uniform_chaos)
+from .generator import (CaseSpec, FAMILIES, IndexSpec, RACY_FAMILIES,
+                        ReadSpec, StmtSpec, build_procedure, generate_case,
+                        make_bindings, spec_from_json)
+from .harness import (AuditReport, CaseResult, ChaosOutcome, REPORT_SCHEMA,
+                      Violation, chaos_check, chaos_sweep, format_report,
+                      run_audit, run_case)
+from .minimize import minimize
+from .numcheck import adjoint_bindings, dot_product_check, gradients
+from .oracles import (ADJ_READ, ADJ_WRITE, AdjointShadowTracer, Collision,
+                      adjoint_kind_map, run_shadow)
+
+__all__ = [
+    "ChaosConfig", "ChaosError", "ChaosSolver", "KINDS",
+    "chaos_factory", "uniform_chaos",
+    "CaseSpec", "FAMILIES", "IndexSpec", "RACY_FAMILIES", "ReadSpec",
+    "StmtSpec", "build_procedure", "generate_case", "make_bindings",
+    "spec_from_json",
+    "AuditReport", "CaseResult", "ChaosOutcome", "REPORT_SCHEMA",
+    "Violation", "chaos_check", "chaos_sweep", "format_report",
+    "run_audit", "run_case",
+    "minimize",
+    "adjoint_bindings", "dot_product_check", "gradients",
+    "ADJ_READ", "ADJ_WRITE", "AdjointShadowTracer", "Collision",
+    "adjoint_kind_map", "run_shadow",
+]

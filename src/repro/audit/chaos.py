@@ -1,0 +1,150 @@
+"""Fault injection for the SMT layer ("chaos" mode).
+
+FormAD's soundness bias (DESIGN.md §4) claims that *any* solver
+misbehavior — UNKNOWN answers, clausify-budget exhaustion, outright
+crashes — degrades the analysis to safeguards and never upgrades a
+verdict to "shared". :class:`ChaosSolver` makes that claim testable: it
+wraps the real :class:`~repro.smt.solver.Solver` and injects failures
+into ``check()`` at configurable rates (or at explicit check indices,
+for deterministic targeting of a single exploitation question).
+
+Injection is *seeded per solver instance*, so a chaos run is exactly
+reproducible: the engine builds one solver per analyzed loop, and the
+``k``-th solver of a :func:`chaos_factory` always draws the same fault
+schedule for a given config.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import FrozenSet, List, Optional, Tuple
+
+from ..smt.clausify import ClausifyBudgetError
+from ..smt.intsolver import Result
+from ..smt.search import SearchStats
+from ..smt.solver import UNKNOWN, Solver
+
+#: Injection kinds, in the order rate thresholds partition [0, 1).
+KINDS = ("unknown", "budget", "error")
+
+
+class ChaosError(RuntimeError):
+    """The arbitrary exception :class:`ChaosSolver` injects."""
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Fault schedule for :class:`ChaosSolver`.
+
+    ``unknown_rate``/``budget_rate``/``error_rate`` partition the unit
+    interval: one uniform draw per ``check()`` selects UNKNOWN
+    injection, a :class:`ClausifyBudgetError`, a :class:`ChaosError`,
+    or (the remainder) an honest check. ``fail_checks`` additionally
+    forces ``fail_kind`` at those per-solver check indices regardless
+    of the rates — the deterministic mode the soundness property test
+    uses to strike one specific exploitation question.
+    """
+
+    unknown_rate: float = 0.0
+    budget_rate: float = 0.0
+    error_rate: float = 0.0
+    seed: int = 0
+    fail_checks: FrozenSet[int] = frozenset()
+    fail_kind: str = "unknown"
+    #: When set, ``fail_checks`` only strikes the solver with this
+    #: instance number (the engine builds one solver per parallel
+    #: loop, in analysis order), leaving every other loop honest.
+    fail_instance: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        total = self.unknown_rate + self.budget_rate + self.error_rate
+        if not 0.0 <= total <= 1.0:
+            raise ValueError(f"injection rates sum to {total}, "
+                             f"expected within [0, 1]")
+        if self.fail_kind not in KINDS:
+            raise ValueError(f"fail_kind {self.fail_kind!r}; pick from {KINDS}")
+
+
+def uniform_chaos(rate: float, kind: str = "unknown", *,
+                  seed: int = 0) -> ChaosConfig:
+    """A config injecting one failure *kind* at the given rate."""
+    if kind not in KINDS:
+        raise ValueError(f"kind {kind!r}; pick from {KINDS}")
+    return ChaosConfig(seed=seed, **{f"{kind}_rate": rate})
+
+
+class ChaosSolver(Solver):
+    """A :class:`Solver` whose ``check()`` sometimes fails on purpose.
+
+    Injected UNKNOWNs are recorded in the solver stats exactly like
+    genuine ones (``stats.unknown``); injected exceptions propagate to
+    the caller, which is the point — the engine must contain them.
+    ``injected`` logs ``(check_index, kind)`` for every strike.
+    """
+
+    def __init__(self, config: ChaosConfig, *, instance: int = 0,
+                 **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.chaos = config
+        self.instance = instance
+        self.injected: List[Tuple[int, str]] = []
+        self._check_index = 0
+        self._rng = random.Random(f"chaos:{config.seed}:{instance}")
+
+    def _decide(self, index: int) -> Optional[str]:
+        targeted = (self.chaos.fail_instance is None
+                    or self.chaos.fail_instance == self.instance)
+        if targeted and index in self.chaos.fail_checks:
+            return self.chaos.fail_kind
+        draw = self._rng.random()
+        edge = self.chaos.unknown_rate
+        if draw < edge:
+            return "unknown"
+        edge += self.chaos.budget_rate
+        if draw < edge:
+            return "budget"
+        edge += self.chaos.error_rate
+        if draw < edge:
+            return "error"
+        return None
+
+    def check(self) -> Result:
+        index = self._check_index
+        self._check_index += 1
+        kind = self._decide(index)
+        if kind is None:
+            return super().check()
+        self.injected.append((index, kind))
+        if kind == "unknown":
+            self.stats.record(UNKNOWN, 0.0, SearchStats())
+            self._model = None
+            return UNKNOWN
+        if kind == "budget":
+            raise ClausifyBudgetError(
+                f"chaos: injected clausify budget failure at check {index}")
+        raise ChaosError(f"chaos: injected solver crash at check {index}")
+
+
+def chaos_factory(config: ChaosConfig):
+    """A solver factory for ``FormADEngine(solver_factory=...)``.
+
+    Returns a callable accepting the engine's standard solver keyword
+    arguments; its ``solvers`` attribute collects every instance built,
+    so callers can count injections after an analysis:
+
+        factory = chaos_factory(uniform_chaos(0.5))
+        engine = FormADEngine(proc, activity, solver_factory=factory)
+        ...
+        strikes = sum(len(s.injected) for s in factory.solvers)
+    """
+    solvers: List[ChaosSolver] = []
+
+    def factory(**kwargs) -> ChaosSolver:
+        solver = ChaosSolver(config, instance=len(solvers), **kwargs)
+        solvers.append(solver)
+        return solver
+
+    factory.solvers = solvers
+    factory.config = config
+    return factory

@@ -1,0 +1,469 @@
+"""Seeded random kernel generator for the soundness audit.
+
+Every case is a :class:`CaseSpec` — a tiny, serializable, *shrinkable*
+description of one parallel loop over the existing IR: which statements
+it contains, how each index expression is formed (affine in the
+counter, or routed through an integer table acting as the paper's
+uninterpreted function), which scalars are private, whether statements
+are guarded or atomic. ``build_procedure`` turns a spec into a real
+:class:`~repro.ir.program.Procedure`; ``make_bindings`` produces a
+matching concrete workload for any requested extent, so the same spec
+can be executed at several trip counts.
+
+The families deliberately cover both sides of every FormAD answer:
+
+* provably safe shapes (elementwise, compact stencil windows,
+  permutation scatter-increments, guarded/context splits, private
+  scalars, inner sequential loops) where the audit demands an all-safe
+  verdict that survives the dynamic race detector and numeric checks;
+* honestly-unprovable shapes (gathers through tables) where a SAT
+  verdict must either reproduce a concrete collision (non-injective
+  table) or be classified as a spurious-but-safe over-approximation
+  (permutation table — the solver cannot know it is injective);
+* deliberately racy primals (colliding scatters, shared scalars,
+  overlapping affine writes) that the race detector must catch, which
+  keeps the *oracles themselves* honest.
+
+Specs are frozen dataclasses so the delta-debugging minimizer can
+rewrite them structurally and re-run the failure predicate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ir.builder import ProcedureBuilder
+from ..ir.expr import Expr, Var, as_expr
+from ..ir.program import Procedure
+from ..ir.types import INTEGER, REAL, integer_array, real_array
+
+#: Generator families, in round-robin order.
+FAMILIES = (
+    "elementwise",
+    "compact_window",
+    "gather_perm",
+    "gather_collide",
+    "scatter_inc_perm",
+    "guarded",
+    "private_scalar",
+    "inner_loop",
+    "atomic_scatter",
+    "racy_scatter",
+    "racy_scalar",
+    "racy_overlap",
+)
+
+#: Families whose primal is racy on purpose.
+RACY_FAMILIES = ("racy_scatter", "racy_scalar", "racy_overlap")
+
+
+@dataclass(frozen=True)
+class IndexSpec:
+    """One index expression: ``table(coeff*base + offset)`` or the
+    affine part alone when ``table`` is None. ``base`` is the loop
+    counter (``"i"``) or an integer scalar assigned in the region."""
+
+    base: str = "i"
+    coeff: int = 1
+    offset: int = 0
+    table: Optional[str] = None
+
+    def expr(self) -> Expr:
+        e: Expr = Var(self.base)
+        if self.coeff != 1:
+            e = self.coeff * e
+        if self.offset:
+            e = e + self.offset if self.offset > 0 else e - (-self.offset)
+        if self.table is not None:
+            return Var(self.table)[e]
+        return e
+
+    def render(self) -> str:
+        inner = self.base
+        if self.coeff != 1:
+            inner = f"{self.coeff}*{inner}"
+        if self.offset:
+            inner = f"{inner}{self.offset:+d}"
+        return f"{self.table}({inner})" if self.table else inner
+
+
+@dataclass(frozen=True)
+class ReadSpec:
+    """One RHS read ``weight * array(index)``."""
+
+    array: str
+    index: IndexSpec
+    weight: float = 1.0
+
+
+@dataclass(frozen=True)
+class StmtSpec:
+    """One statement of the parallel region.
+
+    ``kind``: ``assign`` (plain store), ``increment`` (exact update
+    ``a(e) = a(e) + rhs``), or ``scalar_assign`` (integer counter-derived
+    scalar when used as an index base elsewhere, real otherwise).
+    ``guard_gt`` wraps the statement in ``if (base > guard_gt)``.
+    """
+
+    kind: str
+    target: str
+    index: Optional[IndexSpec] = None
+    reads: Tuple[ReadSpec, ...] = ()
+    bias: float = 0.0
+    guard_gt: Optional[int] = None
+    atomic: bool = False
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """A complete generated kernel, reproducible from (family, seed)."""
+
+    family: str
+    seed: int
+    n: int = 24                       # default extent / workload size
+    lo: int = 1                       # parallel-loop lower bound
+    stride: int = 1
+    private: Tuple[str, ...] = ()
+    #: (name, kind) with kind in {"permutation", "collision", "identity"}.
+    tables: Tuple[Tuple[str, str], ...] = ()
+    stmts: Tuple[StmtSpec, ...] = ()
+    inner_reps: int = 0               # >0: wrap body in `do j = 1, reps`
+    expect_primal_race: bool = False
+
+    # -- derived -------------------------------------------------------
+    def arrays_written(self) -> List[str]:
+        return sorted({s.target for s in self.stmts
+                       if s.kind != "scalar_assign"})
+
+    def arrays_read(self) -> List[str]:
+        return sorted({r.array for s in self.stmts for r in s.reads})
+
+    def independents(self) -> List[str]:
+        return [a for a in self.arrays_read()
+                if a not in self.arrays_written() and not self._is_table(a)]
+
+    def dependents(self) -> List[str]:
+        return self.arrays_written()
+
+    def _is_table(self, name: str) -> bool:
+        return any(t == name for t, _ in self.tables)
+
+    def _index_specs(self) -> List[IndexSpec]:
+        out = []
+        for s in self.stmts:
+            if s.index is not None:
+                out.append(s.index)
+            out.extend(r.index for r in s.reads)
+        return out
+
+    def trip_count(self, extent: int) -> int:
+        """Largest ``m`` keeping every generated index inside
+        ``[1, extent]`` for ``i`` in ``lo..m`` (table lookups index the
+        table itself; table values are generated within range)."""
+        m = extent
+        for ix in self._index_specs():
+            # the affine part must stay in [1, extent] at both ends
+            m = min(m, (extent - ix.offset) // ix.coeff)
+        return max(m, 0)
+
+    def to_json(self) -> dict:
+        return dataclasses.asdict(self)
+
+
+def spec_from_json(doc: dict) -> CaseSpec:
+    """Inverse of :meth:`CaseSpec.to_json` (reproducer files)."""
+    stmts = tuple(
+        StmtSpec(kind=s["kind"], target=s["target"],
+                 index=None if s["index"] is None else IndexSpec(**s["index"]),
+                 reads=tuple(ReadSpec(array=r["array"],
+                                      index=IndexSpec(**r["index"]),
+                                      weight=r["weight"])
+                             for r in s["reads"]),
+                 bias=s["bias"], guard_gt=s["guard_gt"], atomic=s["atomic"])
+        for s in doc["stmts"])
+    return CaseSpec(family=doc["family"], seed=doc["seed"], n=doc["n"],
+                    lo=doc["lo"], stride=doc["stride"],
+                    private=tuple(doc["private"]),
+                    tables=tuple((t[0], t[1]) for t in doc["tables"]),
+                    stmts=stmts, inner_reps=doc["inner_reps"],
+                    expect_primal_race=doc["expect_primal_race"])
+
+
+# ----------------------------------------------------------------------
+# Spec -> IR
+# ----------------------------------------------------------------------
+def _scalar_targets(spec: CaseSpec) -> Dict[str, bool]:
+    """Scalar-assign targets: name -> used-as-index-base?"""
+    bases = {ix.base for ix in spec._index_specs()}
+    return {s.target: s.target in bases
+            for s in spec.stmts if s.kind == "scalar_assign"}
+
+
+def build_procedure(spec: CaseSpec, name: str = "kernel") -> Procedure:
+    """Materialize the spec as an IR procedure.
+
+    Arrays are assumed-size (extents come from the bindings), so one
+    procedure runs at any trip count; the usable bound ``m`` is an
+    integer parameter computed by :func:`make_bindings`.
+    """
+    b = ProcedureBuilder(name)
+    written = set(spec.arrays_written())
+    for arr in spec.independents():
+        b.param(arr, real_array((1, None)), intent="in")
+    for arr in spec.dependents():
+        b.param(arr, real_array((1, None)), intent="inout")
+    for tname, _ in spec.tables:
+        b.param(tname, integer_array((1, None)), intent="in")
+    b.param("m", INTEGER, intent="in")
+    scalars = _scalar_targets(spec)
+    for sname, is_index in scalars.items():
+        b.local(sname, INTEGER if is_index else REAL)
+
+    def ref(array: str, ix: IndexSpec):
+        return Var(array)[ix.expr()]
+
+    def rhs_sum(stmt: StmtSpec) -> Expr:
+        e: Optional[Expr] = None
+        for r in stmt.reads:
+            term = (r.weight * ref(r.array, r.index) if r.weight != 1.0
+                    else ref(r.array, r.index))
+            e = term if e is None else e + term
+        if stmt.bias or e is None:
+            e = as_expr(stmt.bias) if e is None else e + stmt.bias
+        return e
+
+    def emit(stmt: StmtSpec) -> None:
+        if stmt.kind == "scalar_assign":
+            if scalars[stmt.target]:
+                value: Expr = Var("i") + stmt.index.offset \
+                    if stmt.index else Var("i")
+            else:
+                value = rhs_sum(stmt)
+            b.assign(Var(stmt.target), value)
+            return
+        target = ref(stmt.target, stmt.index)
+        if stmt.kind == "increment":
+            b.assign(target, target + rhs_sum(stmt), atomic=stmt.atomic)
+        else:
+            b.assign(target, rhs_sum(stmt), atomic=stmt.atomic)
+
+    def emit_guarded(stmt: StmtSpec) -> None:
+        if stmt.guard_gt is not None:
+            with b.if_(Var("i").gt(stmt.guard_gt)):
+                emit(stmt)
+        else:
+            emit(stmt)
+
+    with b.parallel_do("i", spec.lo, Var("m"), spec.stride,
+                       private=spec.private):
+        if spec.inner_reps > 0:
+            with b.do("j", 1, spec.inner_reps):
+                for stmt in spec.stmts:
+                    emit_guarded(stmt)
+        else:
+            for stmt in spec.stmts:
+                emit_guarded(stmt)
+    return b.build()
+
+
+def make_bindings(spec: CaseSpec, extent: int, *,
+                  seed: int = 0) -> Dict[str, object]:
+    """A concrete workload for one extent (array length)."""
+    rng = np.random.default_rng((spec.seed, seed, extent))
+    out: Dict[str, object] = {}
+    for arr in spec.independents():
+        out[arr] = rng.standard_normal(extent)
+    for arr in spec.dependents():
+        out[arr] = np.zeros(extent)
+    m = spec.trip_count(extent)
+    for tname, kind in spec.tables:
+        if kind == "permutation":
+            tab = rng.permutation(extent) + 1
+        elif kind == "identity":
+            tab = np.arange(1, extent + 1)
+        elif kind == "collision":
+            tab = rng.integers(1, extent + 1, size=extent)
+            if m >= spec.lo + spec.stride:
+                # guarantee a collision between the first two executed
+                # iterations, whatever the extent
+                tab[spec.lo - 1 + spec.stride] = tab[spec.lo - 1]
+        else:  # pragma: no cover - spec validation
+            raise ValueError(f"unknown table kind {kind!r}")
+        out[tname] = tab.astype(np.int64)
+    out["m"] = int(m)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Families
+# ----------------------------------------------------------------------
+def _w(rng: random.Random) -> float:
+    return round(rng.uniform(0.25, 2.0), 3)
+
+
+def _fam_elementwise(rng: random.Random, seed: int) -> CaseSpec:
+    off = rng.choice((0, 1, 2))
+    reads = [ReadSpec("x", IndexSpec(offset=off), _w(rng))]
+    if rng.random() < 0.5:
+        reads.append(ReadSpec("x", IndexSpec(offset=off), _w(rng)))
+    return CaseSpec(
+        family="elementwise", seed=seed, n=rng.randrange(12, 40),
+        stmts=(StmtSpec("assign", "y", IndexSpec(offset=off),
+                        tuple(reads), bias=_w(rng)),))
+
+
+def _fam_compact_window(rng: random.Random, seed: int) -> CaseSpec:
+    # The paper's compact 3-point stencil: stride-2 loop, writes at
+    # {i, i-1}, reads at the same window — read safety follows from
+    # write knowledge.
+    return CaseSpec(
+        family="compact_window", seed=seed, n=rng.randrange(16, 40),
+        lo=2, stride=2,
+        stmts=(
+            StmtSpec("increment", "y", IndexSpec(),
+                     (ReadSpec("x", IndexSpec(offset=-1), _w(rng)),)),
+            StmtSpec("increment", "y", IndexSpec(),
+                     (ReadSpec("x", IndexSpec(), _w(rng)),)),
+            StmtSpec("increment", "y", IndexSpec(offset=-1),
+                     (ReadSpec("x", IndexSpec(), _w(rng)),)),
+        ))
+
+
+def _fam_gather_perm(rng: random.Random, seed: int) -> CaseSpec:
+    return CaseSpec(
+        family="gather_perm", seed=seed, n=rng.randrange(12, 32),
+        tables=(("p", "permutation"),),
+        stmts=(StmtSpec("assign", "y", IndexSpec(),
+                        (ReadSpec("x", IndexSpec(table="p"), _w(rng)),)),))
+
+
+def _fam_gather_collide(rng: random.Random, seed: int) -> CaseSpec:
+    return CaseSpec(
+        family="gather_collide", seed=seed, n=rng.randrange(12, 32),
+        tables=(("t", "collision"),),
+        stmts=(StmtSpec("assign", "y", IndexSpec(),
+                        (ReadSpec("x", IndexSpec(table="t"), _w(rng)),)),))
+
+
+def _fam_scatter_inc_perm(rng: random.Random, seed: int) -> CaseSpec:
+    return CaseSpec(
+        family="scatter_inc_perm", seed=seed, n=rng.randrange(12, 32),
+        tables=(("p", "permutation"),),
+        stmts=(StmtSpec("increment", "y", IndexSpec(table="p"),
+                        (ReadSpec("x", IndexSpec(), _w(rng)),)),))
+
+
+def _fam_guarded(rng: random.Random, seed: int) -> CaseSpec:
+    n = rng.randrange(16, 40)
+    return CaseSpec(
+        family="guarded", seed=seed, n=n,
+        stmts=(
+            StmtSpec("assign", "y", IndexSpec(),
+                     (ReadSpec("x", IndexSpec(), _w(rng)),),
+                     guard_gt=rng.randrange(2, 6)),
+            StmtSpec("assign", "z", IndexSpec(),
+                     (ReadSpec("x", IndexSpec(), _w(rng)),), bias=1.0),
+        ))
+
+
+def _fam_private_scalar(rng: random.Random, seed: int) -> CaseSpec:
+    off = rng.choice((0, 1))
+    return CaseSpec(
+        family="private_scalar", seed=seed, n=rng.randrange(12, 32),
+        private=("k",),
+        stmts=(
+            StmtSpec("scalar_assign", "k", IndexSpec(offset=off)),
+            StmtSpec("assign", "y", IndexSpec(base="k"),
+                     (ReadSpec("x", IndexSpec(base="k"), _w(rng)),)),
+        ))
+
+
+def _fam_inner_loop(rng: random.Random, seed: int) -> CaseSpec:
+    return CaseSpec(
+        family="inner_loop", seed=seed, n=rng.randrange(12, 32),
+        inner_reps=rng.randrange(2, 5),
+        stmts=(StmtSpec("increment", "y", IndexSpec(),
+                        (ReadSpec("x", IndexSpec(), _w(rng)),)),))
+
+
+def _fam_atomic_scatter(rng: random.Random, seed: int) -> CaseSpec:
+    # Colliding scatter-add made legal by `!$omp atomic`: the primal is
+    # race-free, but FormAD must refuse to reason about the atomic
+    # array (fallback), never prove it.
+    return CaseSpec(
+        family="atomic_scatter", seed=seed, n=rng.randrange(12, 32),
+        tables=(("t", "collision"),),
+        stmts=(StmtSpec("increment", "y", IndexSpec(table="t"),
+                        (ReadSpec("x", IndexSpec(), _w(rng)),),
+                        atomic=True),))
+
+
+def _fam_racy_scatter(rng: random.Random, seed: int) -> CaseSpec:
+    return CaseSpec(
+        family="racy_scatter", seed=seed, n=rng.randrange(12, 32),
+        tables=(("t", "collision"),), expect_primal_race=True,
+        stmts=(StmtSpec("assign", "y", IndexSpec(table="t"),
+                        (ReadSpec("x", IndexSpec(), _w(rng)),)),))
+
+
+def _fam_racy_scalar(rng: random.Random, seed: int) -> CaseSpec:
+    # `s` is assigned in every iteration but NOT private: scalar race.
+    return CaseSpec(
+        family="racy_scalar", seed=seed, n=rng.randrange(12, 32),
+        expect_primal_race=True,
+        stmts=(
+            StmtSpec("scalar_assign", "s", None,
+                     (ReadSpec("x", IndexSpec(), _w(rng)),)),
+            StmtSpec("assign", "y", IndexSpec(), (), bias=2.0),
+        ))
+
+
+def _fam_racy_overlap(rng: random.Random, seed: int) -> CaseSpec:
+    # Writes at i and i+1 from a stride-1 loop: adjacent iterations
+    # collide on y.
+    return CaseSpec(
+        family="racy_overlap", seed=seed, n=rng.randrange(16, 40),
+        expect_primal_race=True,
+        stmts=(
+            StmtSpec("assign", "y", IndexSpec(),
+                     (ReadSpec("x", IndexSpec(), _w(rng)),)),
+            StmtSpec("increment", "y", IndexSpec(offset=1),
+                     (ReadSpec("x", IndexSpec(), _w(rng)),)),
+        ))
+
+
+_BUILDERS = {
+    "elementwise": _fam_elementwise,
+    "compact_window": _fam_compact_window,
+    "gather_perm": _fam_gather_perm,
+    "gather_collide": _fam_gather_collide,
+    "scatter_inc_perm": _fam_scatter_inc_perm,
+    "guarded": _fam_guarded,
+    "private_scalar": _fam_private_scalar,
+    "inner_loop": _fam_inner_loop,
+    "atomic_scatter": _fam_atomic_scatter,
+    "racy_scatter": _fam_racy_scatter,
+    "racy_scalar": _fam_racy_scalar,
+    "racy_overlap": _fam_racy_overlap,
+}
+
+assert set(_BUILDERS) == set(FAMILIES)
+
+
+def generate_case(index: int, *, seed: int = 0,
+                  families: Sequence[str] = FAMILIES) -> CaseSpec:
+    """Deterministically generate the ``index``-th case of an audit run.
+
+    Families rotate round-robin so every ``--count`` covers all of
+    them; the per-case RNG is seeded with ``(seed, index)`` so any
+    single case can be regenerated without replaying the run.
+    """
+    family = families[index % len(families)]
+    rng = random.Random(f"audit:{seed}:{index}")
+    return _BUILDERS[family](rng, seed=seed * 1_000_003 + index)

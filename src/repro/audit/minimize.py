@@ -1,0 +1,114 @@
+"""Greedy delta-debugging shrink for failing audit cases.
+
+Given a :class:`~repro.audit.generator.CaseSpec` and a predicate "does
+the failure still reproduce?", repeatedly tries structural
+simplifications — drop a statement, drop a read, remove a guard, strip
+an atomic, route an index past its table, zero an offset, flatten the
+inner loop, shrink the extent — keeping any that preserve the failure,
+until a fixpoint. This is ddmin in spirit but greedy and typed: every
+candidate is a valid spec by construction, so the predicate never sees
+a syntactically broken kernel.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterator, List
+
+from .generator import CaseSpec, IndexSpec, StmtSpec
+
+#: Safety bound on predicate evaluations per minimization.
+MAX_PROBES = 200
+
+
+def _simplify_index(ix: IndexSpec) -> Iterator[IndexSpec]:
+    if ix.table is not None:
+        yield dataclasses.replace(ix, table=None)
+    if ix.offset != 0:
+        yield dataclasses.replace(ix, offset=0)
+    if ix.coeff != 1:
+        yield dataclasses.replace(ix, coeff=1)
+
+
+def _simplify_stmt(stmt: StmtSpec) -> Iterator[StmtSpec]:
+    for j in range(len(stmt.reads)):
+        yield dataclasses.replace(
+            stmt, reads=stmt.reads[:j] + stmt.reads[j + 1:])
+    if stmt.guard_gt is not None:
+        yield dataclasses.replace(stmt, guard_gt=None)
+    if stmt.atomic:
+        yield dataclasses.replace(stmt, atomic=False)
+    if stmt.index is not None:
+        for ix in _simplify_index(stmt.index):
+            yield dataclasses.replace(stmt, index=ix)
+    for j, read in enumerate(stmt.reads):
+        for ix in _simplify_index(read.index):
+            new = dataclasses.replace(read, index=ix)
+            yield dataclasses.replace(
+                stmt, reads=stmt.reads[:j] + (new,) + stmt.reads[j + 1:])
+
+
+def _normalize(spec: CaseSpec) -> CaseSpec:
+    """Drop tables and privates nothing references anymore."""
+    used_tables = {ix.table
+                   for s in spec.stmts
+                   for ix in ([s.index] if s.index else [])
+                   + [r.index for r in s.reads]
+                   if ix.table is not None}
+    used_names = ({ix.base for s in spec.stmts
+                   for ix in ([s.index] if s.index else [])
+                   + [r.index for r in s.reads]}
+                  | {s.target for s in spec.stmts})
+    return dataclasses.replace(
+        spec,
+        tables=tuple(t for t in spec.tables if t[0] in used_tables),
+        private=tuple(p for p in spec.private if p in used_names))
+
+
+def _candidates(spec: CaseSpec) -> Iterator[CaseSpec]:
+    if len(spec.stmts) > 1:
+        for k in range(len(spec.stmts)):
+            yield dataclasses.replace(
+                spec, stmts=spec.stmts[:k] + spec.stmts[k + 1:])
+    for k, stmt in enumerate(spec.stmts):
+        for new in _simplify_stmt(stmt):
+            yield dataclasses.replace(
+                spec, stmts=spec.stmts[:k] + (new,) + spec.stmts[k + 1:])
+    if spec.inner_reps > 0:
+        yield dataclasses.replace(spec, inner_reps=0)
+    if spec.stride != 1:
+        yield dataclasses.replace(spec, stride=1)
+    if spec.n > 8:
+        yield dataclasses.replace(spec, n=max(8, spec.n // 2))
+
+
+def minimize(spec: CaseSpec,
+             reproduces: Callable[[CaseSpec], bool],
+             *, max_probes: int = MAX_PROBES) -> CaseSpec:
+    """Smallest spec (under the greedy moves above) still failing.
+
+    ``reproduces`` must treat exceptions as non-reproduction itself if
+    it wants crash-tolerance; any exception here aborts the shrink and
+    returns the best spec so far.
+    """
+    current = spec
+    probes = 0
+    progress = True
+    while progress and probes < max_probes:
+        progress = False
+        for candidate in _candidates(current):
+            candidate = _normalize(candidate)
+            if candidate == current:
+                continue
+            probes += 1
+            if probes > max_probes:
+                break
+            try:
+                hit = reproduces(candidate)
+            except Exception:
+                hit = False
+            if hit:
+                current = candidate
+                progress = True
+                break
+    return current

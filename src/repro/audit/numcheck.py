@@ -1,0 +1,129 @@
+"""Numeric oracle: non-asserting dot-product (adjoint consistency) test.
+
+Same mathematics as ``tests/ad/adcheck.py`` — for F mapping initial to
+final values of the active variables, reverse mode must satisfy
+``⟨w, Jv⟩ = ⟨J^T w, v⟩`` for random directions v (independents) and
+seeds w (dependents). The left side is measured with central finite
+differences on the primal interpreter, the right side by one adjoint
+run. Unlike the test helper this returns the verdict instead of
+asserting, so the audit harness can file a violation and keep going.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Sequence, Tuple
+
+import numpy as np
+
+from ..ad import ReverseResult
+from ..ir.program import Procedure
+from ..runtime import Memory, run_procedure
+
+
+def _as_float_map(memory: Memory, names: Sequence[str]) -> Dict[str, np.ndarray]:
+    out = {}
+    for name in names:
+        if name in memory.arrays:
+            out[name] = memory.array(name).data.astype(float).copy()
+        else:
+            out[name] = np.array(float(memory.get_scalar(name)))
+    return out
+
+
+def _perturbed(bindings: Mapping[str, object],
+               directions: Mapping[str, np.ndarray],
+               eps: float) -> Dict[str, object]:
+    out = dict(bindings)
+    for name, v in directions.items():
+        out[name] = np.asarray(out[name], dtype=float) + eps * v
+    return out
+
+
+def adjoint_bindings(
+    adj: ReverseResult,
+    bindings: Mapping[str, object],
+    independents: Sequence[str],
+    dependents: Sequence[str],
+    *,
+    seed: int = 0,
+) -> Dict[str, object]:
+    """Primal bindings plus adjoint seeds: random over the dependents,
+    zeros over the independents (the gradient accumulators)."""
+    rng = np.random.default_rng(seed)
+    out = dict(bindings)
+    for name in sorted(set(independents) | set(dependents)):
+        base = np.asarray(bindings[name], dtype=float)
+        shape = base.shape if base.shape else ()
+        if name in dependents:
+            value = rng.standard_normal(shape)
+        else:
+            value = np.zeros(shape)
+        out[adj.adjoint_name(name)] = value if shape else float(value)
+    return out
+
+
+def dot_product_check(
+    proc: Procedure,
+    adj: ReverseResult,
+    bindings: Mapping[str, object],
+    independents: Sequence[str],
+    dependents: Sequence[str],
+    *,
+    extents: Mapping[str, Sequence[int]] = (),
+    eps: float = 1e-6,
+    rtol: float = 1e-4,
+    seed: int = 0,
+) -> Tuple[bool, float, float]:
+    """``(ok, fd_value, adjoint_value)`` for ⟨w, Jv⟩ ?= ⟨J^T w, v⟩."""
+    rng = np.random.default_rng(seed)
+    directions = {}
+    for name in independents:
+        base = np.asarray(bindings[name], dtype=float)
+        directions[name] = rng.standard_normal(base.shape if base.shape else ())
+    seeds = {}
+    for name in dependents:
+        base = np.asarray(bindings[name], dtype=float)
+        seeds[name] = rng.standard_normal(base.shape if base.shape else ())
+
+    plus = run_procedure(proc, _perturbed(bindings, directions, eps), extents)
+    minus = run_procedure(proc, _perturbed(bindings, directions, -eps), extents)
+    y_plus = _as_float_map(plus, dependents)
+    y_minus = _as_float_map(minus, dependents)
+    lhs = 0.0
+    for name in dependents:
+        dy = (y_plus[name] - y_minus[name]) / (2.0 * eps)
+        lhs += float(np.sum(seeds[name] * dy))
+
+    adj_b = dict(bindings)
+    for name in set(independents) | set(dependents):
+        base = np.asarray(bindings[name], dtype=float)
+        shape = base.shape if base.shape else ()
+        seed_val = seeds.get(name, np.zeros(shape))
+        adj_b[adj.adjoint_name(name)] = (np.array(seed_val, dtype=float)
+                                         if shape else float(seed_val))
+    adj_mem = run_procedure(adj.procedure, adj_b, extents)
+    grads = _as_float_map(adj_mem, [adj.adjoint_name(n) for n in independents])
+    rhs = 0.0
+    for name in independents:
+        rhs += float(np.sum(directions[name] * grads[adj.adjoint_name(name)]))
+
+    denom = max(abs(lhs), abs(rhs), 1e-12)
+    return abs(lhs - rhs) / denom < rtol, lhs, rhs
+
+
+def gradients(
+    adj: ReverseResult,
+    bindings: Mapping[str, object],
+    independents: Sequence[str],
+    dependents: Sequence[str],
+    *,
+    extents: Mapping[str, Sequence[int]] = (),
+    seed: int = 0,
+) -> Dict[str, np.ndarray]:
+    """One adjoint run's gradient over the independents (for
+    cross-strategy comparison with identical seeds)."""
+    adj_b = adjoint_bindings(adj, bindings, independents, dependents,
+                             seed=seed)
+    mem = run_procedure(adj.procedure, adj_b, extents)
+    return {name: _as_float_map(mem, [adj.adjoint_name(name)])
+            [adj.adjoint_name(name)] for name in independents}

@@ -1,0 +1,184 @@
+"""Concrete-execution oracles for FormAD verdicts.
+
+FormAD answers questions about *future adjoint accesses* (§5.4/§5.5):
+every primal read of an active array becomes an adjoint increment (a
+write), every primal write becomes an adjoint load-and-zero (a write),
+and only exact primal increments become pure adjoint reads. A "safe"
+verdict therefore claims: across any two distinct iterations of the
+parallel loop, no two of these future accesses (at least one of them a
+write) land on the same element.
+
+:class:`AdjointShadowTracer` checks that claim without ever building
+the adjoint. It runs the *primal* under the interpreter, classifies
+every array reference the interpreter touches by its §5.4 adjoint
+role — the interpreter hands the tracer the exact AST node of every
+access, so classification is a dictionary lookup, not expression
+re-evaluation — and logs ``(iteration, element)`` pairs. A cross-
+iteration pair on one element, at least one side a future write, is a
+concrete counterexample: if FormAD said "safe" for that array, the
+proof is wrong; if FormAD said SAT ("possible conflict"), the witness
+is corroborated rather than spurious.
+
+This mirrors :func:`repro.analysis.references.collect_region_references`
+on purpose: the oracle must judge the engine's claims over exactly the
+access inventory the engine reasoned about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..analysis.increments import match_increment
+from ..ir.expr import ArrayRef, Expr, walk
+from ..ir.program import Procedure
+from ..ir.stmt import Assign, If, Loop, Pop, Push, Stmt
+from ..runtime.interp import Interpreter, Tracer
+from ..runtime.memory import Memory
+
+#: Adjoint roles of a primal access (§5.4).
+ADJ_READ = "adjoint-read"      # primal exact increment
+ADJ_WRITE = "adjoint-write"    # primal read (increment) or write (load+zero)
+
+
+def adjoint_kind_map(loop: Loop) -> Dict[int, Tuple[str, str]]:
+    """``id(AST node) -> (array, adjoint role)`` for one parallel region.
+
+    Keyed by object identity of the :class:`ArrayRef` nodes because the
+    interpreter reports exactly those nodes back through the tracer's
+    ``ref`` argument.
+    """
+    kinds: Dict[int, Tuple[str, str]] = {}
+
+    def reads(expr: Expr) -> None:
+        for node in walk(expr):
+            if isinstance(node, ArrayRef):
+                kinds[id(node)] = (node.name, ADJ_WRITE)
+
+    def visit(stmts: Sequence[Stmt]) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, Assign):
+                inc = match_increment(stmt)
+                if inc is not None and isinstance(stmt.target, ArrayRef):
+                    kinds[id(stmt.target)] = (stmt.target.name, ADJ_READ)
+                    for idx in stmt.target.indices:
+                        reads(idx)
+                    reads(inc.delta)
+                    continue
+                if isinstance(stmt.target, ArrayRef):
+                    kinds[id(stmt.target)] = (stmt.target.name, ADJ_WRITE)
+                    for idx in stmt.target.indices:
+                        reads(idx)
+                reads(stmt.value)
+            elif isinstance(stmt, If):
+                reads(stmt.cond)
+                visit(stmt.then_body)
+                visit(stmt.else_body)
+            elif isinstance(stmt, Loop):
+                for e in (stmt.start, stmt.stop, stmt.step):
+                    reads(e)
+                visit(stmt.body)
+            elif isinstance(stmt, Push):
+                reads(stmt.value)
+            elif isinstance(stmt, Pop):
+                if isinstance(stmt.target, ArrayRef):
+                    kinds[id(stmt.target)] = (stmt.target.name, ADJ_WRITE)
+                    for idx in stmt.target.indices:
+                        reads(idx)
+    visit(loop.body)
+    return kinds
+
+
+@dataclass(frozen=True)
+class Collision:
+    """A concrete cross-iteration conflict among future adjoint accesses."""
+
+    loop: str            # loop counter name
+    array: str
+    flat: int            # flat element index
+    iter_a: int
+    iter_b: int
+    kind_a: str
+    kind_b: str
+
+    def __str__(self) -> str:
+        return (f"{self.array}[flat {self.flat}]: {self.kind_a} at "
+                f"{self.loop}={self.iter_a} vs {self.kind_b} at "
+                f"{self.loop}={self.iter_b}")
+
+
+class AdjointShadowTracer(Tracer):
+    """Logs future-adjoint accesses during one primal interpretation."""
+
+    def __init__(self, proc: Procedure) -> None:
+        self._maps = {loop.uid: adjoint_kind_map(loop)
+                      for loop in proc.parallel_loops()}
+        self._names = {loop.uid: loop.var for loop in proc.parallel_loops()}
+        self._active: Optional[int] = None
+        self._iteration: Optional[int] = None
+        # (loop_uid, array) -> flat -> list of (iteration, role)
+        self.log: Dict[Tuple[int, str], Dict[int, List[Tuple[int, str]]]] = {}
+
+    # -- interpreter callbacks ----------------------------------------
+    def on_parallel_loop_begin(self, loop: Loop, iterations) -> None:
+        if loop.uid in self._maps:
+            self._active = loop.uid
+
+    def on_parallel_loop_end(self, loop: Loop) -> None:
+        if self._active == loop.uid:
+            self._active = None
+
+    def on_parallel_iteration_begin(self, loop: Loop, value: int) -> None:
+        if self._active == loop.uid:
+            self._iteration = value
+
+    def on_parallel_iteration_end(self, loop: Loop, value: int) -> None:
+        if self._active == loop.uid:
+            self._iteration = None
+
+    def _record(self, flat: int, ref) -> None:
+        if self._active is None or self._iteration is None or ref is None:
+            return
+        entry = self._maps[self._active].get(id(ref))
+        if entry is None:
+            return
+        array, role = entry
+        per = self.log.setdefault((self._active, array), {})
+        per.setdefault(flat, []).append((self._iteration, role))
+
+    def on_read(self, array: str, flat: int, ref=None) -> None:
+        self._record(flat, ref)
+
+    def on_write(self, array: str, flat: int, *, atomic: bool,
+                 ref=None) -> None:
+        self._record(flat, ref)
+
+    # -- oracle queries ------------------------------------------------
+    def collision(self, loop_uid: int, array: str) -> Optional[Collision]:
+        """First concrete cross-iteration conflict on *array*, if any."""
+        per = self.log.get((loop_uid, array), {})
+        loop_name = self._names.get(loop_uid, "?")
+        for flat, entries in sorted(per.items()):
+            writes = [(it, role) for it, role in entries
+                      if role is ADJ_WRITE]
+            for it_a, role_a in writes:
+                for it_b, role_b in entries:
+                    if it_b != it_a:
+                        return Collision(loop_name, array, flat,
+                                         it_a, it_b, role_a, role_b)
+        return None
+
+    def arrays_touched(self, loop_uid: int) -> List[str]:
+        return sorted({a for uid, a in self.log if uid == loop_uid})
+
+
+def run_shadow(
+    proc: Procedure,
+    bindings: Mapping[str, object] = (),
+    extents: Mapping[str, Sequence[int]] = (),
+) -> AdjointShadowTracer:
+    """Interpret *proc* once under the shadow tracer."""
+    memory = Memory.for_procedure(proc, bindings, extents)
+    shadow = AdjointShadowTracer(proc)
+    Interpreter(proc, memory, shadow).run()
+    return shadow

@@ -19,20 +19,33 @@ construction for arbitrary CFGs coincides with it on structured input
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence
 
 from ..ir.stmt import Assign, If, Loop, Pop, Push, Stmt
 
+#: Process-wide unique ids for contexts. ``id()`` must never be used as
+#: a context key: CPython reuses addresses of collected objects, so an
+#: ``id``-keyed memo can alias a dead context with a live one and serve
+#: a stale entry (the PR-3 verdict-cache bug). ``uid`` is never reused.
+_uids = itertools.count()
 
-@dataclass
+
+@dataclass(eq=False)
 class Context:
-    """A node in the context tree."""
+    """A node in the context tree.
+
+    ``eq=False`` keeps identity comparison (the default dataclass
+    ``__eq__`` would recurse through ``parent``/``children``); use
+    ``uid`` as the stable hashable key.
+    """
 
     label: str
     parent: Optional["Context"] = None
     children: List["Context"] = field(default_factory=list)
     depth: int = 0
+    uid: int = field(default_factory=lambda: next(_uids))
 
     def child(self, label: str) -> "Context":
         c = Context(label, self, depth=self.depth + 1)
@@ -53,10 +66,9 @@ class Context:
 
     def common_root(self, other: "Context") -> "Context":
         """Deepest context including both *self* and *other*."""
-        mine = list(self.ancestors())
-        mine_set = {id(c) for c in mine}
+        mine_set = {c.uid for c in self.ancestors()}
         for c in other.ancestors():
-            if id(c) in mine_set:
+            if c.uid in mine_set:
                 return c
         raise ValueError("contexts belong to different trees")  # pragma: no cover
 

@@ -145,6 +145,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", default=None, metavar="OUT.jsonl",
                    help="record the analysis/simulation event stream")
 
+    p = sub.add_parser("audit", parents=[common],
+                       help="differential soundness audit: fuzz the "
+                            "analysis against dynamic race detection, "
+                            "concrete collision witnesses, and numeric "
+                            "checks (see docs/AUDIT.md)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="generator seed (the run is fully deterministic)")
+    p.add_argument("--count", type=int, default=50,
+                   help="number of generated kernels to audit")
+    p.add_argument("--chaos", nargs="*", type=float, default=None,
+                   metavar="RATE",
+                   help="also fault-inject the solver on the four paper "
+                        "kernels at these rates (bare --chaos uses the "
+                        "default 0.1..1.0 sweep)")
+    p.add_argument("--minimize", action="store_true",
+                   help="delta-debug failing cases down to minimal "
+                        "reproducers")
+    p.add_argument("--report", default=None, metavar="OUT.json",
+                   help="write the machine-readable audit report "
+                        "(schema repro-audit/1)")
+    p.add_argument("--trace", default=None, metavar="OUT.jsonl",
+                   help="record the structured event stream of the run")
+
     p = sub.add_parser("explain", parents=[common],
                        help="replay a trace: why is an array safe (the "
                             "UNSAT query chain) or unsafe (the SAT "
@@ -214,6 +237,28 @@ def _run_profile(args) -> int:
     return 0
 
 
+def _run_audit(args) -> int:
+    from .audit import format_report, run_audit
+    from .audit.harness import DEFAULT_CHAOS_RATES
+    chaos_rates = args.chaos
+    if chaos_rates is not None and not chaos_rates:
+        chaos_rates = DEFAULT_CHAOS_RATES
+    tracer = _open_tracer(args.trace)
+    try:
+        report = run_audit(seed=args.seed, count=args.count,
+                           chaos_rates=chaos_rates,
+                           shrink=args.minimize, tracer=tracer)
+    finally:
+        tracer.close()
+    print(format_report(report))
+    if args.report is not None:
+        with open(args.report, "w") as fh:
+            json.dump(report.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {args.report}", file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         return _dispatch(argv)
@@ -229,6 +274,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     _configure_logging(getattr(args, "log_level", None))
+    if args.command == "audit":
+        return _run_audit(args)
     if args.command == "explain":
         return _run_explain(args)
     if args.command == "profile":

@@ -11,8 +11,8 @@ rest keep their safeguards.
 from .translate import IndexTranslator, UntranslatableError, render_term
 from .knowledge import (KnowledgeBase, KnowledgeFact, disjointness_formula,
                         extract_knowledge, is_atomic_access)
-from .engine import (AnalysisStats, ArrayVerdict, FormADEngine, LoopAnalysis,
-                     PrimalRaceError)
+from .engine import (AnalysisStats, ArrayVerdict, FormADEngine,
+                     KnowledgeDegradedError, LoopAnalysis, PrimalRaceError)
 from .policy import FormADGuardPolicy
 from .report import (AnalysisReport, format_phase_table, format_table1,
                      format_verdicts)
@@ -21,8 +21,8 @@ __all__ = [
     "IndexTranslator", "UntranslatableError", "render_term",
     "KnowledgeBase", "KnowledgeFact", "disjointness_formula",
     "extract_knowledge", "is_atomic_access",
-    "AnalysisStats", "ArrayVerdict", "FormADEngine", "LoopAnalysis",
-    "PrimalRaceError",
+    "AnalysisStats", "ArrayVerdict", "FormADEngine",
+    "KnowledgeDegradedError", "LoopAnalysis", "PrimalRaceError",
     "FormADGuardPolicy",
     "AnalysisReport", "format_phase_table", "format_table1",
     "format_verdicts",

@@ -47,7 +47,7 @@ from ..ir.program import Procedure
 from ..ir.stmt import Assign, Loop
 from ..obs.tracer import NULL_TRACER, NullTracer
 from ..smt.intsolver import Result
-from ..smt.solver import SAT, UNSAT, Solver
+from ..smt.solver import SAT, UNKNOWN, UNSAT, Solver
 from ..smt.terms import And, FAtom, Formula, Rel, Term, formula_vars
 from .knowledge import KnowledgeBase, extract_knowledge, is_atomic_access
 from .translate import IndexTranslator, UntranslatableError, render_term
@@ -58,6 +58,14 @@ logger = logging.getLogger(__name__)
 class PrimalRaceError(RuntimeError):
     """The knowledge base is inconsistent: the primal parallel loop
     cannot be race-free (or FormAD itself is buggy — paper §5.5)."""
+
+
+class KnowledgeDegradedError(RuntimeError):
+    """buildModel could not establish the knowledge base: a consistency
+    check came back UNKNOWN or the solver failed outright. Unlike
+    :class:`PrimalRaceError` this says nothing about the primal — the
+    engine must degrade to safeguards for every candidate array (the
+    soundness bias: an unproven array is never left ``shared``)."""
 
 
 @dataclass
@@ -186,6 +194,10 @@ class _EngineConfig:
     use_contexts: bool
     incremental: bool
     use_question_memo: bool
+    #: Constructor used for every solver the engine builds; receives
+    #: the standard ``Solver`` keyword arguments. The audit subsystem
+    #: swaps in its fault-injecting ``ChaosSolver`` here.
+    solver_factory: Optional[object] = None
 
 
 class _ZeroInstances:
@@ -264,15 +276,27 @@ class _ContextModel:
 
     # ------------------------------------------------------------------
     def _add_facts(self, ctx: Context, check: bool) -> None:
-        for fact in self._facts.get(id(ctx), []):
+        for fact in self._facts.get(ctx.uid, []):
             self._solver.add(fact.formula)
             if check:
                 self._stats.consistency_checks += 1
-                if self._solver.check() is not SAT:
+                try:
+                    result = self._solver.check()
+                except Exception as exc:
+                    # Solver failure (budget blown, injected fault, bug)
+                    # is NOT evidence of a primal race — degrade to
+                    # safeguards instead of accusing the input.
+                    raise KnowledgeDegradedError(
+                        f"solver failure during buildModel at {fact}: "
+                        f"{exc}") from exc
+                if result is UNSAT:
                     raise PrimalRaceError(
                         f"inconsistent knowledge while adding {fact}: the "
                         f"primal parallel loop cannot be correctly "
                         f"parallelized")
+                if result is not SAT:
+                    raise KnowledgeDegradedError(
+                        f"consistency check UNKNOWN while adding {fact}")
 
     def _navigate(self, ctx: Context) -> None:
         """Pop/push the solver to *ctx*'s model state. Re-descending
@@ -339,6 +363,7 @@ class FormADEngine:
         use_contexts: bool = True,
         incremental: bool = True,
         use_question_memo: bool = True,
+        solver_factory=None,
         tracer: NullTracer = NULL_TRACER,
     ) -> None:
         self.proc = proc
@@ -353,6 +378,7 @@ class FormADEngine:
             use_contexts=use_contexts,
             incremental=incremental,
             use_question_memo=use_question_memo,
+            solver_factory=solver_factory,
         )
         self._cache: Dict[int, LoopAnalysis] = {}
         self._cache_lock = threading.Lock()
@@ -422,10 +448,11 @@ class FormADEngine:
 
     # ------------------------------------------------------------------
     def _new_solver(self) -> Solver:
-        return Solver(max_theory_checks=self.max_theory_checks,
-                      node_budget=self.node_budget,
-                      incremental=self.incremental,
-                      tracer=self.tracer)
+        factory = self._config.solver_factory or Solver
+        return factory(max_theory_checks=self.max_theory_checks,
+                       node_budget=self.node_budget,
+                       incremental=self.incremental,
+                       tracer=self.tracer)
 
     def _extract(self, loop: Loop):
         """Shared phase-1 setup: references, translator, knowledge."""
@@ -468,10 +495,17 @@ class FormADEngine:
         solver = self._new_solver()
         by_context: Dict[int, List] = {}
         for fact in kb.facts:
-            by_context.setdefault(id(fact.context), []).append(fact)
+            by_context.setdefault(fact.context.uid, []).append(fact)
         model = _ContextModel(solver, axiom, by_context, stats)
+        degraded: Optional[KnowledgeDegradedError] = None
         with tracer.span("analysis.build_model", loop=loop.var):
-            model.build(refs.contexts.root)
+            try:
+                model.build(refs.contexts.root)
+            except KnowledgeDegradedError as exc:
+                # The knowledge base could not be established (solver
+                # failure/UNKNOWN, not a primal race): every candidate
+                # array keeps its safeguard. Never crash, never share.
+                degraded = exc
 
         verdicts: Dict[str, ArrayVerdict] = {}
         safe_writes: List[str] = []
@@ -486,18 +520,24 @@ class FormADEngine:
         for fact in kb.facts:
             unique_exprs.add(_render_tuple(fact.right))
 
-        from ..ir.types import Kind
-        for array in refs.arrays():
-            if self.use_activity:
-                if array not in self.activity.active:
-                    continue
+        if degraded is not None:
+            logger.warning("loop over %r: knowledge degraded (%s); all "
+                           "candidate arrays keep their safeguards",
+                           loop.var, degraded)
+            if tracer.enabled:
+                tracer.emit("degraded", loop=loop.var, phase="build_model",
+                            reason=str(degraded))
+
+        for array in self._candidate_arrays(refs):
+            if degraded is not None:
+                verdict = ArrayVerdict(array, False,
+                                       reason=f"knowledge degraded: "
+                                              f"{degraded}")
             else:
-                if not (self.proc.has_symbol(array)
-                        and self.proc.type_of(array).kind is Kind.REAL):
-                    continue
-            with tracer.span("analysis.array", loop=loop.var, array=array):
-                verdict = self._test_array(loop, array, refs, translator,
-                                           model, memo, stats, offending)
+                with tracer.span("analysis.array", loop=loop.var,
+                                 array=array):
+                    verdict = self._test_array(loop, array, refs, translator,
+                                               model, memo, stats, offending)
             verdicts[array] = verdict
             logger.debug("loop over %r: %s", loop.var, verdict)
             if tracer.enabled:
@@ -526,6 +566,21 @@ class FormADEngine:
             sum(v.safe for v in verdicts.values()), len(verdicts),
             stats.queries, stats.memo_hits, stats.time_seconds)
         return LoopAnalysis(loop, verdicts, stats, safe_writes, offending)
+
+    def _candidate_arrays(self, refs: RegionReferences) -> List[str]:
+        """The arrays whose adjoints this region must prove or guard:
+        active arrays (or every real array with §5.4 activity ablated)."""
+        from ..ir.types import Kind
+        out: List[str] = []
+        for array in refs.arrays():
+            if self.use_activity:
+                if array not in self.activity.active:
+                    continue
+            elif not (self.proc.has_symbol(array)
+                      and self.proc.type_of(array).kind is Kind.REAL):
+                continue
+            out.append(array)
+        return out
 
     def _scalars_assigned_in(self, loop: Loop) -> Set[str]:
         from ..ir.expr import Var
@@ -573,7 +628,7 @@ class FormADEngine:
             # With increment detection ablated they count as writes too.
             is_write = access.kind in (AccessKind.READ, AccessKind.WRITE) \
                 or not self.use_increment_detection
-            key = (_render_tuple(plain), id(ctx), is_write)
+            key = (_render_tuple(plain), ctx.uid, is_write)
             if key in seen:
                 continue
             seen.add(key)
@@ -585,6 +640,15 @@ class FormADEngine:
             else:
                 reads.append(q)
         return writes, reads
+
+    @staticmethod
+    def _memo_key(ctx: Context, question: Formula) -> Tuple[int, Formula]:
+        """Question-memo key: the context's *stable* uid plus the
+        question formula. Never ``id(ctx)`` — CPython reuses addresses
+        of collected objects, so an id-keyed memo can serve the verdict
+        of a dead context to a new one that happens to be allocated at
+        the same address (PR-3 regression: tests/formad/test_memo.py)."""
+        return (ctx.uid, question)
 
     def _test_array(
         self,
@@ -619,18 +683,29 @@ class FormADEngine:
             question = And(*[FAtom(Rel.EQ, lp, r)
                              for lp, r in zip(w.primed, other.plain)])
             stats.exploitation_checks += 1
-            key = (id(ctx), question)
+            key = self._memo_key(ctx, question)
             entry = memo.get(key) if memo is not None else None
             memo_hit = entry is not None
             asked = 0.0
+            failure: Optional[str] = None
             if memo_hit:
                 stats.memo_hits += 1
                 result, witness = entry
             else:
                 asked = time.perf_counter()
-                result, witness = model.ask(ctx, question)
+                try:
+                    result, witness = model.ask(ctx, question)
+                except Exception as exc:
+                    # A solver crash on one question must neither kill
+                    # the analysis nor leave the array shared; treat it
+                    # as an unanswerable (UNKNOWN) question. Never
+                    # memoized: a retry may succeed.
+                    result, witness = UNKNOWN, None
+                    failure = f"{type(exc).__name__}: {exc}"
+                    logger.warning("solver failure on exploitation "
+                                   "question for %r: %s", array, failure)
                 asked = time.perf_counter() - asked
-                if memo is not None:
+                if memo is not None and failure is None:
                     memo[key] = (result, witness)
             if tracer.enabled:
                 # One provenance record per exploitation question: the
@@ -638,6 +713,8 @@ class FormADEngine:
                 extra = {}
                 if witness is not None and result is not UNSAT:
                     extra["witness"] = witness
+                if failure is not None:
+                    extra["failure"] = failure
                 tracer.emit("question", loop=loop.var, array=array,
                             context=ctx.path(), write=w.rendering,
                             other=other.rendering, question=str(question),
@@ -646,10 +723,23 @@ class FormADEngine:
                             dur_s=asked, **extra)
             if result is UNSAT:
                 verdict.pairs_proven += 1
-            else:
-                verdict.safe = False
-                verdict.reason = (f"possible conflict between {w.rendering} "
-                                  f"and {other.rendering}")
+                continue
+            verdict.safe = False
+            if result is SAT:
+                verdict.reason = (f"possible conflict between "
+                                  f"{w.rendering} and {other.rendering}")
                 offending.append(other.rendering)
                 break
+            # UNKNOWN (resource exhaustion or an injected/solver
+            # failure) is not a witness: the array keeps its safeguard,
+            # but the remaining questions are still asked so the
+            # Table-1 question count is independent of where a solver
+            # fault strikes (and the provenance trail stays complete).
+            if not verdict.reason:
+                if failure is not None:
+                    verdict.reason = (f"solver failure on {w.rendering} vs "
+                                      f"{other.rendering}: {failure}")
+                else:
+                    verdict.reason = (f"solver UNKNOWN on {w.rendering} vs "
+                                      f"{other.rendering}")
         return verdict

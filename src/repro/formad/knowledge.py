@@ -50,9 +50,9 @@ class KnowledgeBase:
     def facts_for(self, context: Context) -> List[KnowledgeFact]:
         """Facts visible in *context*: its own plus inherited ones."""
         visible = []
-        ancestors = {id(c) for c in context.ancestors()}
+        ancestors = {c.uid for c in context.ancestors()}
         for fact in self.facts:
-            if id(fact.context) in ancestors:
+            if fact.context.uid in ancestors:
                 visible.append(fact)
         return visible
 
@@ -129,7 +129,9 @@ def extract_knowledge(
                 except UntranslatableError:
                     kb.skipped_pairs += 1
                     continue
-                key = (rendering(left), rendering(right), id(target))
+                # target.uid, not id(target): object ids are reused
+                # after collection and would alias dedup entries.
+                key = (rendering(left), rendering(right), target.uid)
                 if key in seen:
                     continue
                 seen.add(key)

@@ -30,13 +30,18 @@ class FormADGuardPolicy(GuardPolicy):
         fallback: GuardKind = GuardKind.ATOMIC,
         max_theory_checks: int = 20000,
         node_budget: int = 2000,
+        solver_factory=None,
+        tracer=None,
     ) -> None:
         if fallback is GuardKind.SHARED:
             raise ValueError("the fallback must be a real safeguard")
         activity = ActivityAnalysis(proc, independents, dependents)
+        extra = {} if tracer is None else {"tracer": tracer}
         self.engine = FormADEngine(proc, activity,
                                    max_theory_checks=max_theory_checks,
-                                   node_budget=node_budget)
+                                   node_budget=node_budget,
+                                   solver_factory=solver_factory,
+                                   **extra)
         self.fallback = fallback
 
     def decide(self, loop: Loop, primal_array: str) -> GuardKind:

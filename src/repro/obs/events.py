@@ -46,17 +46,25 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     # FormAD's per-array answer.
     "verdict": ("loop", "array", "safe", "pairs_total", "pairs_proven",
                 "reason"),
+    # Soundness-bias fallback: the engine lost its solver (failure or
+    # UNKNOWN) and degraded every candidate array to safeguards.
+    "degraded": ("loop", "phase", "reason"),
     # One Solver.check() with its phase breakdown.
     "solver_check": ("result", "dur_s", "translate_s", "clausify_s",
                      "search_s", "theory_checks", "branches", "propagations",
                      "clausify_hits", "clausify_misses"),
+    # One audit case finished (repro audit --trace); ``violations`` is
+    # the (usually empty) list of violation kinds observed.
+    "audit_case": ("case", "family", "violations"),
     # Final counter/gauge totals, emitted once when the tracer closes.
     "metrics": ("counters", "gauges"),
 }
 
 #: Recognized optional payload fields per event type.
 OPTIONAL_FIELDS: Dict[str, Tuple[str, ...]] = {
-    "question": ("witness",),
+    # ``failure`` carries the exception of a solver that died on this
+    # question (the result is then recorded as UNKNOWN).
+    "question": ("witness", "failure"),
 }
 
 _COMMON = ("v", "seq", "t", "type", "thread", "span")

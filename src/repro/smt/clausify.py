@@ -14,8 +14,9 @@ valid over the integers; negations are folded into the relation).
 
 from __future__ import annotations
 
-from functools import lru_cache
-from typing import List, Sequence, Tuple
+import threading
+from collections import OrderedDict
+from typing import List, NamedTuple, Sequence, Tuple
 
 from .terms import (FAnd, FAtom, FFalse, FNot, FOr, Formula, FTrue, Rel)
 
@@ -53,37 +54,97 @@ def split_atom(atom: FAtom) -> Tuple[FAtom, ...]:
     return (atom,)
 
 
-@lru_cache(maxsize=100_000)
-def _clausify_cached(formula: Formula, max_clauses: int) -> Tuple[Clause, ...]:
-    return tuple(_cnf(to_nnf(formula), max_clauses))
+#: LRU bound of the process-global per-formula clause cache.
+CACHE_MAXSIZE = 100_000
 
 
-def clausify(formula: Formula, *, max_clauses: int = 100_000) -> List[Clause]:
+class CacheInfo(NamedTuple):
+    """``functools.lru_cache``-compatible statistics record."""
+
+    hits: int
+    misses: int
+    maxsize: int
+    currsize: int
+
+
+# The clause cache is process-global (the same knowledge assertions and
+# congruence axioms recur across thousands of checks in one FormAD
+# analysis, and across loops). It is a hand-rolled LRU rather than
+# ``functools.lru_cache`` so that :func:`clausify_probe` can report
+# *per-call* hit/miss outcomes: with only global counters, concurrent
+# solver threads taking before/after deltas mis-attribute each other's
+# hits and misses to their own ``SolverStats`` (the PR-3 bug).
+_cache: "OrderedDict[Tuple[Formula, int], Tuple[Clause, ...]]" = OrderedDict()
+_cache_lock = threading.Lock()
+_hits = 0
+_misses = 0
+
+
+def clausify_probe(formula: Formula, *,
+                   max_clauses: int = CACHE_MAXSIZE) -> Tuple[Tuple[Clause, ...], bool]:
+    """Clausify through the cache, reporting this call's outcome.
+
+    Returns ``(clauses, was_hit)``. The returned tuple is the shared
+    cached object — callers must not mutate it. ``was_hit`` belongs to
+    *this* call only, which is what makes per-solver hit/miss stats
+    correct under concurrent ``--jobs`` translation (the global
+    counters remain available through :func:`clausify_cache_info`).
+
+    A :class:`ClausifyBudgetError` escapes uncached: budget blow-ups
+    depend on ``max_clauses``, which is part of the key anyway, but a
+    poisoned entry must never satisfy a later identical probe.
+    """
+    global _hits, _misses
+    key = (formula, max_clauses)
+    with _cache_lock:
+        cached = _cache.get(key)
+        if cached is not None:
+            _cache.move_to_end(key)
+            _hits += 1
+            return cached, True
+        _misses += 1
+    # Compute outside the lock: distribution can be expensive and other
+    # threads' probes must not serialize behind it. A racing duplicate
+    # computation is harmless (same immutable value).
+    clauses = tuple(_cnf(to_nnf(formula), max_clauses))
+    with _cache_lock:
+        _cache[key] = clauses
+        _cache.move_to_end(key)
+        while len(_cache) > CACHE_MAXSIZE:
+            _cache.popitem(last=False)
+    return clauses, False
+
+
+def clausify(formula: Formula, *, max_clauses: int = CACHE_MAXSIZE) -> List[Clause]:
     """CNF clauses for *formula*. ``[]`` means trivially true; a clause
     ``()`` (empty) means trivially false. Cached per formula — the same
     knowledge assertions and congruence axioms recur across thousands of
     checks in a FormAD analysis."""
-    return list(_clausify_cached(formula, max_clauses))
+    return list(clausify_probe(formula, max_clauses=max_clauses)[0])
 
 
-def clausify_cached(formula: Formula, *, max_clauses: int = 100_000) -> Tuple[Clause, ...]:
+def clausify_cached(formula: Formula, *, max_clauses: int = CACHE_MAXSIZE) -> Tuple[Clause, ...]:
     """Like :func:`clausify` but returns the (shared, immutable) cached
     tuple without copying — callers must not mutate it."""
-    return _clausify_cached(formula, max_clauses)
+    return clausify_probe(formula, max_clauses=max_clauses)[0]
 
 
-def clausify_cache_info():
-    """``functools.lru_cache`` statistics of the per-formula clause
-    cache. The cache is process-global; per-solver phase stats take
-    deltas around their translation phase, which is approximate when
-    several solver threads translate concurrently."""
-    return _clausify_cached.cache_info()
+def clausify_cache_info() -> CacheInfo:
+    """Aggregate statistics of the per-formula clause cache. The cache
+    (and these counters) are process-global; for per-solver attribution
+    use :func:`clausify_probe`'s per-call outcome instead of deltas."""
+    with _cache_lock:
+        return CacheInfo(_hits, _misses, CACHE_MAXSIZE, len(_cache))
 
 
 def clausify_cache_clear() -> None:
     """Drop the per-formula clause cache (benchmarks use this to keep
     mode-vs-mode comparisons fair)."""
-    _clausify_cached.cache_clear()
+    global _hits, _misses
+    with _cache_lock:
+        _cache.clear()
+        _hits = 0
+        _misses = 0
 
 
 def _cnf(formula: Formula, budget: int) -> List[Clause]:

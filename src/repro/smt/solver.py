@@ -28,8 +28,7 @@ from typing import Dict, List, Optional
 
 from ..obs.tracer import NULL_TRACER, NullTracer
 from .ackermann import Ackermannizer, ackermannize
-from .clausify import (Clause, ClausifyBudgetError, clausify_all,
-                       clausify_cache_info, clausify_cached)
+from .clausify import Clause, ClausifyBudgetError, clausify_probe
 from .intsolver import Result
 from .linform import Constraint, TrivialConstraint, canonicalize
 from .search import SearchOutcome, SearchStats, search
@@ -50,9 +49,11 @@ class SolverStats:
     ``*_seconds`` phase counters break its translation/search split
     down (``translate`` is Ackermann rewriting + congruence-axiom
     generation, ``clausify`` is CNF conversion + unit canonicalization,
-    ``search`` is the DPLL(T) layer). ``clausify_hits``/``misses`` are
-    deltas of the process-global per-formula clause cache taken around
-    this solver's translation phases.
+    ``search`` is the DPLL(T) layer). ``clausify_hits``/``misses``
+    count this solver's own probes of the process-global per-formula
+    clause cache — each probe reports its own outcome, so the counters
+    stay correct when several solver threads translate concurrently
+    (``--jobs``); only cache *warmth* remains history-dependent.
     """
 
     checks: int = 0
@@ -154,9 +155,12 @@ class Solver:
             level = self._levels.pop()
             if level.apps:
                 self._ack.forget_apps(level.apps)
-        if self._warm_level > len(self._levels):
-            # The warm-start hint was derived from popped assertions;
-            # never seed a post-pop check with it.
+        if self._warm_level >= len(self._levels):
+            # The stack unwound to (or below) the depth the hint was
+            # minted at: a later push can repopulate that depth with
+            # different assertions, so a depth-only comparison would
+            # let a hint derived from popped state seed future checks.
+            # Invalidate on reaching the minting depth, not only below.
             self._warm_model = None
             self._warm_level = 0
         self._model = None
@@ -247,13 +251,23 @@ class Solver:
                 stats.congruence_axioms += len(axioms)
                 try:
                     for f in (rewritten, *axioms):
-                        self._store_clauses(level, clausify_cached(
-                            f, max_clauses=self.max_clauses))
+                        self._store_clauses(level, self._clausify_counted(f))
                 except ClausifyBudgetError:
                     level.poisoned = True
                     stats.clausify_seconds += time.perf_counter() - t1
                     return
                 stats.clausify_seconds += time.perf_counter() - t1
+
+    def _clausify_counted(self, formula: Formula):
+        """Clausify via the shared cache, attributing the hit/miss to
+        *this* solver's stats (thread-correct under ``--jobs``)."""
+        clauses, was_hit = clausify_probe(formula,
+                                          max_clauses=self.max_clauses)
+        if was_hit:
+            self.stats.clausify_hits += 1
+        else:
+            self.stats.clausify_misses += 1
+        return clauses
 
     def _store_clauses(self, level: _Level, clauses) -> None:
         for clause in clauses:
@@ -270,11 +284,7 @@ class Solver:
                 level.clauses.append(clause)
 
     def _check_incremental(self) -> SearchOutcome:
-        info0 = clausify_cache_info()
         self._translate_pending()
-        info1 = clausify_cache_info()
-        self.stats.clausify_hits += info1.hits - info0.hits
-        self.stats.clausify_misses += info1.misses - info0.misses
         if any(level.falsified for level in self._levels):
             return SearchOutcome(UNSAT)
         if any(level.poisoned for level in self._levels):
@@ -299,7 +309,6 @@ class Solver:
         """The seed's from-scratch pipeline: re-ackermannize and
         re-clausify the whole assertion stack (benchmark baseline)."""
         formulas = self.assertions()
-        info0 = clausify_cache_info()
         t0 = time.perf_counter()
         ack = ackermannize(formulas)
         self._app_names = ack.app_names
@@ -308,7 +317,12 @@ class Solver:
         self.stats.formulas_translated += len(formulas)
         self.stats.congruence_axioms += len(ack.congruence)
         try:
-            clauses = clausify_all(ack.all_formulas, max_clauses=self.max_clauses)
+            clauses = []
+            for f in ack.all_formulas:
+                clauses.extend(self._clausify_counted(f))
+                if len(clauses) > self.max_clauses:
+                    raise ClausifyBudgetError(
+                        f"more than {self.max_clauses} clauses")
         except ClausifyBudgetError:
             self.stats.clausify_seconds += time.perf_counter() - t1
             logger.warning("check is UNKNOWN: clausify budget exhausted "
@@ -329,9 +343,6 @@ class Solver:
                 pending.append(clause)
         t2 = time.perf_counter()
         self.stats.clausify_seconds += t2 - t1
-        info1 = clausify_cache_info()
-        self.stats.clausify_hits += info1.hits - info0.hits
-        self.stats.clausify_misses += info1.misses - info0.misses
         if falsified:
             return SearchOutcome(UNSAT)
         outcome = search(base, pending,

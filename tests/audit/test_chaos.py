@@ -1,0 +1,121 @@
+"""The fault-injecting solver wrapper and the engine's containment."""
+
+import pytest
+
+from repro.analysis.activity import ActivityAnalysis
+from repro.audit.chaos import (ChaosConfig, ChaosError, ChaosSolver,
+                               chaos_factory, uniform_chaos)
+from repro.experiments.specs import small_stencil_spec
+from repro.formad import FormADEngine
+from repro.smt.clausify import ClausifyBudgetError
+from repro.smt.solver import SAT, UNKNOWN
+from repro.smt.terms import FAtom, Rel, TConst, TVar
+
+
+def _trivial_formula():
+    return FAtom(Rel.EQ, TVar("i"), TConst(1))
+
+
+class TestChaosConfig:
+    def test_rates_must_fit_the_unit_interval(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(unknown_rate=0.7, budget_rate=0.4)
+
+    def test_fail_kind_validated(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(fail_kind="segfault")
+
+    def test_uniform_helper(self):
+        config = uniform_chaos(0.3, "budget", seed=5)
+        assert config.budget_rate == 0.3
+        assert config.unknown_rate == config.error_rate == 0.0
+        with pytest.raises(ValueError):
+            uniform_chaos(0.1, "nonsense")
+
+
+class TestChaosSolver:
+    def test_zero_rate_is_honest(self):
+        solver = ChaosSolver(ChaosConfig())
+        solver.add(_trivial_formula())
+        assert solver.check() is SAT
+        assert solver.injected == []
+
+    def test_full_rate_unknown(self):
+        solver = ChaosSolver(ChaosConfig(unknown_rate=1.0))
+        solver.add(_trivial_formula())
+        assert solver.check() is UNKNOWN
+        assert solver.injected == [(0, "unknown")]
+        with pytest.raises(RuntimeError):
+            solver.model()   # no stale model survives the injection
+
+    def test_injected_unknown_recorded_in_stats(self):
+        solver = ChaosSolver(ChaosConfig(unknown_rate=1.0))
+        solver.add(_trivial_formula())
+        solver.check()
+        assert solver.stats.unknown == 1
+
+    def test_full_rate_budget_and_error(self):
+        budget = ChaosSolver(ChaosConfig(budget_rate=1.0))
+        budget.add(_trivial_formula())
+        with pytest.raises(ClausifyBudgetError):
+            budget.check()
+        crash = ChaosSolver(ChaosConfig(error_rate=1.0))
+        crash.add(_trivial_formula())
+        with pytest.raises(ChaosError):
+            crash.check()
+
+    def test_fail_checks_deterministic_targeting(self):
+        solver = ChaosSolver(ChaosConfig(fail_checks=frozenset({1}),
+                                         fail_kind="unknown"))
+        solver.add(_trivial_formula())
+        assert solver.check() is SAT          # check 0: honest
+        assert solver.check() is UNKNOWN      # check 1: struck
+        assert solver.check() is SAT          # check 2: honest again
+        assert solver.injected == [(1, "unknown")]
+
+    def test_fail_instance_limits_targeting(self):
+        config = ChaosConfig(fail_checks=frozenset({0}),
+                             fail_kind="unknown", fail_instance=1)
+        untargeted = ChaosSolver(config, instance=0)
+        untargeted.add(_trivial_formula())
+        assert untargeted.check() is SAT
+        targeted = ChaosSolver(config, instance=1)
+        targeted.add(_trivial_formula())
+        assert targeted.check() is UNKNOWN
+
+    def test_schedule_is_reproducible_per_instance(self):
+        config = ChaosConfig(unknown_rate=0.5, seed=9)
+        def schedule(instance):
+            solver = ChaosSolver(config, instance=instance)
+            return [solver._decide(i) for i in range(50)]
+        assert schedule(3) == schedule(3)
+        assert schedule(3) != schedule(4)
+
+    def test_factory_collects_instances(self):
+        factory = chaos_factory(ChaosConfig())
+        a = factory(node_budget=10)
+        b = factory(node_budget=10)
+        assert factory.solvers == [a, b]
+        assert (a.instance, b.instance) == (0, 1)
+
+
+class TestEngineContainment:
+    """Faults during buildModel degrade the whole loop, never crash."""
+
+    @pytest.mark.parametrize("kind", ["unknown", "budget", "error"])
+    def test_build_model_strike_degrades_all_arrays(self, kind):
+        spec = small_stencil_spec()
+        config = ChaosConfig(fail_checks=frozenset({0}), fail_kind=kind)
+        factory = chaos_factory(config)
+        engine = FormADEngine(
+            spec.proc,
+            ActivityAnalysis(spec.proc, spec.independents, spec.dependents),
+            solver_factory=factory)
+        analyses = engine.analyze_all()
+        assert analyses, "the stencil has a parallel loop"
+        for analysis in analyses:
+            assert analysis.safe_arrays() == set()
+            for verdict in analysis.verdicts.values():
+                assert "degraded" in verdict.reason
+            # degraded loops ask no exploitation questions
+            assert analysis.stats.exploitation_checks == 0

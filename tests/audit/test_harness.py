@@ -1,0 +1,118 @@
+"""End-to-end audit harness: determinism, classification, chaos checks."""
+
+import json
+
+import pytest
+
+from repro.audit.generator import FAMILIES, generate_case
+from repro.audit.harness import (AuditReport, REPORT_SCHEMA, chaos_check,
+                                 chaos_sweep, format_report, run_audit,
+                                 run_case)
+from repro.audit.chaos import ChaosConfig
+from repro.experiments.specs import small_stencil_spec
+
+
+@pytest.fixture(scope="module")
+def one_round():
+    """One case per family (the round-robin makes this exhaustive)."""
+    return run_audit(seed=0, count=len(FAMILIES))
+
+
+class TestRunAudit:
+    def test_no_soundness_violations(self, one_round):
+        assert one_round.ok, format_report(one_round)
+
+    def test_deterministic(self, one_round):
+        again = run_audit(seed=0, count=len(FAMILIES))
+        assert again.to_json() == one_round.to_json()
+
+    def test_expected_classifications_per_family(self, one_round):
+        by_family = {c.spec.family: c for c in one_round.cases}
+        assert by_family["elementwise"].classifications["y"] \
+            == "proven-safe-validated"
+        assert by_family["gather_perm"].classifications["x"] \
+            == "sat-spurious-but-safe"
+        assert by_family["gather_collide"].classifications["x"] \
+            == "sat-corroborated"
+        assert by_family["atomic_scatter"].classifications["y"] == "fallback"
+        assert by_family["racy_scatter"].classifications["y"] \
+            == "skipped-racy"
+        assert by_family["racy_scatter"].primal_racy
+
+    def test_report_json_schema(self, one_round):
+        doc = json.loads(json.dumps(one_round.to_json()))
+        assert doc["schema"] == REPORT_SCHEMA
+        assert doc["ok"] is True
+        assert len(doc["cases"]) == len(FAMILIES)
+        assert doc["violations"] == []
+        assert set(doc["classifications"]) <= {
+            "proven-safe-validated", "sat-corroborated",
+            "sat-spurious-but-safe", "fallback", "skipped-racy"}
+
+    def test_progress_callback_sees_every_case(self):
+        seen = []
+        run_audit(seed=1, count=4, progress=seen.append)
+        assert [c.index for c in seen] == [0, 1, 2, 3]
+
+
+class TestRunCase:
+    def test_racy_case_skips_oracles(self):
+        spec = next(generate_case(i, seed=0) for i in range(len(FAMILIES))
+                    if generate_case(i, seed=0).family == "racy_scalar")
+        result = run_case(0, spec)
+        assert result.primal_racy
+        assert result.ok
+        assert set(result.classifications.values()) == {"skipped-racy"}
+
+    def test_missed_primal_race_is_a_violation(self):
+        import dataclasses
+        # an elementwise kernel falsely marked racy: the detector finds
+        # nothing, which must be flagged as an oracle failure
+        spec = dataclasses.replace(generate_case(0, seed=0),
+                                   expect_primal_race=True)
+        result = run_case(0, spec)
+        assert [v.kind for v in result.violations] == ["missed-primal-race"]
+
+
+class TestChaos:
+    def test_verdict_upgrade_detected_against_fake_baseline(self):
+        # an honest analysis compared against an all-unsafe baseline
+        # must report every safe array as an (artificial) upgrade —
+        # this exercises the violation path without breaking the engine
+        spec = small_stencil_spec()
+        honest = ChaosConfig()
+        loops = spec.proc.parallel_loops()
+        fake = {loop.uid: frozenset() for loop in loops}
+        outcome = chaos_check(spec.proc, spec.independents,
+                              spec.dependents, honest,
+                              label="stencil_small", baseline=fake)
+        assert outcome.violations
+        assert {v.kind for v in outcome.violations} \
+            == {"chaos-verdict-upgrade"}
+
+    def test_sweep_paper_kernels_clean(self):
+        outcomes = chaos_sweep((0.5,), seed=3)
+        assert {o.kernel for o in outcomes} \
+            == {"stencil_small", "stencil_large", "gfmc", "greengauss"}
+        for outcome in outcomes:
+            assert not outcome.violations
+
+    def test_injected_faults_counted(self):
+        outcomes = chaos_sweep((1.0,), seed=0)
+        assert sum(o.injected for o in outcomes) >= len(outcomes)
+
+
+class TestFormatReport:
+    def test_mentions_families_and_verdict_counts(self, one_round):
+        text = format_report(one_round)
+        assert "elementwise" in text
+        assert "proven-safe-validated" in text
+        assert "OK: no soundness violations" in text
+
+    def test_failure_report_lists_violations(self):
+        report = AuditReport(seed=0, count=1)
+        bad = run_case(0, __import__("dataclasses").replace(
+            generate_case(0, seed=0), expect_primal_race=True))
+        report.cases.append(bad)
+        text = format_report(report)
+        assert "FAIL" in text and "missed-primal-race" in text

@@ -1,0 +1,75 @@
+"""Delta-debugging shrink of failing cases."""
+
+import dataclasses
+
+from repro.audit.generator import (CaseSpec, IndexSpec, ReadSpec, StmtSpec,
+                                   build_procedure, make_bindings)
+from repro.audit.minimize import minimize
+from repro.runtime.executor import detect_races
+
+
+def _races(spec: CaseSpec) -> bool:
+    proc = build_procedure(spec)
+    return bool(detect_races(proc, make_bindings(spec, spec.n)).races)
+
+
+def _bloated_racy_spec() -> CaseSpec:
+    """An overlapping-write race buried under irrelevant structure."""
+    return CaseSpec(
+        family="racy_overlap", seed=0, n=32, expect_primal_race=True,
+        tables=(("p", "permutation"),),
+        inner_reps=2,
+        stmts=(
+            StmtSpec("assign", "z", IndexSpec(),
+                     (ReadSpec("x", IndexSpec(table="p"), 0.5),
+                      ReadSpec("x", IndexSpec(), 1.5)),
+                     guard_gt=3),
+            StmtSpec("assign", "y", IndexSpec(),
+                     (ReadSpec("x", IndexSpec(), 1.0),)),
+            StmtSpec("increment", "y", IndexSpec(offset=1),
+                     (ReadSpec("x", IndexSpec(offset=2), 2.0),)),
+        ))
+
+
+class TestMinimize:
+    def test_shrinks_while_preserving_failure(self):
+        spec = _bloated_racy_spec()
+        assert _races(spec)
+        small = minimize(spec, _races)
+        assert _races(small), "the shrunk spec must still reproduce"
+        # the irrelevant guarded statement and its table are gone
+        assert len(small.stmts) < len(spec.stmts)
+        assert small.tables == ()
+        assert small.inner_reps == 0
+        assert small.n <= spec.n
+
+    def test_fixpoint_is_stable(self):
+        small = minimize(_bloated_racy_spec(), _races)
+        again = minimize(small, _races)
+        assert again == small
+
+    def test_non_reproducing_spec_returned_unchanged(self):
+        spec = _bloated_racy_spec()
+        untouched = minimize(spec, lambda s: False)
+        assert untouched == spec
+
+    def test_predicate_exceptions_treated_as_non_repro(self):
+        spec = _bloated_racy_spec()
+
+        def flaky(candidate: CaseSpec) -> bool:
+            if len(candidate.stmts) < 3:
+                raise RuntimeError("boom")
+            return _races(candidate)
+
+        small = minimize(spec, flaky)
+        assert len(small.stmts) == 3   # drops blocked by the exception
+
+    def test_probe_budget_respected(self):
+        calls = []
+
+        def count_and_fail(candidate: CaseSpec) -> bool:
+            calls.append(1)
+            return False
+
+        minimize(_bloated_racy_spec(), count_and_fail, max_probes=7)
+        assert len(calls) <= 7

@@ -1,0 +1,116 @@
+"""The shadow tracer: §5.4 classification and concrete collisions."""
+
+import numpy as np
+
+from repro.audit.generator import build_procedure, generate_case, make_bindings
+from repro.audit.numcheck import adjoint_bindings, dot_product_check
+from repro.audit.oracles import (ADJ_READ, ADJ_WRITE, adjoint_kind_map,
+                                 run_shadow)
+from repro.ir.builder import ProcedureBuilder
+from repro.ir.types import INTEGER, integer_array, real_array
+
+
+def _spec_of_family(family, seed=0):
+    index = 0
+    while True:
+        spec = generate_case(index, seed=seed)
+        if spec.family == family:
+            return spec
+        index += 1
+
+
+class TestAdjointKindMap:
+    def test_increment_target_is_adjoint_read(self):
+        b = ProcedureBuilder("inc")
+        x = b.param("x", real_array((1, None)), intent="in")
+        y = b.param("y", real_array((1, None)), intent="inout")
+        b.param("m", INTEGER, intent="in")
+        from repro.ir.expr import Var
+        with b.parallel_do("i", 1, Var("m")) as i:
+            b.assign(y[i], y[i] + x[i])
+        proc = b.build()
+        [loop] = proc.parallel_loops()
+        kinds = sorted(adjoint_kind_map(loop).values())
+        # y's increment target -> adjoint read; x's read -> adjoint write
+        assert kinds == [("x", ADJ_WRITE), ("y", ADJ_READ)]
+
+    def test_plain_write_and_reads_are_adjoint_writes(self):
+        b = ProcedureBuilder("gather")
+        x = b.param("x", real_array((1, None)), intent="in")
+        y = b.param("y", real_array((1, None)), intent="inout")
+        t = b.param("t", integer_array((1, None)), intent="in")
+        b.param("m", INTEGER, intent="in")
+        from repro.ir.expr import Var
+        with b.parallel_do("i", 1, Var("m")) as i:
+            b.assign(y[i], 2.0 * x[t[i]])
+        proc = b.build()
+        [loop] = proc.parallel_loops()
+        entries = sorted(adjoint_kind_map(loop).values())
+        # y write, x read, t read (index tables classified like any read)
+        assert entries == [("t", ADJ_WRITE), ("x", ADJ_WRITE),
+                           ("y", ADJ_WRITE)]
+
+
+class TestCollisionSearch:
+    def test_colliding_gather_produces_concrete_witness(self):
+        spec = _spec_of_family("gather_collide")
+        proc = build_procedure(spec)
+        [loop] = proc.parallel_loops()
+        shadow = run_shadow(proc, make_bindings(spec, spec.n))
+        collision = shadow.collision(loop.uid, "x")
+        assert collision is not None
+        assert collision.array == "x"
+        assert collision.iter_a != collision.iter_b
+        # both sides are future adjoint increments (writes)
+        assert ADJ_WRITE in (collision.kind_a, collision.kind_b)
+
+    def test_permutation_gather_has_no_witness(self):
+        spec = _spec_of_family("gather_perm")
+        proc = build_procedure(spec)
+        [loop] = proc.parallel_loops()
+        shadow = run_shadow(proc, make_bindings(spec, spec.n))
+        assert shadow.collision(loop.uid, "x") is None
+
+    def test_elementwise_is_collision_free_everywhere(self):
+        spec = _spec_of_family("elementwise")
+        proc = build_procedure(spec)
+        [loop] = proc.parallel_loops()
+        shadow = run_shadow(proc, make_bindings(spec, spec.n))
+        for array in shadow.arrays_touched(loop.uid):
+            assert shadow.collision(loop.uid, array) is None
+
+    def test_increment_only_array_never_collides(self):
+        # compact_window increments y: the adjoint only *reads* yb, so
+        # even the overlapping window is not a collision for y.
+        spec = _spec_of_family("compact_window")
+        proc = build_procedure(spec)
+        [loop] = proc.parallel_loops()
+        shadow = run_shadow(proc, make_bindings(spec, spec.n))
+        assert shadow.collision(loop.uid, "y") is None
+
+
+class TestNumcheck:
+    def test_dot_product_check_passes_on_valid_adjoint(self):
+        from repro.ad import differentiate_reverse
+        spec = _spec_of_family("elementwise")
+        proc = build_procedure(spec)
+        adj = differentiate_reverse(proc, spec.independents(),
+                                    spec.dependents())
+        ok, lhs, rhs = dot_product_check(proc, adj,
+                                         make_bindings(spec, spec.n),
+                                         spec.independents(),
+                                         spec.dependents())
+        assert ok
+        assert np.isclose(lhs, rhs, rtol=1e-4)
+
+    def test_adjoint_bindings_seed_dependents_only(self):
+        from repro.ad import differentiate_reverse
+        spec = _spec_of_family("elementwise")
+        proc = build_procedure(spec)
+        adj = differentiate_reverse(proc, spec.independents(),
+                                    spec.dependents())
+        bindings = make_bindings(spec, spec.n)
+        adj_b = adjoint_bindings(adj, bindings, spec.independents(),
+                                 spec.dependents(), seed=1)
+        assert not np.any(adj_b[adj.adjoint_name("x")])
+        assert np.any(adj_b[adj.adjoint_name("y")])

@@ -1,0 +1,107 @@
+"""Property test: solver faults on exploitation questions degrade, never
+upgrade (ISSUE PR 3 satellite).
+
+For each of the four paper kernels, strike single exploitation
+questions (first, middle, last solver-backed question of every
+parallel loop) with an injected UNKNOWN, a clausify-budget error, or an
+arbitrary exception, and assert the engine
+
+* never raises,
+* never marks safe any array the fault-free baseline did not, and
+* still asks exactly the baseline's number of exploitation questions
+  (the Table-1 columns are fault-independent: a struck question is
+  answered UNKNOWN and the engine keeps asking the remaining pairs).
+
+Also sweeps random injection at rates up to 1.0 as a crash/upgrade
+smoke over all three kinds at once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.activity import ActivityAnalysis
+from repro.audit.chaos import ChaosConfig, chaos_factory
+from repro.experiments.specs import ALL_FIGURE_SPECS
+from repro.formad import FormADEngine
+
+KERNELS = sorted(ALL_FIGURE_SPECS)
+
+
+def _baseline(spec):
+    activity = ActivityAnalysis(spec.proc, spec.independents,
+                                spec.dependents)
+    engine = FormADEngine(spec.proc, activity)
+    return engine.analyze_all()
+
+
+def _chaos_analyses(spec, config):
+    activity = ActivityAnalysis(spec.proc, spec.independents,
+                                spec.dependents)
+    factory = chaos_factory(config)
+    engine = FormADEngine(spec.proc, activity, solver_factory=factory)
+    return engine.analyze_all(), factory
+
+
+@pytest.fixture(scope="module")
+def baselines():
+    out = {}
+    for name in KERNELS:
+        spec = ALL_FIGURE_SPECS[name]()
+        out[name] = (spec, _baseline(spec))
+    return out
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.parametrize("kind", ["unknown", "budget", "error"])
+def test_targeted_fault_on_exploitation_questions(baselines, kernel, kind):
+    spec, baseline = baselines[kernel]
+    base_safe = {a.loop.uid: a.safe_arrays() for a in baseline}
+    base_asked = {a.loop.uid: a.stats.exploitation_checks for a in baseline}
+
+    struck_anything = False
+    for instance, analysis in enumerate(baseline):
+        consistency = analysis.stats.consistency_checks
+        solver_questions = (analysis.stats.exploitation_checks
+                            - analysis.stats.memo_hits)
+        if solver_questions == 0:
+            continue
+        # Solver check index of exploitation question k is
+        # consistency + k: buildModel checks once per fact, every
+        # non-memoized question checks exactly once.
+        targets = sorted({consistency,
+                          consistency + solver_questions // 2,
+                          consistency + solver_questions - 1})
+        for target in targets:
+            config = ChaosConfig(fail_checks=frozenset({target}),
+                                 fail_kind=kind, fail_instance=instance)
+            analyses, factory = _chaos_analyses(spec, config)
+            assert factory.solvers[instance].injected == [(target, kind)], \
+                "the targeted check index must land on the chosen solver"
+            struck_anything = True
+            for chaotic in analyses:
+                uid = chaotic.loop.uid
+                # soundness: chaos can only shrink the safe set
+                assert chaotic.safe_arrays() <= base_safe[uid]
+                # Table-1 stability: the same questions are asked
+                assert chaotic.stats.exploitation_checks == base_asked[uid]
+                # the struck loop must have lost at least one verdict
+                if chaotic.loop is analyses[instance].loop and uid == \
+                        baseline[instance].loop.uid:
+                    assert chaotic.safe_arrays() < base_safe[uid] or \
+                        not base_safe[uid]
+    assert struck_anything, "every paper kernel asks at least one question"
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+@pytest.mark.parametrize("rate", [0.1, 0.5, 1.0])
+def test_random_fault_sweep_never_crashes_or_upgrades(baselines, kernel,
+                                                      rate):
+    spec, baseline = baselines[kernel]
+    base_safe = {a.loop.uid: a.safe_arrays() for a in baseline}
+    config = ChaosConfig(unknown_rate=rate / 2, budget_rate=rate / 4,
+                         error_rate=rate / 4, seed=7)
+    analyses, _ = _chaos_analyses(spec, config)
+    assert len(analyses) == len(baseline)
+    for chaotic in analyses:
+        assert chaotic.safe_arrays() <= base_safe[chaotic.loop.uid]

@@ -1,0 +1,90 @@
+"""Regression tests for the verdict-cache identity bug (PR 3).
+
+The exploitation-question memo and the fact/dedup maps used ``id(ctx)``
+as the context component of their keys. CPython reuses the addresses of
+collected objects, so a memo keyed on ``id`` can alias a dead context
+with a live one allocated at the same address and serve a stale verdict.
+These tests pin the fix: every context carries a process-unique ``uid``
+and every key derives from it.
+"""
+
+import gc
+
+from repro.cfg.contexts import Context, build_contexts
+from repro.formad.engine import FormADEngine
+from repro.ir import parse_procedure
+from repro.smt.terms import FAtom, Rel, TVar
+
+QUESTION = FAtom(Rel.EQ, TVar("i_0'"), TVar("i_0"))
+
+SRC = """
+subroutine k(x, y, n)
+  real, intent(in) :: x(100)
+  real, intent(out) :: y(100)
+  integer, intent(in) :: n
+  !$omp parallel do
+  do i = 1, n
+    if (i .gt. 2) then
+      y(i) = x(i)
+    end if
+  end do
+end subroutine k
+"""
+
+
+class TestContextUid:
+    def test_uids_are_process_unique_across_collected_trees(self):
+        """Create and drop many context trees; ids get reused, uids
+        must not (the aliasing scenario the id-keyed memo fell for)."""
+        uids = set()
+        reused_ids = False
+        seen_ids = set()
+        for _ in range(500):
+            proc = parse_procedure(SRC)
+            loop = next(iter(proc.parallel_loops()))
+            cmap = build_contexts(loop.body)
+            for ctx in cmap.all_contexts():
+                uids.add(ctx.uid)
+                if id(ctx) in seen_ids:
+                    reused_ids = True
+                seen_ids.add(id(ctx))
+            del proc, loop, cmap
+            gc.collect()
+        # 500 trees x (root + then-branch) = 1000 distinct contexts
+        assert len(uids) == 1000
+        # Documentation of the hazard, not a requirement: on CPython
+        # the allocator virtually always reuses at least one address.
+        if reused_ids:
+            assert len(uids) > len(seen_ids)
+
+    def test_identity_semantics_preserved(self):
+        root = Context("root")
+        a = root.child("a")
+        b = root.child("b")
+        assert a != b and a == a
+        assert a.common_root(b) is root
+        assert root.includes(a) and not a.includes(b)
+        assert len({a, b, root}) == 3  # hashable by identity
+
+
+class TestMemoKeyStability:
+    def test_memo_keys_never_collide_across_context_lifetimes(self):
+        """The engine's memo key must stay unique when contexts die and
+        new ones are allocated at recycled addresses. With the old
+        ``(id(ctx), question)`` key this set collapses as soon as one
+        address is reused; with ``(ctx.uid, question)`` it cannot."""
+        keys = set()
+        for n in range(2000):
+            ctx = Context("root")
+            keys.add(FormADEngine._memo_key(ctx, QUESTION))
+            del ctx  # eligible for collection: its address can recycle
+        assert len(keys) == 2000
+
+    def test_memo_key_shares_entries_within_one_tree(self):
+        """Same live context + same question must still hit the memo."""
+        ctx = Context("root")
+        assert FormADEngine._memo_key(ctx, QUESTION) \
+            == FormADEngine._memo_key(ctx, QUESTION)
+        other = ctx.child("if1/then")
+        assert FormADEngine._memo_key(ctx, QUESTION) \
+            != FormADEngine._memo_key(other, QUESTION)

@@ -227,12 +227,33 @@ class TestWarmModelInvalidation:
     def test_pop_above_warm_level_keeps_hint(self):
         s = Solver()
         s.add(i.ge(0))
-        assert s.check() is SAT
+        assert s.check() is SAT  # minted at depth 1
         warm = s._warm_model
         assert warm is not None
         s.push()
-        s.pop()  # the hint came from below this frame: still valid
+        s.push()
+        s.pop()  # still strictly above the minting depth: valid
         assert s._warm_model == warm
+        assert s.check() is SAT
+
+    def test_pop_to_warm_level_drops_hint(self):
+        """Regression: a pop that unwinds *to* the minting depth must
+        invalidate the hint — a later push can repopulate that depth
+        with different assertions, so keeping the hint would seed a
+        check with a model derived from popped state (the old
+        ``_warm_level > len`` comparison kept it)."""
+        s = Solver()
+        s.add(i.ge(0))
+        assert s.check() is SAT  # minted at depth 1
+        s.push()
+        s.pop()  # unwinds to depth 1 == the minting depth
+        assert s._warm_model is None
+        assert s._warm_level == 0
+        # pop/push/check at the same depth must still answer correctly
+        s.push()
+        s.add(i.lt(0))
+        assert s.check() is UNSAT
+        s.pop()
         assert s.check() is SAT
 
     def test_checks_after_pop_stay_correct(self):

@@ -17,6 +17,9 @@ fan-out. These tests pin the aggregation paths:
 """
 
 import dataclasses
+import itertools
+import sys
+import threading
 
 from repro import analyze_formad
 from repro.formad.engine import AnalysisStats
@@ -164,6 +167,64 @@ JOBS_INVARIANT = (
     "solver_unsat", "solver_unknown", "formulas_translated",
     "congruence_axioms",
 )
+
+
+_fresh = itertools.count()
+
+
+class TestConcurrentClausifyAttribution:
+    """Regression (PR 3): clausify hit/miss stats were before/after
+    deltas of the process-global cache counters, so concurrent solvers
+    booked each other's traffic. Attribution is now per probe."""
+
+    N = 150
+
+    def _run_solver(self, results, index, barrier):
+        names = [f"cc{next(_fresh)}" for _ in range(self.N)]
+        solver = Solver()
+        for k, name in enumerate(names):
+            solver.add(Int(name).ge(k))
+        barrier.wait()
+        solver.check()
+        results[index] = solver
+
+    def test_threads_only_count_their_own_misses(self):
+        clausify_cache_clear()
+        old = sys.getswitchinterval()
+        sys.setswitchinterval(1e-5)  # force interleaved translation
+        try:
+            results = [None, None]
+            barrier = threading.Barrier(2)
+            threads = [threading.Thread(target=self._run_solver,
+                                        args=(results, i, barrier))
+                       for i in range(2)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        finally:
+            sys.setswitchinterval(old)
+        for solver in results:
+            # each solver translated exactly N globally-fresh formulas:
+            # N misses, 0 hits, regardless of what the other thread did
+            assert solver.stats.clausify_misses == self.N
+            assert solver.stats.clausify_hits == 0
+
+    def test_hits_are_attributed_to_the_probing_solver(self):
+        clausify_cache_clear()
+        name = f"cc{next(_fresh)}"
+        warm = Solver()
+        warm.add(Int(name).ge(1))
+        warm.check()
+        assert warm.stats.clausify_misses == 1
+        reuse = Solver()
+        reuse.add(Int(name).ge(1))
+        reuse.check()
+        assert reuse.stats.clausify_hits == 1
+        assert reuse.stats.clausify_misses == 0
+        # the warm solver's counters are untouched by the second probe
+        assert warm.stats.clausify_hits == 0
+        assert warm.stats.clausify_misses == 1
 
 
 class TestJobsFanOut:
