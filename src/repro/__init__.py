@@ -81,15 +81,32 @@ def analyze_formad(
     *,
     jobs: Optional[int] = None,
     tracer: NullTracer = NULL_TRACER,
+    deadline=None,
+    question_timeout: Optional[float] = None,
+    escalation=None,
+    journal=None,
+    resume=None,
 ) -> List[LoopAnalysis]:
     """Run the FormAD analysis on every parallel loop of *proc*.
 
     ``jobs`` > 1 analyzes independent parallel regions concurrently.
     ``tracer`` receives the structured provenance/span event stream
     (see :mod:`repro.obs`); the no-op default records nothing.
+
+    The resilience knobs (all optional, see docs/RESILIENCE.md):
+    ``deadline`` (a :class:`repro.resilience.Deadline`) bounds the whole
+    run in wall-clock time, ``question_timeout`` each exploitation
+    question; ``escalation`` (an :class:`repro.resilience.
+    EscalationPolicy`) retries timed-out questions with enlarged
+    budgets; ``journal``/``resume`` are the crash-safe verdict journal
+    writer and a recovered :class:`repro.resilience.ResumeState`.
     """
     activity = ActivityAnalysis(proc, independents, dependents)
-    return FormADEngine(proc, activity, tracer=tracer).analyze_all(jobs=jobs)
+    engine = FormADEngine(proc, activity, tracer=tracer, deadline=deadline,
+                          question_timeout=question_timeout,
+                          escalation=escalation, journal=journal,
+                          resume=resume)
+    return engine.analyze_all(jobs=jobs)
 
 
 __all__ = [

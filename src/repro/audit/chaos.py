@@ -109,16 +109,17 @@ class ChaosSolver(Solver):
             return "error"
         return None
 
-    def check(self) -> Result:
+    def check(self, **kwargs) -> Result:
         index = self._check_index
         self._check_index += 1
         kind = self._decide(index)
         if kind is None:
-            return super().check()
+            return super().check(**kwargs)
         self.injected.append((index, kind))
         if kind == "unknown":
             self.stats.record(UNKNOWN, 0.0, SearchStats())
             self._model = None
+            self.last_unknown_reason = "solver-unknown"
             return UNKNOWN
         if kind == "budget":
             raise ClausifyBudgetError(

@@ -132,6 +132,9 @@ class AuditReport:
     count: int
     cases: List[CaseResult] = field(default_factory=list)
     chaos: List[ChaosOutcome] = field(default_factory=list)
+    #: Cases skipped because the run deadline expired (``--deadline``).
+    #: A truncated audit is still a valid audit of the cases that ran.
+    truncated: int = 0
 
     @property
     def violations(self) -> List[Violation]:
@@ -153,6 +156,7 @@ class AuditReport:
     def to_json(self) -> dict:
         return {"schema": REPORT_SCHEMA, "seed": self.seed,
                 "count": self.count, "ok": self.ok,
+                "truncated": self.truncated,
                 "classifications": self.tally(),
                 "cases": [c.to_json() for c in self.cases],
                 "chaos": [c.to_json() for c in self.chaos],
@@ -360,12 +364,22 @@ def run_audit(*, seed: int = 0, count: int = 50,
               shrink: bool = False,
               tracer: NullTracer = NULL_TRACER,
               progress: Optional[Callable[[CaseResult], None]] = None,
+              deadline=None,
               ) -> AuditReport:
     """Run the full audit: *count* generated cases, then (optionally)
-    the paper-kernel chaos sweep. Deterministic for a given seed."""
+    the paper-kernel chaos sweep. Deterministic for a given seed.
+
+    ``deadline`` (a :class:`repro.resilience.Deadline`) bounds the run:
+    the audit stops cleanly *between* cases when it expires, records
+    how many cases were skipped in ``report.truncated``, and the cases
+    that did run remain a valid (deterministic-prefix) audit.
+    """
     report = AuditReport(seed=seed, count=count)
     with tracer.span("audit.run", seed=seed, count=count):
         for index in range(count):
+            if deadline is not None and deadline.expired():
+                report.truncated = count - index
+                break
             spec = generate_case(index, seed=seed, families=tuple(families))
             result = run_case(index, spec, tracer=tracer)
             if shrink and result.violations:
@@ -376,7 +390,8 @@ def run_audit(*, seed: int = 0, count: int = 50,
             report.cases.append(result)
             if progress is not None:
                 progress(result)
-        if chaos_rates is not None:
+        if chaos_rates is not None and not (
+                deadline is not None and deadline.expired()):
             report.chaos = chaos_sweep(chaos_rates, seed=seed,
                                        tracer=tracer)
     return report
@@ -391,6 +406,9 @@ def format_report(report: AuditReport) -> str:
         per_family[case.spec.family] = per_family.get(case.spec.family, 0) + 1
     lines.append("  families: " + ", ".join(
         f"{name} x{n}" for name, n in sorted(per_family.items())))
+    if report.truncated:
+        lines.append(f"  truncated: deadline expired, {report.truncated} "
+                     f"case(s) skipped")
     for cls, n in sorted(report.tally().items()):
         lines.append(f"  {cls:>24}: {n}")
     if report.chaos:

@@ -27,8 +27,8 @@ import logging
 import sys
 from typing import List, Optional, Sequence
 
-from . import (STRATEGIES, analyze_formad, differentiate,
-               differentiate_tangent, format_procedure)
+from . import (STRATEGIES, differentiate, differentiate_tangent,
+               format_procedure)
 from .ad import GuardKind
 from .formad import format_verdicts
 from .ir import ParseError, parse_program
@@ -121,6 +121,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--json", action="store_true",
                    help="machine-readable verdicts + metrics on stdout "
                         "(stable schema, sorted keys)")
+    p.add_argument("--deadline", type=float, default=None, metavar="S",
+                   help="wall-clock budget for the whole run (seconds); "
+                        "expired questions answer UNKNOWN and keep their "
+                        "safeguards (docs/RESILIENCE.md)")
+    p.add_argument("--question-timeout", type=float, default=None,
+                   metavar="S",
+                   help="wall-clock cap per exploitation question")
+    p.add_argument("--escalate", type=int, default=1, metavar="N",
+                   help="retry timed-out/budget-exhausted questions up "
+                        "to N times with exponentially enlarged budgets "
+                        "(default 1 = no retries)")
+    p.add_argument("--isolate", action="store_true",
+                   help="analyze each parallel loop in its own worker "
+                        "subprocess; a crashed or hung worker degrades "
+                        "that loop instead of failing the run")
+    p.add_argument("--kill-timeout", type=float, default=60.0, metavar="S",
+                   help="hard wall-clock cap per --isolate worker "
+                        "before SIGKILL (default 60)")
+    p.add_argument("--journal", default=None, metavar="OUT.jsonl",
+                   help="append every settled verdict to a crash-safe "
+                        "journal (schema repro-journal/1)")
+    p.add_argument("--resume", default=None, metavar="JOURNAL.jsonl",
+                   help="replay settled verdicts from a previous run's "
+                        "journal and analyze only the rest")
+    p.add_argument("--strict", action="store_true",
+                   help="exit non-zero (status 3) when any loop degraded "
+                        "or any question timed out")
 
     p = sub.add_parser("differentiate", parents=[common],
                        help="generate the reverse-mode (adjoint) procedure")
@@ -144,6 +171,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "over N worker threads")
     p.add_argument("--trace", default=None, metavar="OUT.jsonl",
                    help="record the analysis/simulation event stream")
+    p.add_argument("--deadline", type=float, default=None, metavar="S",
+                   help="wall-clock budget for the Table-1 analyses; "
+                        "expired problems degrade to safeguards")
 
     p = sub.add_parser("audit", parents=[common],
                        help="differential soundness audit: fuzz the "
@@ -167,6 +197,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "(schema repro-audit/1)")
     p.add_argument("--trace", default=None, metavar="OUT.jsonl",
                    help="record the structured event stream of the run")
+    p.add_argument("--deadline", type=float, default=None, metavar="S",
+                   help="wall-clock budget: the audit stops cleanly "
+                        "between cases when it expires (the report "
+                        "notes the truncation)")
 
     p = sub.add_parser("explain", parents=[common],
                        help="replay a trace: why is an array safe (the "
@@ -186,12 +220,18 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _analysis_json(proc, analyses) -> str:
+def _analysis_json(proc, analyses, outcomes=None) -> str:
     """The ``analyze --json`` document: verdicts + metrics, keys sorted
-    for byte-stable output (schema ``repro-analyze/1``)."""
+    for byte-stable output (schema ``repro-analyze/1``).
+
+    Resilience keys are *conditional*: without resilience flags nothing
+    degrades, times out, or resumes, so the document stays byte-
+    identical to builds without the resilience layer (the acceptance
+    bar for the default mode).
+    """
     loops = []
     for analysis in analyses:
-        loops.append({
+        entry = {
             "loop": analysis.loop.var,
             "uid": analysis.loop.uid,
             "all_safe": analysis.all_safe,
@@ -202,7 +242,12 @@ def _analysis_json(proc, analyses) -> str:
                 for _, v in sorted(analysis.verdicts.items())
             ],
             "metrics": stats_metrics([analysis.stats]),
-        })
+        }
+        if analysis.degraded:
+            entry["degraded"] = True
+        if analysis.resumed:
+            entry["resumed"] = True
+        loops.append(entry)
     doc = {
         "schema": "repro-analyze/1",
         "procedure": proc.name,
@@ -210,6 +255,22 @@ def _analysis_json(proc, analyses) -> str:
         "loops": loops,
         "totals": stats_metrics([a.stats for a in analyses]),
     }
+    resilience = {
+        "degraded_loops": sum(1 for a in analyses if a.degraded),
+        "resumed_loops": sum(1 for a in analyses if a.resumed),
+        "timed_out_questions": sum(a.stats.timed_out_questions
+                                   for a in analyses),
+        "escalations": sum(a.stats.escalations for a in analyses),
+        "resumed_questions": sum(a.stats.resumed_questions
+                                 for a in analyses),
+    }
+    if any(resilience.values()):
+        doc["resilience"] = resilience
+    if outcomes is not None:
+        doc["workers"] = [
+            {"loop": o.loop_key, "status": o.status, "detail": o.detail}
+            for o in outcomes
+        ]
     return json.dumps(doc, indent=2, sort_keys=True)
 
 
@@ -237,6 +298,14 @@ def _run_profile(args) -> int:
     return 0
 
 
+def _deadline_of(args):
+    """The run :class:`~repro.resilience.Deadline` of --deadline."""
+    if getattr(args, "deadline", None) is None:
+        return None
+    from .resilience import Deadline
+    return Deadline(args.deadline)
+
+
 def _run_audit(args) -> int:
     from .audit import format_report, run_audit
     from .audit.harness import DEFAULT_CHAOS_RATES
@@ -247,7 +316,8 @@ def _run_audit(args) -> int:
     try:
         report = run_audit(seed=args.seed, count=args.count,
                            chaos_rates=chaos_rates,
-                           shrink=args.minimize, tracer=tracer)
+                           shrink=args.minimize, tracer=tracer,
+                           deadline=_deadline_of(args))
     finally:
         tracer.close()
     print(format_report(report))
@@ -257,6 +327,123 @@ def _run_audit(args) -> int:
             fh.write("\n")
         print(f"report written to {args.report}", file=sys.stderr)
     return 0 if report.ok else 1
+
+
+def _run_analyze(args, proc, independents, dependents) -> int:
+    """The ``analyze`` command, including the resilience runtime
+    (docs/RESILIENCE.md): deadline, escalation, isolation, journal,
+    resume, and ``--strict``."""
+    import os
+
+    from .analysis import ActivityAnalysis
+    from .formad import FormADEngine
+    from .resilience import (JOURNAL_SCHEMA, EscalationPolicy, JournalError,
+                             JournalWriter, ResumeState, journal_fingerprint)
+
+    escalation = None
+    if args.escalate and args.escalate > 1:
+        escalation = EscalationPolicy(max_attempts=args.escalate)
+    tracer = _open_tracer(args.trace)
+    activity = ActivityAnalysis(proc, independents, dependents)
+    engine = FormADEngine(proc, activity, tracer=tracer,
+                          deadline=_deadline_of(args),
+                          question_timeout=args.question_timeout,
+                          escalation=escalation)
+    with open(args.file) as fh:
+        source = fh.read()
+    fingerprint = journal_fingerprint(source, proc.name, independents,
+                                      dependents, engine.fingerprint_flags())
+    resume = None
+    if args.resume:
+        try:
+            resume = ResumeState.load(args.resume)
+            resume.check_fingerprint(fingerprint)
+        except (OSError, JournalError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 1
+        if resume.dropped:
+            print(f"resume: dropped {resume.dropped} damaged journal "
+                  f"line(s); their questions will be re-asked",
+                  file=sys.stderr)
+        print(f"resume: {resume.settled_loops} settled loop(s), "
+              f"{resume.settled_questions} settled question(s)",
+              file=sys.stderr)
+    journal = None
+    if args.journal:
+        # Journaling onto the journal being resumed continues it
+        # in place (append); any other path starts fresh.
+        append = bool(args.resume) and (os.path.abspath(args.resume)
+                                        == os.path.abspath(args.journal))
+        try:
+            journal = JournalWriter(args.journal,
+                                    meta={"schema": JOURNAL_SCHEMA,
+                                          "fingerprint": fingerprint},
+                                    append=append)
+        except OSError as exc:
+            print(f"error: cannot open journal: {exc}", file=sys.stderr)
+            return 1
+    engine.attach_run_state(journal=journal, resume=resume)
+    outcomes = None
+    try:
+        if args.isolate:
+            from .resilience import IsolationConfig, analyze_isolated
+            config = IsolationConfig(kill_timeout=args.kill_timeout)
+            analyses, outcomes = analyze_isolated(
+                engine, source, proc.name, independents, dependents,
+                config=config, journal_path=args.journal,
+                resume_path=args.resume)
+        else:
+            analyses = engine.analyze_all(jobs=args.jobs)
+    finally:
+        if journal is not None:
+            journal.close()
+        tracer.close()
+    degraded = sum(1 for a in analyses if a.degraded)
+    timed_out = sum(a.stats.timed_out_questions for a in analyses)
+    strict_failure = args.strict and (degraded or timed_out)
+    if args.json:
+        print(_analysis_json(proc, analyses, outcomes))
+        return 3 if strict_failure else 0
+    if not analyses:
+        print("no parallel loops found")
+        return 0
+    for analysis in analyses:
+        print(format_verdicts(analysis))
+        s = analysis.stats
+        print(f"  stats: time={s.time_seconds:.3f}s "
+              f"model_size={s.model_size} queries={s.queries} "
+              f"exprs={s.unique_exprs} loc={s.region_loc}")
+        print(f"  phases: translate={s.translate_seconds:.4f}s "
+              f"clausify={s.clausify_seconds:.4f}s "
+              f"search={s.search_seconds:.4f}s "
+              f"solver_checks={s.solver_checks} "
+              f"memo_hits={s.memo_hits}")
+        notes = []
+        if analysis.degraded:
+            notes.append("degraded")
+        if analysis.resumed:
+            notes.append("resumed")
+        if s.timed_out_questions:
+            notes.append(f"timed_out={s.timed_out_questions}")
+        if s.escalations:
+            notes.append(f"escalations={s.escalations}")
+        if s.resumed_questions:
+            notes.append(f"resumed_questions={s.resumed_questions}")
+        if notes:
+            print(f"  resilience: {' '.join(notes)}")
+    if args.trace:
+        print(f"trace written to {args.trace} (replay with "
+              f"'repro explain {args.trace} --array A' or "
+              f"'repro profile {args.trace}')", file=sys.stderr)
+    if args.journal:
+        print(f"journal written to {args.journal} (resume with "
+              f"'repro analyze ... --resume {args.journal}')",
+              file=sys.stderr)
+    if strict_failure:
+        print(f"strict: {degraded} degraded loop(s), {timed_out} "
+              f"timed-out question(s)", file=sys.stderr)
+        return 3
+    return 0
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -284,7 +471,8 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
         from .experiments.report import main as experiments_main
         tracer = _open_tracer(args.trace)
         try:
-            experiments_main(jobs=args.jobs, tracer=tracer)
+            experiments_main(jobs=args.jobs, tracer=tracer,
+                             deadline=_deadline_of(args))
         finally:
             tracer.close()
         return 0
@@ -293,34 +481,7 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
         independents = _names(args.independents)
         dependents = _names(args.dependents)
         if args.command == "analyze":
-            tracer = _open_tracer(args.trace)
-            try:
-                analyses = analyze_formad(proc, independents, dependents,
-                                          jobs=args.jobs, tracer=tracer)
-            finally:
-                tracer.close()
-            if args.json:
-                print(_analysis_json(proc, analyses))
-                return 0
-            if not analyses:
-                print("no parallel loops found")
-                return 0
-            for analysis in analyses:
-                print(format_verdicts(analysis))
-                s = analysis.stats
-                print(f"  stats: time={s.time_seconds:.3f}s "
-                      f"model_size={s.model_size} queries={s.queries} "
-                      f"exprs={s.unique_exprs} loc={s.region_loc}")
-                print(f"  phases: translate={s.translate_seconds:.4f}s "
-                      f"clausify={s.clausify_seconds:.4f}s "
-                      f"search={s.search_seconds:.4f}s "
-                      f"solver_checks={s.solver_checks} "
-                      f"memo_hits={s.memo_hits}")
-            if args.trace:
-                print(f"trace written to {args.trace} (replay with "
-                      f"'repro explain {args.trace} --array A' or "
-                      f"'repro profile {args.trace}')", file=sys.stderr)
-            return 0
+            return _run_analyze(args, proc, independents, dependents)
         if args.command == "differentiate":
             result = differentiate(proc, independents, dependents,
                                    strategy=args.strategy,

@@ -27,19 +27,23 @@ TABLE1_PROBLEMS = {
 
 
 def run_table1(jobs: Optional[int] = None,
-               tracer: NullTracer = NULL_TRACER) -> List[AnalysisReport]:
+               tracer: NullTracer = NULL_TRACER,
+               deadline=None) -> List[AnalysisReport]:
     """Run FormAD on all six Table-1 problems.
 
     ``jobs`` > 1 fans the independent problems out over a thread pool
     (each problem builds its own procedure and engine, so the analyses
     share no mutable state). Report order is fixed either way.
+    ``deadline`` (a :class:`repro.resilience.Deadline`) bounds the
+    whole sweep: expired problems degrade to safeguards (UNKNOWN
+    verdicts) instead of running over.
     """
 
     def one(item) -> AnalysisReport:
         name, (builder, independents, dependents) = item
         return AnalysisReport(
             name, analyze_formad(builder(), independents, dependents,
-                                 tracer=tracer))
+                                 tracer=tracer, deadline=deadline))
 
     items = list(TABLE1_PROBLEMS.items())
     if jobs is not None and jobs > 1:

@@ -46,6 +46,8 @@ from ..ir.printer import format_stmt
 from ..ir.program import Procedure
 from ..ir.stmt import Assign, Loop
 from ..obs.tracer import NULL_TRACER, NullTracer
+from ..resilience.deadline import Deadline, per_question
+from ..resilience.escalate import NO_ESCALATION, EscalationPolicy
 from ..smt.intsolver import Result
 from ..smt.solver import SAT, UNKNOWN, UNSAT, Solver
 from ..smt.terms import And, FAtom, Formula, Rel, Term, formula_vars
@@ -103,6 +105,18 @@ class AnalysisStats:
     congruence_axioms: int = 0
     clausify_hits: int = 0
     clausify_misses: int = 0
+    # Resilience accounting (docs/RESILIENCE.md). The ``unknown_*``
+    # triple is the structured breakdown of ``solver_unknown``;
+    # ``timed_out_questions`` counts exploitation questions whose
+    # *final* answer (after any escalation) was a deadline expiry;
+    # ``escalations`` counts ladder retries; ``resumed_questions``
+    # counts answers replayed from a ``--resume`` journal.
+    unknown_timeout: int = 0
+    unknown_budget: int = 0
+    unknown_solver: int = 0
+    timed_out_questions: int = 0
+    escalations: int = 0
+    resumed_questions: int = 0
 
     @property
     def queries(self) -> int:
@@ -134,6 +148,9 @@ class AnalysisStats:
         self.congruence_axioms += s.congruence_axioms
         self.clausify_hits += s.clausify_hits
         self.clausify_misses += s.clausify_misses
+        self.unknown_timeout += s.unknown_timeout
+        self.unknown_budget += s.unknown_budget
+        self.unknown_solver += s.unknown_solver
 
 
 @dataclass
@@ -160,6 +177,13 @@ class LoopAnalysis:
     stats: AnalysisStats
     safe_write_expressions: List[str] = field(default_factory=list)
     offending_expressions: List[str] = field(default_factory=list)
+    #: True when this result is a safeguard fallback rather than an
+    #: analysis: the knowledge base could not be established, the run
+    #: deadline expired before phase 2, or an isolated worker died.
+    degraded: bool = False
+    #: True when this result was replayed from a resume journal
+    #: instead of being analyzed in this process.
+    resumed: bool = False
 
     def safe_arrays(self) -> Set[str]:
         return {name for name, v in self.verdicts.items() if v.safe}
@@ -198,6 +222,13 @@ class _EngineConfig:
     #: the standard ``Solver`` keyword arguments. The audit subsystem
     #: swaps in its fault-injecting ``ChaosSolver`` here.
     solver_factory: Optional[object] = None
+    #: Wall-clock cap per exploitation question (seconds); None means
+    #: only the run deadline (if any) applies.
+    question_timeout: Optional[float] = None
+    #: Retry ladder for timed-out / budget-exhausted questions. The
+    #: default never retries, so runs without resilience flags are
+    #: byte-identical to builds without the resilience layer.
+    escalation: EscalationPolicy = NO_ESCALATION
 
 
 class _ZeroInstances:
@@ -256,21 +287,30 @@ class _ContextModel:
         rec(root)
         self._path = [root]
 
-    def ask(self, ctx: Context,
-            question: Formula) -> Tuple[Result, Optional[Dict[str, int]]]:
+    def ask(self, ctx: Context, question: Formula, *,
+            deadline: Optional[Deadline] = None,
+            budget_scale: float = 1.0,
+            ) -> Tuple[Result, Optional[Dict[str, int]], Optional[str]]:
         """Answer one exploitation question under *ctx*'s knowledge.
 
-        Returns the result plus, for SAT answers, the witness model —
-        the concrete counter/scalar values under which the two adjoint
-        references collide (the provenance trail's counterexample)."""
+        Returns ``(result, witness, reason)``: for SAT answers the
+        witness model — the concrete counter/scalar values under which
+        the two adjoint references collide (the provenance trail's
+        counterexample) — and for UNKNOWN answers the structured
+        reason (timeout / budget / solver-unknown). ``deadline`` caps
+        this one question; ``budget_scale`` is the escalation ladder's
+        retry-with-bigger-budgets knob."""
         self._navigate(ctx)
         solver = self._solver
         solver.push()
         try:
             solver.add(question)
-            result = solver.check()
+            result = solver.check(deadline=deadline,
+                                  budget_scale=budget_scale)
             witness = solver.model() if result is SAT else None
-            return result, witness
+            reason = (getattr(solver, "last_unknown_reason", None)
+                      if result is UNKNOWN else None)
+            return result, witness, reason
         finally:
             solver.pop()
 
@@ -295,8 +335,11 @@ class _ContextModel:
                         f"primal parallel loop cannot be correctly "
                         f"parallelized")
                 if result is not SAT:
+                    reason = getattr(self._solver, "last_unknown_reason",
+                                     None) or "solver-unknown"
                     raise KnowledgeDegradedError(
-                        f"consistency check UNKNOWN while adding {fact}")
+                        f"consistency check UNKNOWN ({reason}) while "
+                        f"adding {fact}")
 
     def _navigate(self, ctx: Context) -> None:
         """Pop/push the solver to *ctx*'s model state. Re-descending
@@ -365,6 +408,11 @@ class FormADEngine:
         use_question_memo: bool = True,
         solver_factory=None,
         tracer: NullTracer = NULL_TRACER,
+        deadline: Optional[Deadline] = None,
+        question_timeout: Optional[float] = None,
+        escalation: Optional[EscalationPolicy] = None,
+        journal=None,
+        resume=None,
     ) -> None:
         self.proc = proc
         self.activity = activity
@@ -379,7 +427,20 @@ class FormADEngine:
             incremental=incremental,
             use_question_memo=use_question_memo,
             solver_factory=solver_factory,
+            question_timeout=question_timeout,
+            escalation=escalation or NO_ESCALATION,
         )
+        # Run state, deliberately outside the frozen config: the
+        # deadline is a live clock and the journal/resume handles are
+        # I/O seams (see docs/RESILIENCE.md). They can only ever turn
+        # verdicts into UNKNOWN or replay identical ones, so the
+        # per-loop result cache stays sound.
+        self._deadline = deadline
+        self._journal = journal
+        self._resume = resume
+        self._loop_keys: Dict[int, str] = {
+            loop.uid: f"{ordinal}:{loop.var}"
+            for ordinal, loop in enumerate(proc.parallel_loops())}
         self._cache: Dict[int, LoopAnalysis] = {}
         self._cache_lock = threading.Lock()
 
@@ -416,6 +477,57 @@ class FormADEngine:
     def use_question_memo(self) -> bool:
         return self._config.use_question_memo
 
+    @property
+    def question_timeout(self) -> Optional[float]:
+        return self._config.question_timeout
+
+    @property
+    def escalation(self) -> EscalationPolicy:
+        return self._config.escalation
+
+    @property
+    def deadline(self) -> Optional[Deadline]:
+        return self._deadline
+
+    def attach_run_state(self, *, journal=None, resume=None) -> None:
+        """Late-bind the journal writer and/or resume state.
+
+        The CLI needs this ordering seam: the journal fingerprint is
+        computed from :meth:`fingerprint_flags`, which needs a
+        constructed engine. Journal and resume are run state, not
+        configuration (see ``__init__``), so binding them late cannot
+        invalidate the per-loop result cache — but attach them before
+        the first ``analyze_loop`` call or early loops go unjournaled.
+        """
+        if journal is not None:
+            self._journal = journal
+        if resume is not None:
+            self._resume = resume
+
+    def loop_key(self, loop: Loop) -> str:
+        """The structural journal key of *loop* (``"<ordinal>:<var>"``
+        — stable across processes, unlike ``loop.uid``)."""
+        return self._loop_keys[loop.uid]
+
+    def fingerprint_flags(self) -> Dict[str, object]:
+        """The configuration flags that shape the question stream —
+        folded into the journal fingerprint so a journal is only ever
+        replayed into an identically-configured analysis. Deadlines,
+        timeouts, and escalation are deliberately excluded: resuming
+        an interrupted run with a *longer* deadline is the intended
+        recovery flow, and replayed SAT/UNSAT answers stay sound under
+        any resource configuration."""
+        return {
+            "max_theory_checks": self.max_theory_checks,
+            "node_budget": self.node_budget,
+            "use_increment_detection": self.use_increment_detection,
+            "use_activity": self.use_activity,
+            "use_instances": self.use_instances,
+            "use_contexts": self.use_contexts,
+            "incremental": self.incremental,
+            "use_question_memo": self.use_question_memo,
+        }
+
     def analyze_all(self, jobs: Optional[int] = None) -> List[LoopAnalysis]:
         """Analyze every parallel loop of the procedure.
 
@@ -434,10 +546,52 @@ class FormADEngine:
         with self._cache_lock:
             cached = self._cache.get(loop.uid)
         if cached is None:
-            analysis = self._analyze(loop)
+            analysis = self._replay_settled(loop)
+            if analysis is None:
+                analysis = self._analyze(loop)
             with self._cache_lock:
                 cached = self._cache.setdefault(loop.uid, analysis)
         return cached
+
+    def _replay_settled(self, loop: Loop) -> Optional[LoopAnalysis]:
+        """The ``--resume`` fast path: rebuild a loop the journal
+        records as fully settled instead of re-analyzing it."""
+        if self._resume is None:
+            return None
+        key = self.loop_key(loop)
+        done = self._resume.loop_done(key)
+        if done is None or done.get("degraded"):
+            # A degraded record is a safeguard fallback, not settled
+            # knowledge — the resumed run re-analyzes that loop (its
+            # individual SAT/UNSAT question records still replay).
+            return None
+        from ..resilience.journal import rebuild_analysis
+        analysis = rebuild_analysis(loop, done, self._resume.verdicts(key))
+        logger.info("loop over %r: replayed settled verdicts from the "
+                    "resume journal", loop.var)
+        if self.tracer.enabled:
+            self.tracer.emit("resumed", loop=loop.var)
+        if self._journal is not None and \
+                not getattr(self._journal, "appending", True):
+            # Resuming into a *fresh* journal: re-emit the settled
+            # records so the new journal is itself resumable.
+            self._journal_loop(key, analysis)
+        return analysis
+
+    def _journal_loop(self, key: str, analysis: LoopAnalysis) -> None:
+        journal = self._journal
+        for verdict in analysis.verdicts.values():
+            journal.record("verdict", loop=key, array=verdict.array,
+                           safe=verdict.safe,
+                           pairs_total=verdict.pairs_total,
+                           pairs_proven=verdict.pairs_proven,
+                           reason=verdict.reason)
+        stats = {name: getattr(analysis.stats, name)
+                 for name in AnalysisStats.__dataclass_fields__}
+        journal.record("loop_done", loop=key, stats=stats,
+                       safe_writes=list(analysis.safe_write_expressions),
+                       offending=list(analysis.offending_expressions),
+                       degraded=analysis.degraded)
 
     def knowledge(self, loop: Loop) -> Tuple[FAtom, KnowledgeBase]:
         """Phase-1 output for *loop*: the root axiom and the knowledge
@@ -452,7 +606,8 @@ class FormADEngine:
         return factory(max_theory_checks=self.max_theory_checks,
                        node_budget=self.node_budget,
                        incremental=self.incremental,
-                       tracer=self.tracer)
+                       tracer=self.tracer,
+                       deadline=self._deadline)
 
     def _extract(self, loop: Loop):
         """Shared phase-1 setup: references, translator, knowledge."""
@@ -530,9 +685,12 @@ class FormADEngine:
 
         for array in self._candidate_arrays(refs):
             if degraded is not None:
-                verdict = ArrayVerdict(array, False,
-                                       reason=f"knowledge degraded: "
-                                              f"{degraded}")
+                # Count the questions this array *would* have asked
+                # (without solving) so Table-1 totals stay independent
+                # of where a fault struck, then keep every safeguard.
+                verdict = self._degraded_verdict(
+                    loop, array, refs, translator, stats,
+                    f"knowledge degraded: {degraded}")
             else:
                 with tracer.span("analysis.array", loop=loop.var,
                                  array=array):
@@ -565,7 +723,11 @@ class FormADEngine:
             "(%d memo hits) in %.3fs", loop.var,
             sum(v.safe for v in verdicts.values()), len(verdicts),
             stats.queries, stats.memo_hits, stats.time_seconds)
-        return LoopAnalysis(loop, verdicts, stats, safe_writes, offending)
+        analysis = LoopAnalysis(loop, verdicts, stats, safe_writes,
+                                offending, degraded=degraded is not None)
+        if self._journal is not None:
+            self._journal_loop(self.loop_key(loop), analysis)
+        return analysis
 
     def _candidate_arrays(self, refs: RegionReferences) -> List[str]:
         """The arrays whose adjoints this region must prove or guard:
@@ -650,6 +812,171 @@ class FormADEngine:
         the same address (PR-3 regression: tests/formad/test_memo.py)."""
         return (ctx.uid, question)
 
+    @staticmethod
+    def _question_pairs(
+        writes: List[_QuestionRef], reads: List[_QuestionRef],
+    ) -> List[Tuple[_QuestionRef, _QuestionRef]]:
+        """Every adjoint reference pair with at least one write."""
+        pairs: List[Tuple[_QuestionRef, _QuestionRef]] = []
+        for i, w in enumerate(writes):
+            for other in writes[i:]:
+                pairs.append((w, other))
+            for r in reads:
+                pairs.append((w, r))
+        return pairs
+
+    def _ask_escalating(
+        self,
+        model: _ContextModel,
+        ctx: Context,
+        question: Formula,
+        stats: AnalysisStats,
+        qkey: str,
+        array: str,
+    ) -> Tuple[Result, Optional[Dict[str, int]], Optional[str],
+               Optional[str], int]:
+        """Ask one question under the resilience policy.
+
+        Returns ``(result, witness, reason, failure, attempts)``. The
+        first ask runs with unscaled budgets; UNKNOWNs whose reason is
+        retryable (timeout / budget) climb the escalation ladder with
+        enlarged budgets and a fresh per-question deadline, until the
+        ladder or the run deadline is exhausted. Solver exceptions are
+        contained as UNKNOWN and never retried.
+        """
+        run_deadline = self._deadline
+        if run_deadline is not None and run_deadline.expired():
+            # The run is out of time: answer without touching the
+            # solver (still counted and traced by the caller, so the
+            # question totals never depend on when time ran out).
+            return UNKNOWN, None, "timeout", None, 0
+        policy = self._config.escalation
+        scales: List[float] = [1.0]
+        if policy.enabled:
+            scales.extend(policy.scales(qkey))
+        result: Result = UNKNOWN
+        witness: Optional[Dict[str, int]] = None
+        reason: Optional[str] = None
+        failure: Optional[str] = None
+        attempts = 0
+        for index, scale in enumerate(scales):
+            if index > 0:
+                if run_deadline is not None and run_deadline.expired():
+                    break
+                stats.escalations += 1
+            attempts += 1
+            deadline = per_question(run_deadline,
+                                    self._config.question_timeout)
+            try:
+                result, witness, reason = model.ask(
+                    ctx, question, deadline=deadline, budget_scale=scale)
+            except Exception as exc:
+                # A solver crash on one question must neither kill the
+                # analysis nor leave the array shared; treat it as an
+                # unanswerable (UNKNOWN) question. Never memoized or
+                # retried: a fresh run may succeed.
+                result, witness, reason = UNKNOWN, None, None
+                failure = f"{type(exc).__name__}: {exc}"
+                logger.warning("solver failure on exploitation question "
+                               "for %r: %s", array, failure)
+                break
+            if result is not UNKNOWN:
+                break
+            if not (policy.enabled and reason is not None
+                    and policy.retryable(reason)):
+                break
+        return result, witness, reason, failure, attempts
+
+    def _degraded_verdict(
+        self,
+        loop: Loop,
+        array: str,
+        refs: RegionReferences,
+        translator: IndexTranslator,
+        stats: AnalysisStats,
+        reason: str,
+    ) -> ArrayVerdict:
+        """The safeguard verdict for one array when the analysis cannot
+        run (knowledge degraded, run deadline expired before phase 2,
+        or an isolated worker died). Enumerates and *counts* the
+        exploitation questions the honest analysis would have asked —
+        without solving — so the Table-1 question totals are
+        independent of where a fault struck, and emits the matching
+        provenance records so the trace trail stays complete."""
+        tracer = self.tracer
+        try:
+            writes, reads = self._adjoint_refs(array, refs, translator)
+        except UntranslatableError as exc:
+            return ArrayVerdict(array, False, reason=str(exc))
+        pairs = self._question_pairs(writes, reads)
+        verdict = ArrayVerdict(array, False, pairs_total=len(pairs),
+                               reason=reason)
+        for w, other in pairs:
+            if len(w.plain) != len(other.plain):
+                # Structural, solver-independent early exit — mirrored
+                # from _test_array so the counts line up.
+                verdict.reason = "rank mismatch"
+                break
+            ctx = w.context.common_root(other.context)
+            question = And(*[FAtom(Rel.EQ, lp, r)
+                             for lp, r in zip(w.primed, other.plain)])
+            stats.exploitation_checks += 1
+            if tracer.enabled:
+                tracer.emit("question", loop=loop.var, array=array,
+                            context=ctx.path(), write=w.rendering,
+                            other=other.rendering, question=str(question),
+                            instances=sorted(formula_vars(question)),
+                            result=UNKNOWN.name, memo_hit=False,
+                            dur_s=0.0)
+        return verdict
+
+    def degraded_analysis(self, loop: Loop, reason: str, *,
+                          phase: str = "worker") -> LoopAnalysis:
+        """A complete safeguards-only :class:`LoopAnalysis` for *loop*,
+        produced without touching the solver.
+
+        The worker-isolation layer calls this in the parent process
+        when an isolated child crashes, hangs past its kill timeout, or
+        is OOM-killed: the loop's result becomes "every candidate array
+        keeps its safeguard", with the planned question counts so the
+        Table-1 totals stay fault-independent.
+        """
+        start = time.perf_counter()
+        tracer = self.tracer
+        stats = AnalysisStats()
+        refs, translator, kb, axiom = self._extract(loop)
+        stats.skipped_pairs = kb.skipped_pairs
+        stats.model_size = 1 + kb.size
+        if tracer.enabled:
+            tracer.emit("degraded", loop=loop.var, phase=phase,
+                        reason=reason)
+        verdicts: Dict[str, ArrayVerdict] = {}
+        for array in self._candidate_arrays(refs):
+            verdict = self._degraded_verdict(loop, array, refs, translator,
+                                             stats, reason)
+            verdicts[array] = verdict
+            if tracer.enabled:
+                tracer.emit("verdict", loop=loop.var, array=array,
+                            safe=verdict.safe,
+                            pairs_total=verdict.pairs_total,
+                            pairs_proven=verdict.pairs_proven,
+                            reason=verdict.reason)
+        safe_writes: List[str] = []
+        seen: Set[str] = set()
+        for fact in kb.facts:
+            r = _render_tuple(fact.right)
+            if r not in seen:
+                seen.add(r)
+                safe_writes.append(r)
+        stats.unique_exprs = len(seen)
+        stats.region_loc = max(0, len(format_stmt(loop)) - 2)
+        stats.time_seconds = time.perf_counter() - start
+        analysis = LoopAnalysis(loop, verdicts, stats, safe_writes, [],
+                                degraded=True)
+        if self._journal is not None:
+            self._journal_loop(self.loop_key(loop), analysis)
+        return analysis
+
     def _test_array(
         self,
         loop: Loop,
@@ -663,16 +990,12 @@ class FormADEngine:
         offending: List[str],
     ) -> ArrayVerdict:
         tracer = self.tracer
+        loop_key = self.loop_key(loop)
         try:
             writes, reads = self._adjoint_refs(array, refs, translator)
         except UntranslatableError as exc:
             return ArrayVerdict(array, False, reason=str(exc))
-        pairs: List[Tuple[_QuestionRef, _QuestionRef]] = []
-        for i, w in enumerate(writes):
-            for other in writes[i:]:
-                pairs.append((w, other))
-            for r in reads:
-                pairs.append((w, r))
+        pairs = self._question_pairs(writes, reads)
         verdict = ArrayVerdict(array, True, pairs_total=len(pairs))
         for w, other in pairs:
             if len(w.plain) != len(other.plain):
@@ -688,25 +1011,48 @@ class FormADEngine:
             memo_hit = entry is not None
             asked = 0.0
             failure: Optional[str] = None
+            reason: Optional[str] = None
+            attempts = 0
+            resumed = False
             if memo_hit:
                 stats.memo_hits += 1
                 result, witness = entry
             else:
-                asked = time.perf_counter()
-                try:
-                    result, witness = model.ask(ctx, question)
-                except Exception as exc:
-                    # A solver crash on one question must neither kill
-                    # the analysis nor leave the array shared; treat it
-                    # as an unanswerable (UNKNOWN) question. Never
-                    # memoized: a retry may succeed.
-                    result, witness = UNKNOWN, None
-                    failure = f"{type(exc).__name__}: {exc}"
-                    logger.warning("solver failure on exploitation "
-                                   "question for %r: %s", array, failure)
-                asked = time.perf_counter() - asked
-                if memo is not None and failure is None:
+                settled = (self._resume.question(loop_key, ctx.path(),
+                                                 str(question))
+                           if self._resume is not None else None)
+                if settled is not None:
+                    # Replay a decided answer from the resume journal
+                    # (only SAT/UNSAT records are ever settled; an
+                    # UNKNOWN is always re-asked).
+                    result = SAT if settled[0] == "sat" else UNSAT
+                    witness = settled[1]
+                    resumed = True
+                    stats.resumed_questions += 1
+                else:
+                    asked = time.perf_counter()
+                    result, witness, reason, failure, attempts = \
+                        self._ask_escalating(model, ctx, question, stats,
+                                             f"{loop_key}/{array}/"
+                                             f"{question}", array)
+                    asked = time.perf_counter() - asked
+                if memo is not None and failure is None and \
+                        not (result is UNKNOWN and reason == "timeout"):
+                    # Timeout UNKNOWNs are never memoized: a later
+                    # identical question may still have time to run.
                     memo[key] = (result, witness)
+                if self._journal is not None and not resumed \
+                        and failure is None:
+                    record = {"loop": loop_key, "array": array,
+                              "ctx": ctx.path(), "q": str(question),
+                              "result": result.name.lower()}
+                    if result is SAT and witness is not None:
+                        record["witness"] = witness
+                    if result is UNKNOWN and reason is not None:
+                        record["reason"] = reason
+                    self._journal.record("question", **record)
+            if result is UNKNOWN and reason == "timeout":
+                stats.timed_out_questions += 1
             if tracer.enabled:
                 # One provenance record per exploitation question: the
                 # trail `repro explain` replays into a proof chain.
@@ -715,6 +1061,12 @@ class FormADEngine:
                     extra["witness"] = witness
                 if failure is not None:
                     extra["failure"] = failure
+                if result is UNKNOWN and reason is not None:
+                    extra["reason"] = reason
+                if attempts > 1:
+                    extra["attempts"] = attempts
+                if resumed:
+                    extra["resumed"] = True
                 tracer.emit("question", loop=loop.var, array=array,
                             context=ctx.path(), write=w.rendering,
                             other=other.rendering, question=str(question),
@@ -730,15 +1082,19 @@ class FormADEngine:
                                   f"{w.rendering} and {other.rendering}")
                 offending.append(other.rendering)
                 break
-            # UNKNOWN (resource exhaustion or an injected/solver
-            # failure) is not a witness: the array keeps its safeguard,
-            # but the remaining questions are still asked so the
-            # Table-1 question count is independent of where a solver
-            # fault strikes (and the provenance trail stays complete).
+            # UNKNOWN (resource exhaustion, a deadline expiry, or an
+            # injected/solver failure) is not a witness: the array
+            # keeps its safeguard, but the remaining questions are
+            # still asked so the Table-1 question count is independent
+            # of where a solver fault strikes (and the provenance
+            # trail stays complete).
             if not verdict.reason:
                 if failure is not None:
                     verdict.reason = (f"solver failure on {w.rendering} vs "
                                       f"{other.rendering}: {failure}")
+                elif reason == "timeout":
+                    verdict.reason = (f"solver timeout on {w.rendering} vs "
+                                      f"{other.rendering}")
                 else:
                     verdict.reason = (f"solver UNKNOWN on {w.rendering} vs "
                                       f"{other.rendering}")

@@ -56,6 +56,12 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     # One audit case finished (repro audit --trace); ``violations`` is
     # the (usually empty) list of violation kinds observed.
     "audit_case": ("case", "family", "violations"),
+    # One isolated worker subprocess finished (``--isolate``); status is
+    # "ok", "crash", or "timeout" (docs/RESILIENCE.md).
+    "worker": ("loop", "status", "dur_s"),
+    # One loop's settled verdicts were replayed from a resume journal
+    # instead of being analyzed (``--resume``).
+    "resumed": ("loop",),
     # Final counter/gauge totals, emitted once when the tracer closes.
     "metrics": ("counters", "gauges"),
 }
@@ -63,8 +69,15 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
 #: Recognized optional payload fields per event type.
 OPTIONAL_FIELDS: Dict[str, Tuple[str, ...]] = {
     # ``failure`` carries the exception of a solver that died on this
-    # question (the result is then recorded as UNKNOWN).
-    "question": ("witness", "failure"),
+    # question (the result is then recorded as UNKNOWN); ``reason`` the
+    # structured UNKNOWN reason (timeout / budget / solver-unknown);
+    # ``attempts`` the escalation-ladder retry count when > 1;
+    # ``resumed`` marks an answer replayed from a resume journal.
+    "question": ("witness", "failure", "reason", "attempts", "resumed"),
+    # Structured reason of an UNKNOWN check (docs/RESILIENCE.md).
+    "solver_check": ("reason",),
+    # The worker's crash/timeout detail (exit status, signal, stderr).
+    "worker": ("detail",),
 }
 
 _COMMON = ("v", "seq", "t", "type", "thread", "span")

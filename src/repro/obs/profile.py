@@ -103,6 +103,34 @@ def context_table(events: Sequence[dict]) -> List[Tuple[str, int, int, float]]:
     return out
 
 
+def resilience_table(events: Sequence[dict]) -> List[Tuple[str, int]]:
+    """Resilience tallies of one trace, empty when nothing happened:
+    UNKNOWN questions by structured reason (timeout / budget /
+    solver-unknown — docs/RESILIENCE.md), escalation retries, resumed
+    answers, degraded loops, and worker outcomes."""
+    counts: Dict[str, int] = {}
+
+    def bump(name: str, by: int = 1) -> None:
+        counts[name] = counts.get(name, 0) + by
+
+    for event in events:
+        etype = event["type"]
+        if etype == "question":
+            if event.get("reason"):
+                bump(f"unknown[{event['reason']}]")
+            if event.get("attempts", 1) > 1:
+                bump("escalated questions")
+            if event.get("resumed"):
+                bump("resumed questions")
+        elif etype == "degraded":
+            bump(f"degraded loops[{event.get('phase', '?')}]")
+        elif etype == "worker" and event.get("status") != "ok":
+            bump(f"workers[{event.get('status', '?')}]")
+        elif etype == "resumed":
+            bump("resumed loops")
+    return sorted(counts.items())
+
+
 def format_profile(events: Sequence[dict]) -> str:
     """The full ``repro profile`` rendering of one trace."""
     lines: List[str] = ["span tree (count, wall time, solver phases):"]
@@ -126,6 +154,12 @@ def format_profile(events: Sequence[dict]) -> str:
         for ctx, count, memo, seconds in rows:
             lines.append(f"  {ctx:<{width}}  {count:>9d} {memo:>5d} "
                          f"{seconds * 1000.0:>7.2f} ms")
+    resilience = resilience_table(events)
+    if resilience:
+        lines.append("")
+        lines.append("resilience (timeouts, degradation, recovery):")
+        for name, value in resilience:
+            lines.append(f"  {name} = {value}")
     for event in events:
         if event["type"] == "metrics" and event["counters"]:
             lines.append("")

@@ -1,0 +1,31 @@
+"""Resilience runtime: deadlines, escalation, isolation, resume.
+
+The analysis must degrade, never fail (docs/RESILIENCE.md):
+
+* :class:`Deadline` — a wall-clock budget threaded cooperatively from
+  the CLI through :class:`~repro.formad.engine.FormADEngine` into the
+  SMT search; an expired question answers UNKNOWN (``timeout``),
+  which FormAD already treats as "keep the safeguard".
+* :class:`EscalationPolicy` — retry timed-out / budget-exhausted
+  questions with exponentially enlarged budgets before giving up.
+* :mod:`~repro.resilience.journal` — an append-only, checksummed
+  verdict journal (schema ``repro-journal/1``) that survives ``kill
+  -9`` and lets ``analyze --resume`` skip settled work.
+* :mod:`~repro.resilience.workers` — opt-in per-loop subprocess
+  isolation with a hard kill timeout; a crashed or hung worker becomes
+  a per-loop *degraded* result instead of a failed run.
+"""
+
+from .deadline import Deadline
+from .escalate import EscalationPolicy
+from .journal import (JOURNAL_SCHEMA, JournalError, JournalWriter,
+                      ResumeState, journal_fingerprint, read_journal,
+                      rebuild_analysis)
+from .workers import IsolationConfig, WorkerOutcome, analyze_isolated
+
+__all__ = [
+    "Deadline", "EscalationPolicy",
+    "JOURNAL_SCHEMA", "JournalError", "JournalWriter", "ResumeState",
+    "journal_fingerprint", "read_journal", "rebuild_analysis",
+    "IsolationConfig", "WorkerOutcome", "analyze_isolated",
+]

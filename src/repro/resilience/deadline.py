@@ -1,0 +1,86 @@
+"""Wall-clock deadlines with cooperative expiry checks.
+
+A :class:`Deadline` is minted once (per run, or per question) and then
+flows *down* the stack — engine, solver, DPLL(T) search, integer branch
+& bound — where the hot loops poll :meth:`Deadline.expired` between
+units of work (one theory check, one branch-and-bound node). Expiry is
+therefore detected within one solver step, without signals or threads,
+and the answer is always a plain UNKNOWN with reason ``"timeout"`` —
+the safe FormAD fallback, never an exception out of the search.
+
+Everything uses ``time.monotonic``; a deadline never goes backwards
+when the system clock is adjusted. ``None`` is the universal "no
+deadline" value throughout the code base (the hot paths guard with
+``if deadline is not None`` so the default configuration pays nothing).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Optional
+
+
+class Deadline:
+    """A fixed point on the monotonic clock.
+
+    ``Deadline(5.0)`` expires five seconds from now; the object is
+    shared by reference, so every layer polls the *same* budget.
+    """
+
+    __slots__ = ("expires_at",)
+
+    def __init__(self, seconds: float) -> None:
+        if seconds < 0:
+            seconds = 0.0
+        self.expires_at = time.monotonic() + seconds
+
+    @classmethod
+    def at(cls, expires_at: float) -> "Deadline":
+        """A deadline at an absolute ``time.monotonic`` timestamp."""
+        deadline = cls.__new__(cls)
+        deadline.expires_at = expires_at
+        return deadline
+
+    def remaining(self) -> float:
+        """Seconds left (negative once expired)."""
+        return self.expires_at - time.monotonic()
+
+    def expired(self) -> bool:
+        return time.monotonic() >= self.expires_at
+
+    def tightened(self, seconds: Optional[float]) -> "Deadline":
+        """A child deadline: at most *seconds* from now, and never later
+        than this deadline (per-question timeouts under a run budget)."""
+        if seconds is None:
+            return self
+        return Deadline.at(min(self.expires_at,
+                               time.monotonic() + max(seconds, 0.0)))
+
+    def __repr__(self) -> str:  # pragma: no cover - diagnostics only
+        return f"Deadline(remaining={self.remaining():.3f}s)"
+
+
+def combine(a: Optional[Deadline], b: Optional[Deadline]) -> Optional[Deadline]:
+    """The tighter of two optional deadlines (``None`` = unbounded)."""
+    if a is None:
+        return b
+    if b is None:
+        return a
+    return a if a.expires_at <= b.expires_at else b
+
+
+def per_question(run: Optional[Deadline],
+                 timeout: Optional[float]) -> Optional[Deadline]:
+    """The deadline for one exploitation question: the per-question
+    *timeout* capped by the *run* deadline (either may be absent)."""
+    if timeout is None:
+        return run
+    if run is None:
+        return Deadline(timeout)
+    return run.tightened(timeout)
+
+
+#: A deadline that never expires — for call sites that want a real
+#: object rather than ``None`` (tests, mostly).
+NEVER = Deadline.at(math.inf)

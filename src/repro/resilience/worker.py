@@ -1,0 +1,124 @@
+"""Worker subprocess entry point: ``python -m repro.resilience.worker``.
+
+Reads one JSON request from stdin (see
+:mod:`~repro.resilience.workers` for the contract), analyzes exactly
+one parallel loop, and writes one JSON reply to stdout. Any unexpected
+failure exits non-zero — the parent maps that to a per-loop *degraded*
+result. A :class:`~repro.formad.engine.PrimalRaceError` is a genuine
+finding, not a failure: it is reported in the reply (``error``) and
+re-raised by the parent.
+
+``REPRO_WORKER_FAULT`` injects deterministic faults for tests and the
+CI resilience smoke job::
+
+    REPRO_WORKER_FAULT="exit:3"        # exit with status 3
+    REPRO_WORKER_FAULT="hang:600"      # sleep past the kill timeout
+    REPRO_WORKER_FAULT="raise"         # crash with a RuntimeError
+    REPRO_WORKER_FAULT="exit:3@1:j"    # ... only for loop key "1:j"
+
+The optional ``@<loop_key>`` suffix restricts the fault to one loop,
+leaving every other worker honest.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+
+def _inject_fault(loop_key: str) -> None:
+    spec = os.environ.get("REPRO_WORKER_FAULT")
+    if not spec:
+        return
+    if "@" in spec:
+        spec, target = spec.split("@", 1)
+        if target != loop_key:
+            return
+    kind, _, arg = spec.partition(":")
+    if kind == "exit":
+        sys.exit(int(arg or "1"))
+    elif kind == "hang":
+        time.sleep(float(arg or "3600"))
+    elif kind == "raise":
+        raise RuntimeError(f"injected worker fault on loop {loop_key!r}")
+
+
+def main() -> int:
+    request = json.load(sys.stdin)
+    loop_key = str(request["loop_key"])
+    _inject_fault(loop_key)
+
+    from ..analysis.activity import ActivityAnalysis
+    from ..formad.engine import (AnalysisStats, FormADEngine,
+                                 PrimalRaceError)
+    from ..ir import parse_program
+    from .deadline import Deadline
+    from .escalate import EscalationPolicy
+    from .journal import JournalWriter, ResumeState
+
+    program = parse_program(request["source"])
+    proc = program[request["head"]]
+    activity = ActivityAnalysis(proc, request["independents"],
+                                request["dependents"])
+    deadline = None
+    if request.get("deadline_remaining") is not None:
+        deadline = Deadline(float(request["deadline_remaining"]))
+    escalation = None
+    if request.get("escalation"):
+        escalation = EscalationPolicy(**request["escalation"])
+    journal = None
+    if request.get("journal"):
+        # Append: the parent already wrote the meta header, and loops
+        # run sequentially, so the offsets never interleave.
+        journal = JournalWriter(request["journal"], append=True)
+    resume = None
+    if request.get("resume"):
+        resume = ResumeState.load(request["resume"])
+    engine = FormADEngine(proc, activity, deadline=deadline,
+                          question_timeout=request.get("question_timeout"),
+                          escalation=escalation, journal=journal,
+                          resume=resume, **(request.get("flags") or {}))
+    target = None
+    for loop in proc.parallel_loops():
+        if engine.loop_key(loop) == loop_key:
+            target = loop
+            break
+    if target is None:
+        print(json.dumps({"error": {
+            "type": "KeyError",
+            "message": f"no parallel loop with key {loop_key!r}"}}))
+        return 1
+    try:
+        analysis = engine.analyze_loop(target)
+    except PrimalRaceError as exc:
+        print(json.dumps({"error": {"type": "PrimalRaceError",
+                                    "message": str(exc)}}))
+        return 0
+    finally:
+        if journal is not None:
+            journal.close()
+    stats = {name: getattr(analysis.stats, name)
+             for name in AnalysisStats.__dataclass_fields__}
+    payload = {
+        "done": {
+            "loop": loop_key,
+            "stats": stats,
+            "safe_writes": list(analysis.safe_write_expressions),
+            "offending": list(analysis.offending_expressions),
+            "degraded": analysis.degraded,
+        },
+        "verdicts": [
+            {"array": v.array, "safe": v.safe,
+             "pairs_total": v.pairs_total, "pairs_proven": v.pairs_proven,
+             "reason": v.reason}
+            for v in analysis.verdicts.values()
+        ],
+    }
+    print(json.dumps(payload))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via --isolate
+    sys.exit(main())

@@ -1,0 +1,213 @@
+"""Per-loop subprocess isolation (the ``--isolate`` runtime).
+
+Each parallel loop is analyzed in its own worker process (`python -m
+repro.resilience.worker`), so a solver crash, an OOM kill, or a hung
+simplex in one region cannot take down the whole run: the parent
+captures the failure, emits a ``worker`` trace event, and substitutes
+the engine's *degraded* result for that loop — every candidate array
+keeps its safeguard and the planned question counts are preserved, so
+Table-1 totals stay fault-independent (docs/RESILIENCE.md).
+
+The parent/child contract is one JSON request on the child's stdin and
+one JSON reply on its stdout. The reply reuses the journal's
+``loop_done``/``verdict`` record shapes, so the parent reconstructs
+the :class:`~repro.formad.engine.LoopAnalysis` with the same
+:func:`~repro.resilience.journal.rebuild_analysis` path that
+``--resume`` uses. When a journal is active the *child* appends the
+per-question records directly (loops run strictly sequentially, and
+the file is opened ``O_APPEND``, so parent and child writes never
+interleave mid-run) — a killed worker therefore still leaves its
+settled questions on disk for the next ``--resume``.
+
+A hard kill timeout bounds every worker; the run deadline (when set)
+tightens it further. ``REPRO_WORKER_FAULT`` (see
+:mod:`~repro.resilience.worker`) injects deterministic child faults
+for the chaos tests and the CI resilience smoke job.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .journal import rebuild_analysis
+
+#: Grace period added to a run deadline before the hard kill: the
+#: child polls its own (tighter) deadline cooperatively, so the parent
+#: only kills workers that stopped cooperating.
+_DEADLINE_GRACE = 2.0
+
+
+@dataclass(frozen=True)
+class IsolationConfig:
+    """How ``--isolate`` runs its workers."""
+
+    #: Hard wall-clock cap per worker, enforced by SIGKILL.
+    kill_timeout: float = 60.0
+    #: Interpreter for the worker processes.
+    python: str = sys.executable
+    #: Extra environment entries for the workers (tests inject
+    #: ``REPRO_WORKER_FAULT`` here).
+    extra_env: Optional[Dict[str, str]] = None
+
+
+@dataclass
+class WorkerOutcome:
+    """What happened to one loop's worker."""
+
+    loop_key: str
+    #: ``ok`` | ``crash`` | ``timeout`` | ``resumed`` (no worker ran:
+    #: the loop was settled in the resume journal).
+    status: str
+    detail: str = ""
+    elapsed: float = 0.0
+
+
+def _worker_env(config: IsolationConfig) -> Dict[str, str]:
+    env = dict(os.environ)
+    # The worker imports `repro` the same way this process did.
+    src_root = os.path.dirname(os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))))
+    parts = [src_root] + [p for p in env.get("PYTHONPATH", "").split(
+        os.pathsep) if p and p != src_root]
+    env["PYTHONPATH"] = os.pathsep.join(parts)
+    if config.extra_env:
+        env.update(config.extra_env)
+    return env
+
+
+def _run_worker(config: IsolationConfig, request: dict, timeout: float,
+                env: Dict[str, str]) -> Tuple[str, str, Optional[dict]]:
+    """Spawn one worker: ``(status, detail, payload)``."""
+    cmd = [config.python, "-m", "repro.resilience.worker"]
+    try:
+        proc = subprocess.run(cmd, input=json.dumps(request),
+                              capture_output=True, text=True,
+                              timeout=timeout, env=env)
+    except subprocess.TimeoutExpired:
+        return ("timeout",
+                f"worker exceeded its {timeout:.1f}s kill timeout", None)
+    except OSError as exc:
+        return "crash", f"failed to spawn worker: {exc}", None
+    if proc.returncode != 0:
+        if proc.returncode < 0:
+            detail = f"worker killed by signal {-proc.returncode}"
+        else:
+            detail = f"worker exited with status {proc.returncode}"
+        tail = (proc.stderr or "").strip().splitlines()
+        if tail:
+            detail += f": {tail[-1]}"
+        return "crash", detail, None
+    try:
+        payload = json.loads(proc.stdout)
+    except ValueError:
+        return "crash", "worker produced unparsable output", None
+    if not isinstance(payload, dict):
+        return "crash", "worker produced a non-object reply", None
+    return "ok", "", payload
+
+
+def analyze_isolated(
+    engine,
+    source: str,
+    head: str,
+    independents: Sequence[str],
+    dependents: Sequence[str],
+    *,
+    config: Optional[IsolationConfig] = None,
+    journal_path: Optional[str] = None,
+    resume_path: Optional[str] = None,
+) -> Tuple[List, List[WorkerOutcome]]:
+    """Analyze every parallel loop of *engine*'s procedure, one worker
+    process per loop.
+
+    Returns ``(analyses, outcomes)`` in loop order. A crashed, killed,
+    or hung worker degrades its loop (safeguards everywhere, planned
+    question counts) instead of failing the run; a
+    :class:`~repro.formad.engine.PrimalRaceError` found by a worker is
+    re-raised here, exactly as the inline analysis would.
+    """
+    from ..formad.engine import PrimalRaceError
+
+    config = config or IsolationConfig()
+    tracer = engine.tracer
+    env = _worker_env(config)
+    analyses: List = []
+    outcomes: List[WorkerOutcome] = []
+    for loop in engine.proc.parallel_loops():
+        key = engine.loop_key(loop)
+        settled = engine._replay_settled(loop)
+        if settled is not None:
+            analyses.append(settled)
+            outcomes.append(WorkerOutcome(key, "resumed"))
+            continue
+        deadline = engine.deadline
+        if deadline is not None and deadline.expired():
+            analyses.append(engine.degraded_analysis(
+                loop, "run deadline expired before analysis",
+                phase="deadline"))
+            outcomes.append(WorkerOutcome(
+                key, "timeout", "run deadline expired before the worker "
+                "started"))
+            if tracer.enabled:
+                tracer.emit("worker", loop=key, status="timeout",
+                            dur_s=0.0, detail=outcomes[-1].detail)
+            continue
+        request = {
+            "source": source,
+            "head": head,
+            "independents": list(independents),
+            "dependents": list(dependents),
+            "loop_key": key,
+            "flags": engine.fingerprint_flags(),
+            "question_timeout": engine.question_timeout,
+            "escalation": {
+                "max_attempts": engine.escalation.max_attempts,
+                "growth": engine.escalation.growth,
+                "max_scale": engine.escalation.max_scale,
+                "jitter": engine.escalation.jitter,
+            },
+            "deadline_remaining": (deadline.remaining()
+                                   if deadline is not None else None),
+            "journal": journal_path,
+            "resume": resume_path,
+        }
+        budget = config.kill_timeout
+        if deadline is not None:
+            budget = min(budget,
+                         max(deadline.remaining(), 0.0) + _DEADLINE_GRACE)
+        start = time.perf_counter()
+        status, detail, payload = _run_worker(config, request, budget, env)
+        elapsed = time.perf_counter() - start
+        if status == "ok":
+            error = payload.get("error")
+            if error is not None:
+                if error.get("type") == "PrimalRaceError":
+                    raise PrimalRaceError(error.get("message", ""))
+                status, detail = "crash", (f"worker error: "
+                                           f"{error.get('message', '')}")
+            elif "done" not in payload:
+                status, detail = "crash", "worker reply missing its result"
+        if tracer.enabled:
+            extra = {"detail": detail} if detail else {}
+            tracer.emit("worker", loop=key, status=status, dur_s=elapsed,
+                        **extra)
+        if status == "ok":
+            analyses.append(rebuild_analysis(loop, payload["done"],
+                                             payload.get("verdicts", []),
+                                             resumed=False))
+            outcomes.append(WorkerOutcome(key, "ok", elapsed=elapsed))
+        else:
+            # The child died before journaling its loop_done record, so
+            # the degraded substitute (journaled here, in the parent)
+            # is what a later --resume sees — and it re-analyzes.
+            analyses.append(engine.degraded_analysis(
+                loop, f"isolated {detail}" if detail else
+                "isolated worker failed"))
+            outcomes.append(WorkerOutcome(key, status, detail, elapsed))
+    return analyses, outcomes

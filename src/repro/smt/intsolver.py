@@ -45,6 +45,10 @@ class IntCheckOutcome:
     result: Result
     model: Optional[Dict[str, int]] = None
     nodes_explored: int = 0
+    #: Why the result is UNKNOWN: ``"timeout"`` (deadline expired),
+    #: ``"budget"`` (node budget exhausted), ``"solver-unknown"``
+    #: (simplex pivot limit). None for SAT/UNSAT.
+    reason: Optional[str] = None
 
 
 def check_int(
@@ -52,8 +56,14 @@ def check_int(
     *,
     node_budget: int = 2000,
     pivot_budget: int = 100_000,
+    deadline=None,
 ) -> IntCheckOutcome:
-    """Decide a conjunction of canonical constraints over the integers."""
+    """Decide a conjunction of canonical constraints over the integers.
+
+    ``deadline`` (a :class:`repro.resilience.Deadline` or None) is
+    polled once per branch-and-bound node — the cooperative tick that
+    bounds how long one check can run past its wall-clock budget.
+    """
     outcome = IntCheckOutcome(Result.UNKNOWN)
     try:
         reduced = presolve(constraints)
@@ -64,7 +74,7 @@ def check_int(
     for c in reduced.constraints:
         root.assert_constraint(c)
     outcome.result = _branch(root, reduced.constraints, outcome,
-                             node_budget, pivot_budget)
+                             node_budget, pivot_budget, deadline)
     if outcome.result is Result.SAT:
         assert outcome.model is not None
         full = reduced.reconstruct(outcome.model)
@@ -80,12 +90,17 @@ def _branch(
     outcome: IntCheckOutcome,
     node_budget: int,
     pivot_budget: int,
+    deadline=None,
 ) -> Result:
     stack: List[SimplexSolver] = [solver]
     saw_unknown = False
     while stack:
         outcome.nodes_explored += 1
         if outcome.nodes_explored > node_budget:
+            outcome.reason = "budget"
+            return Result.UNKNOWN
+        if deadline is not None and deadline.expired():
+            outcome.reason = "timeout"
             return Result.UNKNOWN
         node = stack.pop()
         try:
@@ -110,7 +125,10 @@ def _branch(
         hi_branch.assert_lower(frac_name, Fraction(math.ceil(frac_value)))
         stack.append(lo_branch)
         stack.append(hi_branch)
-    return Result.UNKNOWN if saw_unknown else Result.UNSAT
+    if saw_unknown:
+        outcome.reason = "solver-unknown"
+        return Result.UNKNOWN
+    return Result.UNSAT
 
 
 def _first_fractional(model: Dict[str, Fraction]) -> tuple[Optional[str], Fraction]:

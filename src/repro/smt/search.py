@@ -48,15 +48,38 @@ class SearchOutcome:
     result: Result
     model: Optional[Dict[str, int]] = None
     stats: SearchStats = field(default_factory=SearchStats)
+    #: Why the result is UNKNOWN: ``"timeout"`` (deadline expired),
+    #: ``"budget"`` (theory-check budget exhausted), or
+    #: ``"solver-unknown"`` (the integer layer gave up). None
+    #: otherwise — FormAD's stats and traces surface this so budget
+    #: exhaustion is distinguishable from a genuine unknown.
+    reason: Optional[str] = None
 
 
 class _Budget:
-    def __init__(self, max_theory_checks: int) -> None:
+    """Theory-check budget plus the cooperative deadline tick: one
+    poll of the (optional) deadline per simplex-backed check, so an
+    expired search stops within a single theory check."""
+
+    def __init__(self, max_theory_checks: int, deadline=None) -> None:
         self.remaining = max_theory_checks
+        self.deadline = deadline
+        self.reason: Optional[str] = None
 
     def spend(self) -> bool:
+        if self.deadline is not None and self.deadline.expired():
+            self.reason = "timeout"
+            return False
         self.remaining -= 1
-        return self.remaining >= 0
+        if self.remaining < 0:
+            self.reason = "budget"
+            return False
+        return True
+
+    def note_unknown(self, reason: Optional[str]) -> None:
+        """Record the first underlying UNKNOWN reason seen."""
+        if self.reason is None:
+            self.reason = reason or "solver-unknown"
 
 
 @lru_cache(maxsize=200_000)
@@ -131,15 +154,19 @@ def search(
     max_theory_checks: int = 20000,
     node_budget: int = 2000,
     initial_model: Optional[Dict[str, int]] = None,
+    deadline=None,
 ) -> SearchOutcome:
     """Decide ``∧base ∧ ∧clauses`` over the integers.
 
     ``initial_model`` is an optional warm-start guess (e.g. the model of
     the previous check on an incrementally-grown assertion set); if it
     or the spread heuristic satisfies everything, no search runs.
+    ``deadline`` bounds the search in wall-clock time: it is polled
+    before every theory check and inside the integer layer's branch &
+    bound, and expiry yields UNKNOWN with ``reason="timeout"``.
     """
     stats = SearchStats()
-    budget = _Budget(max_theory_checks)
+    budget = _Budget(max_theory_checks, deadline)
     for guess in ([initial_model] if initial_model else []):
         if _model_satisfies(guess, base, clauses):
             return SearchOutcome(Result.SAT, dict(guess), stats)
@@ -233,10 +260,12 @@ def search(
                     cons = _atom_constraints(atom)
                     assert cons
                     if not budget.spend():
-                        return SearchOutcome(Result.UNKNOWN, stats=stats)
+                        return SearchOutcome(Result.UNKNOWN, stats=stats,
+                                             reason=budget.reason)
                     stats.theory_checks += 1
                     outcome = check_int(base_list + list(cons),
-                                        node_budget=node_budget)
+                                        node_budget=node_budget,
+                                        deadline=budget.deadline)
                     if outcome.result is not Result.UNSAT:
                         kept.append(atom)
                 if not kept:
@@ -252,7 +281,10 @@ def search(
                 break
 
     result, model = _search_node(base_list, pending, stats, budget, node_budget)
-    return SearchOutcome(result, model, stats)
+    reason = budget.reason if result is Result.UNKNOWN else None
+    return SearchOutcome(result, model, stats,
+                         reason=(reason or "solver-unknown")
+                         if result is Result.UNKNOWN else None)
 
 
 def _search_node(
@@ -265,10 +297,12 @@ def _search_node(
     if not budget.spend():
         return Result.UNKNOWN, None
     stats.theory_checks += 1
-    outcome = check_int(constraints, node_budget=node_budget)
+    outcome = check_int(constraints, node_budget=node_budget,
+                        deadline=budget.deadline)
     if outcome.result is Result.UNSAT:
         return Result.UNSAT, None
     if outcome.result is Result.UNKNOWN:
+        budget.note_unknown(outcome.reason)
         return Result.UNKNOWN, None
     model = outcome.model
     assert model is not None

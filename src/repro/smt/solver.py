@@ -71,9 +71,16 @@ class SolverStats:
     congruence_axioms: int = 0
     clausify_hits: int = 0
     clausify_misses: int = 0
+    # UNKNOWN breakdown (sums to ``unknown``): a deadline expiry, a
+    # configured budget cap, or the search genuinely giving up. This
+    # is the structured reason the resilience layer keys retries on.
+    unknown_timeout: int = 0
+    unknown_budget: int = 0
+    unknown_solver: int = 0
 
     def record(self, result: Result, elapsed: float,
-               search_stats: SearchStats) -> None:
+               search_stats: SearchStats,
+               reason: Optional[str] = None) -> None:
         self.checks += 1
         self.time_seconds += elapsed
         self.theory_checks += search_stats.theory_checks
@@ -85,6 +92,12 @@ class SolverStats:
             self.unsat += 1
         else:
             self.unknown += 1
+            if reason == "timeout":
+                self.unknown_timeout += 1
+            elif reason == "budget":
+                self.unknown_budget += 1
+            else:
+                self.unknown_solver += 1
 
     def merge_into(self, other: "SolverStats") -> None:
         """Accumulate this solver's counters onto *other*."""
@@ -120,6 +133,7 @@ class Solver:
         max_clauses: int = 100_000,
         incremental: bool = True,
         tracer: NullTracer = NULL_TRACER,
+        deadline=None,
     ) -> None:
         self._levels: List[_Level] = [_Level()]
         self._model: Optional[Dict[str, int]] = None
@@ -133,6 +147,12 @@ class Solver:
         self.max_clauses = max_clauses
         self.incremental = incremental
         self.tracer = tracer
+        #: Run-wide wall-clock bound (a ``repro.resilience.Deadline``
+        #: or None); every ``check()`` is additionally capped by it.
+        self.deadline = deadline
+        #: Structured reason of the last UNKNOWN ``check()`` result
+        #: ("timeout" | "budget" | "solver-unknown"), else None.
+        self.last_unknown_reason: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Z3-style interface
@@ -172,22 +192,49 @@ class Solver:
     def num_assertions(self) -> int:
         return sum(len(level.formulas) for level in self._levels)
 
-    def check(self) -> Result:
-        """Decide the conjunction of all current assertions."""
+    def check(self, *, deadline=None, budget_scale: float = 1.0) -> Result:
+        """Decide the conjunction of all current assertions.
+
+        ``deadline`` additionally caps this one check (the tighter of
+        it and the solver-wide :attr:`deadline` applies — a
+        per-question timeout under a run budget). ``budget_scale``
+        multiplies the node/theory-check budgets for this check only:
+        the escalation ladder's retry-with-bigger-budgets knob.
+        """
         tracer = self.tracer
         stats = self.stats
+        effective = self.deadline
+        if deadline is not None:
+            effective = deadline if effective is None else (
+                deadline if deadline.expires_at <= effective.expires_at
+                else effective)
+        scale = max(budget_scale, 1.0)
+        theory_budget = int(self.max_theory_checks * scale)
+        node_budget = int(self.node_budget * scale)
         if tracer.enabled:
             before = (stats.translate_seconds, stats.clausify_seconds,
                       stats.search_seconds, stats.clausify_hits,
                       stats.clausify_misses)
         start = time.perf_counter()
-        if self.incremental:
-            outcome = self._check_incremental()
+        if effective is not None and effective.expired():
+            # Expired before any work: answer UNKNOWN without touching
+            # the clause store (never translate under a dead deadline).
+            outcome = SearchOutcome(UNKNOWN, reason="timeout")
+        elif self.incremental:
+            outcome = self._check_incremental(theory_budget, node_budget,
+                                              effective)
         else:
-            outcome = self._check_fresh()
+            outcome = self._check_fresh(theory_budget, node_budget,
+                                        effective)
         elapsed = time.perf_counter() - start
-        stats.record(outcome.result, elapsed, outcome.stats)
+        stats.record(outcome.result, elapsed, outcome.stats,
+                     reason=outcome.reason)
+        self.last_unknown_reason = (outcome.reason
+                                    if outcome.result is UNKNOWN else None)
         if tracer.enabled:
+            extra = {}
+            if outcome.result is UNKNOWN:
+                extra["reason"] = outcome.reason or "solver-unknown"
             tracer.emit(
                 "solver_check",
                 result=outcome.result.name,
@@ -199,7 +246,8 @@ class Solver:
                 branches=outcome.stats.branches,
                 propagations=outcome.stats.propagations,
                 clausify_hits=stats.clausify_hits - before[3],
-                clausify_misses=stats.clausify_misses - before[4])
+                clausify_misses=stats.clausify_misses - before[4],
+                **extra)
         self._model = outcome.model
         if outcome.model is not None:
             # Warm start for the next check on a grown assertion set
@@ -283,29 +331,32 @@ class Solver:
             else:
                 level.clauses.append(clause)
 
-    def _check_incremental(self) -> SearchOutcome:
+    def _check_incremental(self, theory_budget: int, node_budget: int,
+                           deadline=None) -> SearchOutcome:
         self._translate_pending()
         if any(level.falsified for level in self._levels):
             return SearchOutcome(UNSAT)
         if any(level.poisoned for level in self._levels):
             logger.warning("check is UNKNOWN: clausify budget exhausted "
                            "(max_clauses=%d)", self.max_clauses)
-            return SearchOutcome(UNKNOWN)
+            return SearchOutcome(UNKNOWN, reason="budget")
         if sum(level.nclauses for level in self._levels) > self.max_clauses:
             logger.warning("check is UNKNOWN: clause store exceeds "
                            "max_clauses=%d", self.max_clauses)
-            return SearchOutcome(UNKNOWN)
+            return SearchOutcome(UNKNOWN, reason="budget")
         base = [c for level in self._levels for c in level.base]
         pending = [c for level in self._levels for c in level.clauses]
         t0 = time.perf_counter()
         outcome = search(base, pending,
-                         max_theory_checks=self.max_theory_checks,
-                         node_budget=self.node_budget,
-                         initial_model=self._warm_model)
+                         max_theory_checks=theory_budget,
+                         node_budget=node_budget,
+                         initial_model=self._warm_model,
+                         deadline=deadline)
         self.stats.search_seconds += time.perf_counter() - t0
         return outcome
 
-    def _check_fresh(self) -> SearchOutcome:
+    def _check_fresh(self, theory_budget: int, node_budget: int,
+                     deadline=None) -> SearchOutcome:
         """The seed's from-scratch pipeline: re-ackermannize and
         re-clausify the whole assertion stack (benchmark baseline)."""
         formulas = self.assertions()
@@ -327,7 +378,7 @@ class Solver:
             self.stats.clausify_seconds += time.perf_counter() - t1
             logger.warning("check is UNKNOWN: clausify budget exhausted "
                            "(max_clauses=%d)", self.max_clauses)
-            return SearchOutcome(UNKNOWN)
+            return SearchOutcome(UNKNOWN, reason="budget")
         base: List[Constraint] = []
         pending: List[Clause] = []
         falsified = False
@@ -346,9 +397,10 @@ class Solver:
         if falsified:
             return SearchOutcome(UNSAT)
         outcome = search(base, pending,
-                         max_theory_checks=self.max_theory_checks,
-                         node_budget=self.node_budget,
-                         initial_model=self._warm_model)
+                         max_theory_checks=theory_budget,
+                         node_budget=node_budget,
+                         initial_model=self._warm_model,
+                         deadline=deadline)
         self.stats.search_seconds += time.perf_counter() - t2
         return outcome
 

@@ -122,6 +122,9 @@ class TestAbsorbSolver:
         "congruence_axioms": lambda a: a.congruence_axioms,
         "clausify_hits": lambda a: a.clausify_hits,
         "clausify_misses": lambda a: a.clausify_misses,
+        "unknown_timeout": lambda a: a.unknown_timeout,
+        "unknown_budget": lambda a: a.unknown_budget,
+        "unknown_solver": lambda a: a.unknown_solver,
     }
 
     def test_audit_covers_every_solver_stats_field(self):
