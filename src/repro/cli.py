@@ -114,7 +114,18 @@ def build_parser() -> argparse.ArgumentParser:
     _add_io_args(p)
     p.add_argument("--jobs", type=int, default=None,
                    help="analyze independent parallel regions over N "
-                        "worker threads")
+                        "workers (threads or processes, see --backend)")
+    p.add_argument("--backend", choices=("thread", "process"),
+                   default="thread",
+                   help="how --jobs fans out: 'thread' (default; "
+                        "GIL-bound, byte-identical output) or 'process' "
+                        "(persistent worker processes pulling loop "
+                        "shards off a work queue — docs/SCALING.md)")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="persist decided SAT/UNSAT answers and clean "
+                        "settled loops across runs (schema repro-cache/1, "
+                        "keyed by the invocation fingerprint); a rerun "
+                        "answers from DIR instead of the solver")
     p.add_argument("--trace", default=None, metavar="OUT.jsonl",
                    help="record the structured provenance/span event "
                         "stream (replay with 'repro explain/profile')")
@@ -169,6 +180,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=None,
                    help="fan independent kernels and program versions out "
                         "over N worker threads")
+    p.add_argument("--backend", choices=("thread", "process"),
+                   default="thread",
+                   help="run the Table-1 analyses in-process ('thread', "
+                        "default) or in per-problem worker processes "
+                        "('process')")
     p.add_argument("--trace", default=None, metavar="OUT.jsonl",
                    help="record the analysis/simulation event stream")
     p.add_argument("--deadline", type=float, default=None, metavar="S",
@@ -382,8 +398,24 @@ def _run_analyze(args, proc, independents, dependents) -> int:
         except OSError as exc:
             print(f"error: cannot open journal: {exc}", file=sys.stderr)
             return 1
-    engine.attach_run_state(journal=journal, resume=resume)
+    if args.isolate and args.backend == "process":
+        print("error: --isolate and --backend process are both process "
+              "runtimes; pick one (--isolate = one short-lived worker "
+              "per loop, --backend process = a persistent shard pool)",
+              file=sys.stderr)
+        return 1
+    cache = None
+    if args.cache_dir:
+        from .resilience import VerdictCache
+        try:
+            cache = VerdictCache(args.cache_dir, fingerprint)
+        except OSError as exc:
+            print(f"error: cannot open verdict cache: {exc}",
+                  file=sys.stderr)
+            return 1
+    engine.attach_run_state(journal=journal, resume=resume, cache=cache)
     outcomes = None
+    shard_outcomes = None
     try:
         if args.isolate:
             from .resilience import IsolationConfig, analyze_isolated
@@ -392,12 +424,34 @@ def _run_analyze(args, proc, independents, dependents) -> int:
                 engine, source, proc.name, independents, dependents,
                 config=config, journal_path=args.journal,
                 resume_path=args.resume)
+        elif args.backend == "process":
+            from .resilience import ShardConfig, analyze_sharded
+            config = ShardConfig(jobs=args.jobs or 1,
+                                 kill_timeout=args.kill_timeout)
+            analyses, shard_outcomes = analyze_sharded(
+                engine, source, proc.name, independents, dependents,
+                config=config, resume_path=args.resume,
+                cache_dir=args.cache_dir, fingerprint=fingerprint)
+            # Unlike --isolate, the shard outcomes only enter the JSON
+            # document when something actually went wrong — an all-ok
+            # process run stays byte-identical to the thread backend.
+            if any(o.status not in ("ok", "resumed", "cached")
+                   for o in shard_outcomes):
+                outcomes = shard_outcomes
         else:
             analyses = engine.analyze_all(jobs=args.jobs)
     finally:
         if journal is not None:
             journal.close()
+        if cache is not None:
+            cache.close()
         tracer.close()
+    if cache is not None:
+        print(f"cache: {cache.loop_hits} loop hit(s), "
+              f"{cache.question_hits} question hit(s), "
+              f"{cache.loop_stores} loop(s) and "
+              f"{cache.question_stores} question(s) stored in "
+              f"{args.cache_dir}", file=sys.stderr)
     degraded = sum(1 for a in analyses if a.degraded)
     timed_out = sum(a.stats.timed_out_questions for a in analyses)
     strict_failure = args.strict and (degraded or timed_out)
@@ -472,7 +526,8 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
         tracer = _open_tracer(args.trace)
         try:
             experiments_main(jobs=args.jobs, tracer=tracer,
-                             deadline=_deadline_of(args))
+                             deadline=_deadline_of(args),
+                             backend=args.backend)
         finally:
             tracer.close()
         return 0

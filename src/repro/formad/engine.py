@@ -184,6 +184,13 @@ class LoopAnalysis:
     #: True when this result was replayed from a resume journal
     #: instead of being analyzed in this process.
     resumed: bool = False
+    #: True when this result is eligible for the cross-run verdict
+    #: cache: a genuine, *clean* analysis — not degraded, no timed-out
+    #: or UNKNOWN questions, no solver failures, and no answers that
+    #: were themselves replayed from a journal or cache. Only such
+    #: loops replay wholesale with counter-identical stats, which is
+    #: the cache's byte-identity guarantee (docs/SCALING.md).
+    cacheable: bool = False
 
     def safe_arrays(self) -> Set[str]:
         return {name for name, v in self.verdicts.items() if v.safe}
@@ -413,6 +420,7 @@ class FormADEngine:
         escalation: Optional[EscalationPolicy] = None,
         journal=None,
         resume=None,
+        cache=None,
     ) -> None:
         self.proc = proc
         self.activity = activity
@@ -438,6 +446,7 @@ class FormADEngine:
         self._deadline = deadline
         self._journal = journal
         self._resume = resume
+        self._vcache = cache
         self._loop_keys: Dict[int, str] = {
             loop.uid: f"{ordinal}:{loop.var}"
             for ordinal, loop in enumerate(proc.parallel_loops())}
@@ -489,20 +498,30 @@ class FormADEngine:
     def deadline(self) -> Optional[Deadline]:
         return self._deadline
 
-    def attach_run_state(self, *, journal=None, resume=None) -> None:
-        """Late-bind the journal writer and/or resume state.
+    def attach_run_state(self, *, journal=None, resume=None,
+                         cache=None, deadline=None) -> None:
+        """Late-bind the journal writer, resume state, cross-run
+        verdict cache, and/or run deadline.
 
-        The CLI needs this ordering seam: the journal fingerprint is
-        computed from :meth:`fingerprint_flags`, which needs a
-        constructed engine. Journal and resume are run state, not
+        The CLI needs this ordering seam: the journal and cache
+        fingerprints are computed from :meth:`fingerprint_flags`, which
+        needs a constructed engine. All four are run state, not
         configuration (see ``__init__``), so binding them late cannot
         invalidate the per-loop result cache — but attach them before
         the first ``analyze_loop`` call or early loops go unjournaled.
+        The serve workers of ``--backend process`` rebind ``deadline``
+        per shard request: the parent ships the remaining run budget
+        with every request, and a fresh :class:`Deadline` anchors it to
+        the worker's own clock.
         """
         if journal is not None:
             self._journal = journal
         if resume is not None:
             self._resume = resume
+        if cache is not None:
+            self._vcache = cache
+        if deadline is not None:
+            self._deadline = deadline
 
     def loop_key(self, loop: Loop) -> str:
         """The structural journal key of *loop* (``"<ordinal>:<var>"``
@@ -548,6 +567,8 @@ class FormADEngine:
         if cached is None:
             analysis = self._replay_settled(loop)
             if analysis is None:
+                analysis = self._replay_cached(loop)
+            if analysis is None:
                 analysis = self._analyze(loop)
             with self._cache_lock:
                 cached = self._cache.setdefault(loop.uid, analysis)
@@ -571,27 +592,67 @@ class FormADEngine:
                     "resume journal", loop.var)
         if self.tracer.enabled:
             self.tracer.emit("resumed", loop=loop.var)
-        if self._journal is not None and \
-                not getattr(self._journal, "appending", True):
+        # ``appending`` is part of the journal writer contract (see
+        # JournalWriter) — a writer that cannot answer it is a bug, so
+        # no duck-typed default here.
+        if self._journal is not None and not self._journal.appending:
             # Resuming into a *fresh* journal: re-emit the settled
             # records so the new journal is itself resumable.
             self._journal_loop(key, analysis)
         return analysis
 
-    def _journal_loop(self, key: str, analysis: LoopAnalysis) -> None:
-        journal = self._journal
+    def _replay_cached(self, loop: Loop) -> Optional[LoopAnalysis]:
+        """The ``--cache-dir`` fast path: rebuild a loop the cross-run
+        verdict cache holds as fully settled *and clean*. Unlike the
+        resume path the rebuilt analysis is not marked ``resumed`` —
+        the cache stores only clean loops with their complete counters,
+        so the replay is presented (and JSON-serialized) exactly as the
+        cold analysis was (docs/SCALING.md)."""
+        if self._vcache is None:
+            return None
+        key = self.loop_key(loop)
+        done = self._vcache.loop_done(key)
+        if done is None or done.get("degraded"):
+            return None
+        from ..resilience.journal import rebuild_analysis
+        analysis = rebuild_analysis(loop, done, self._vcache.verdicts(key),
+                                    resumed=False)
+        self._vcache.loop_hits += 1
+        logger.info("loop over %r: replayed settled verdicts from the "
+                    "cross-run cache", loop.var)
+        if self.tracer.enabled:
+            self.tracer.emit("cached", loop=loop.var)
+        if self._journal is not None:
+            # The journal describes *this* run, which never asked these
+            # questions — record the settled result so the journal
+            # stays resumable on its own.
+            self._journal_loop(key, analysis)
+        return analysis
+
+    def _loop_records(self, key: str, analysis: LoopAnalysis,
+                      ) -> List[Tuple[str, dict]]:
+        """*analysis* as journal-shaped ``(kind, fields)`` records —
+        the shared serialization of the journal, the worker reply
+        channel, and the verdict cache."""
+        records: List[Tuple[str, dict]] = []
         for verdict in analysis.verdicts.values():
-            journal.record("verdict", loop=key, array=verdict.array,
-                           safe=verdict.safe,
-                           pairs_total=verdict.pairs_total,
-                           pairs_proven=verdict.pairs_proven,
-                           reason=verdict.reason)
+            records.append(("verdict", {
+                "loop": key, "array": verdict.array, "safe": verdict.safe,
+                "pairs_total": verdict.pairs_total,
+                "pairs_proven": verdict.pairs_proven,
+                "reason": verdict.reason}))
         stats = {name: getattr(analysis.stats, name)
                  for name in AnalysisStats.__dataclass_fields__}
-        journal.record("loop_done", loop=key, stats=stats,
-                       safe_writes=list(analysis.safe_write_expressions),
-                       offending=list(analysis.offending_expressions),
-                       degraded=analysis.degraded)
+        records.append(("loop_done", {
+            "loop": key, "stats": stats,
+            "safe_writes": list(analysis.safe_write_expressions),
+            "offending": list(analysis.offending_expressions),
+            "degraded": analysis.degraded}))
+        return records
+
+    def _journal_loop(self, key: str, analysis: LoopAnalysis) -> None:
+        for kind, fields in self._loop_records(key, analysis):
+            self._journal.record(kind, **fields)
 
     def knowledge(self, loop: Loop) -> Tuple[FAtom, KnowledgeBase]:
         """Phase-1 output for *loop*: the root axiom and the knowledge
@@ -683,6 +744,10 @@ class FormADEngine:
                 tracer.emit("degraded", loop=loop.var, phase="build_model",
                             reason=str(degraded))
 
+        # Loop health, for the verdict cache's cleanliness rule: any
+        # contained solver failure or cache-replayed answer makes the
+        # loop's counters non-canonical, so it must not be stored.
+        health = {"failures": 0, "cached": 0}
         for array in self._candidate_arrays(refs):
             if degraded is not None:
                 # Count the questions this array *would* have asked
@@ -695,7 +760,8 @@ class FormADEngine:
                 with tracer.span("analysis.array", loop=loop.var,
                                  array=array):
                     verdict = self._test_array(loop, array, refs, translator,
-                                               model, memo, stats, offending)
+                                               model, memo, stats, offending,
+                                               health)
             verdicts[array] = verdict
             logger.debug("loop over %r: %s", loop.var, verdict)
             if tracer.enabled:
@@ -725,8 +791,20 @@ class FormADEngine:
             stats.queries, stats.memo_hits, stats.time_seconds)
         analysis = LoopAnalysis(loop, verdicts, stats, safe_writes,
                                 offending, degraded=degraded is not None)
+        analysis.cacheable = (degraded is None
+                              and health["failures"] == 0
+                              and health["cached"] == 0
+                              and stats.timed_out_questions == 0
+                              and stats.solver_unknown == 0
+                              and stats.resumed_questions == 0)
+        key = self.loop_key(loop)
         if self._journal is not None:
-            self._journal_loop(self.loop_key(loop), analysis)
+            self._journal_loop(key, analysis)
+        if self._vcache is not None and analysis.cacheable:
+            records = self._loop_records(key, analysis)
+            self._vcache.store_loop(
+                key, next(f for k, f in records if k == "loop_done"),
+                [f for k, f in records if k == "verdict"])
         return analysis
 
     def _candidate_arrays(self, refs: RegionReferences) -> List[str]:
@@ -988,6 +1066,7 @@ class FormADEngine:
                             Tuple[Result, Optional[Dict[str, int]]]]],
         stats: AnalysisStats,
         offending: List[str],
+        health: Optional[Dict[str, int]] = None,
     ) -> ArrayVerdict:
         tracer = self.tracer
         loop_key = self.loop_key(loop)
@@ -1014,6 +1093,7 @@ class FormADEngine:
             reason: Optional[str] = None
             attempts = 0
             resumed = False
+            cached = False
             if memo_hit:
                 stats.memo_hits += 1
                 result, witness = entry
@@ -1030,17 +1110,38 @@ class FormADEngine:
                     resumed = True
                     stats.resumed_questions += 1
                 else:
-                    asked = time.perf_counter()
-                    result, witness, reason, failure, attempts = \
-                        self._ask_escalating(model, ctx, question, stats,
-                                             f"{loop_key}/{array}/"
-                                             f"{question}", array)
-                    asked = time.perf_counter() - asked
+                    hit = (self._vcache.question(loop_key, ctx.path(),
+                                                 str(question))
+                           if self._vcache is not None else None)
+                    if hit is not None:
+                        # Decided in an earlier run with the same
+                        # fingerprint: answer from the cross-run cache
+                        # (SAT/UNSAT only, like the resume journal).
+                        result = SAT if hit[0] == "sat" else UNSAT
+                        witness = hit[1]
+                        cached = True
+                        if health is not None:
+                            health["cached"] += 1
+                    else:
+                        asked = time.perf_counter()
+                        result, witness, reason, failure, attempts = \
+                            self._ask_escalating(model, ctx, question, stats,
+                                                 f"{loop_key}/{array}/"
+                                                 f"{question}", array)
+                        asked = time.perf_counter() - asked
+                if failure is not None and health is not None:
+                    health["failures"] += 1
                 if memo is not None and failure is None and \
                         not (result is UNKNOWN and reason == "timeout"):
                     # Timeout UNKNOWNs are never memoized: a later
                     # identical question may still have time to run.
                     memo[key] = (result, witness)
+                if self._vcache is not None and not resumed and not cached \
+                        and failure is None and result is not UNKNOWN:
+                    self._vcache.store_question(
+                        loop_key, array, ctx.path(), str(question),
+                        result.name.lower(),
+                        witness if result is SAT else None)
                 if self._journal is not None and not resumed \
                         and failure is None:
                     record = {"loop": loop_key, "array": array,
@@ -1067,6 +1168,8 @@ class FormADEngine:
                     extra["attempts"] = attempts
                 if resumed:
                     extra["resumed"] = True
+                if cached:
+                    extra["cached"] = True
                 tracer.emit("question", loop=loop.var, array=array,
                             context=ctx.path(), write=w.rendering,
                             other=other.rendering, question=str(question),

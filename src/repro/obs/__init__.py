@@ -13,7 +13,8 @@ and validated against the versioned event schema
 
 from .events import (EVENT_FIELDS, SCHEMA_NAME, SCHEMA_VERSION,
                      TraceValidationError, validate_event, validate_events)
-from .tracer import (NULL_TRACER, CollectingTracer, JsonlTracer, NullTracer,
+from .tracer import (NULL_TRACER, BufferTracer, CollectingTracer,
+                     JsonlTracer, NullTracer,
                      Tracer, load_trace)
 from .metrics import (COUNTER_KEYS, METRICS_SCHEMA, TIMER_KEYS,
                       counters_only, stats_metrics)
@@ -28,7 +29,8 @@ from .profile import build_span_tree, context_table, format_profile
 __all__ = [
     "EVENT_FIELDS", "SCHEMA_NAME", "SCHEMA_VERSION",
     "TraceValidationError", "validate_event", "validate_events",
-    "NULL_TRACER", "CollectingTracer", "JsonlTracer", "NullTracer",
+    "NULL_TRACER", "BufferTracer", "CollectingTracer", "JsonlTracer",
+    "NullTracer",
     "Tracer", "load_trace",
     "COUNTER_KEYS", "METRICS_SCHEMA", "TIMER_KEYS",
     "counters_only", "stats_metrics",

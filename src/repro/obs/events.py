@@ -56,12 +56,16 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     # One audit case finished (repro audit --trace); ``violations`` is
     # the (usually empty) list of violation kinds observed.
     "audit_case": ("case", "family", "violations"),
-    # One isolated worker subprocess finished (``--isolate``); status is
-    # "ok", "crash", or "timeout" (docs/RESILIENCE.md).
+    # One isolated worker subprocess finished (``--isolate``) or one
+    # shard request completed (``--backend process``); status is "ok",
+    # "crash", or "timeout" (docs/RESILIENCE.md, docs/SCALING.md).
     "worker": ("loop", "status", "dur_s"),
     # One loop's settled verdicts were replayed from a resume journal
     # instead of being analyzed (``--resume``).
     "resumed": ("loop",),
+    # One loop's settled verdicts were replayed from the cross-run
+    # verdict cache (``--cache-dir``, docs/SCALING.md).
+    "cached": ("loop",),
     # Final counter/gauge totals, emitted once when the tracer closes.
     "metrics": ("counters", "gauges"),
 }
@@ -72,8 +76,10 @@ OPTIONAL_FIELDS: Dict[str, Tuple[str, ...]] = {
     # question (the result is then recorded as UNKNOWN); ``reason`` the
     # structured UNKNOWN reason (timeout / budget / solver-unknown);
     # ``attempts`` the escalation-ladder retry count when > 1;
-    # ``resumed`` marks an answer replayed from a resume journal.
-    "question": ("witness", "failure", "reason", "attempts", "resumed"),
+    # ``resumed`` marks an answer replayed from a resume journal;
+    # ``cached`` one answered from the cross-run verdict cache.
+    "question": ("witness", "failure", "reason", "attempts", "resumed",
+                 "cached"),
     # Structured reason of an UNKNOWN check (docs/RESILIENCE.md).
     "solver_check": ("reason",),
     # The worker's crash/timeout detail (exit status, signal, stderr).

@@ -107,7 +107,8 @@ def resilience_table(events: Sequence[dict]) -> List[Tuple[str, int]]:
     """Resilience tallies of one trace, empty when nothing happened:
     UNKNOWN questions by structured reason (timeout / budget /
     solver-unknown — docs/RESILIENCE.md), escalation retries, resumed
-    answers, degraded loops, and worker outcomes."""
+    and cache-answered questions/loops, degraded loops, and worker
+    outcomes."""
     counts: Dict[str, int] = {}
 
     def bump(name: str, by: int = 1) -> None:
@@ -122,12 +123,16 @@ def resilience_table(events: Sequence[dict]) -> List[Tuple[str, int]]:
                 bump("escalated questions")
             if event.get("resumed"):
                 bump("resumed questions")
+            if event.get("cached"):
+                bump("cached questions")
         elif etype == "degraded":
             bump(f"degraded loops[{event.get('phase', '?')}]")
         elif etype == "worker" and event.get("status") != "ok":
             bump(f"workers[{event.get('status', '?')}]")
         elif etype == "resumed":
             bump("resumed loops")
+        elif etype == "cached":
+            bump("cached loops")
     return sorted(counts.items())
 
 

@@ -78,6 +78,37 @@ class NullTracer:
 NULL_TRACER = NullTracer()
 
 
+class BufferTracer(NullTracer):
+    """Collects *leaf* events in memory as ``(type, fields)`` pairs.
+
+    The ``--backend process`` serve workers run their engine under one
+    of these: the worker cannot write the parent's trace stream (seq
+    numbers and span ids are parent-owned), so it buffers the raw
+    emissions and ships them back in each reply; the parent re-emits
+    them through its own tracer from the shard's feeder thread, which
+    restores ``seq``/``thread`` attribution. Spans are deliberately
+    dropped — a worker's span tree belongs to the worker's timeline,
+    and re-parenting it would violate the per-thread span discipline
+    the validator enforces — so only leaf events (``fact``,
+    ``question``, ``verdict``, ``degraded``, ``solver_check``) cross
+    the process boundary.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self._events: List[tuple] = []
+
+    def emit(self, etype: str, **fields: Any) -> None:
+        self._events.append((etype, fields))
+
+    def drain(self) -> List[tuple]:
+        """Return and clear the buffered ``(type, fields)`` pairs."""
+        out = self._events
+        self._events = []
+        return out
+
+
 class _Span:
     """An open span: a context manager emitting begin/end events."""
 

@@ -14,18 +14,32 @@ The analysis must degrade, never fail (docs/RESILIENCE.md):
 * :mod:`~repro.resilience.workers` — opt-in per-loop subprocess
   isolation with a hard kill timeout; a crashed or hung worker becomes
   a per-loop *degraded* result instead of a failed run.
+* :mod:`~repro.resilience.shards` — the ``--backend process`` shard
+  scheduler: persistent worker processes pulling loop shards off a
+  work queue, sidestepping the GIL-bound ``--jobs`` thread fan-out
+  (docs/SCALING.md).
+* :mod:`~repro.resilience.cache` — the ``--cache-dir`` cross-run
+  verdict cache (schema ``repro-cache/1``): decided SAT/UNSAT answers
+  and clean settled loops persist across invocations, keyed by the
+  journal fingerprint.
 """
 
+from .cache import CACHE_SCHEMA, VerdictCache
 from .deadline import Deadline
 from .escalate import EscalationPolicy
 from .journal import (JOURNAL_SCHEMA, JournalError, JournalWriter,
                       ResumeState, journal_fingerprint, read_journal,
                       rebuild_analysis)
+from .shards import (ShardConfig, WorkerClient, WorkerGone,
+                     analyze_program_remote, analyze_sharded)
 from .workers import IsolationConfig, WorkerOutcome, analyze_isolated
 
 __all__ = [
+    "CACHE_SCHEMA", "VerdictCache",
     "Deadline", "EscalationPolicy",
     "JOURNAL_SCHEMA", "JournalError", "JournalWriter", "ResumeState",
     "journal_fingerprint", "read_journal", "rebuild_analysis",
+    "ShardConfig", "WorkerClient", "WorkerGone",
+    "analyze_program_remote", "analyze_sharded",
     "IsolationConfig", "WorkerOutcome", "analyze_isolated",
 ]

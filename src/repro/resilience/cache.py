@@ -1,0 +1,201 @@
+"""The disk-backed cross-run verdict cache (schema ``repro-cache/1``).
+
+``analyze --cache-dir DIR`` persists settled analysis results *across*
+invocations: run the same analysis twice and the second run answers
+its questions from disk instead of the solver. The cache is a
+directory of per-invocation journal files —
+
+    <cache_dir>/<fingerprint>.jsonl
+
+— where the fingerprint is :func:`~repro.resilience.journal.
+journal_fingerprint` of (source, head, in/out variables, engine
+flags). Keying the *file name* on the fingerprint is what makes the
+cache sound: an edited source, a different head, or any flag change
+produces a different fingerprint, so a stale entry can never be
+replayed into a mismatched analysis. Resource flags (deadline,
+question timeout, escalation) are deliberately outside the
+fingerprint, exactly as for ``--resume``: a SAT/UNSAT answer is valid
+under any resource budget.
+
+Each cache file reuses the journal codec (CRC-per-line JSONL, torn
+tails dropped on read) and the journal record shapes:
+
+``meta``       schema ``repro-cache/1`` + the invocation fingerprint.
+``question``   one *decided* exploitation question (SAT/UNSAT only —
+               a timeout or budget UNKNOWN may resolve on a retry and
+               is therefore never cached, mirroring the resume
+               journal's replay rules).
+``verdict`` /  a fully settled, *clean* loop: not degraded, no
+``loop_done``  timeouts, no UNKNOWNs, no solver failures, and no
+               answers itself replayed from a journal or cache. Clean
+               loops replay wholesale — full counters restored — so a
+               cache-warm ``analyze --json`` is byte-identical (modulo
+               wall-clock timers) to the cold run that populated it.
+
+Question records are the insurance layer: a run that crashes mid-loop
+still leaves its decided questions behind, and the next run answers
+those from disk even though the loop never settled.
+
+Writers and readers: the CLI parent process holds the single writable
+handle (via :class:`~repro.resilience.journal.JournalWriter`, which is
+also why :class:`VerdictCache` satisfies the journal writer contract —
+``record``/``close``/``appending``); ``--backend process`` serve
+workers open the same file ``readonly`` for question lookups and ship
+new results back to the parent, which stores them. Nothing is ever
+deleted or rewritten in place; rerunning with a fresh fingerprint
+simply starts a new file.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+from typing import Dict, List, Optional, Tuple
+
+from .journal import (JournalWriter, ResumeState, read_journal)
+
+logger = logging.getLogger(__name__)
+
+CACHE_SCHEMA = "repro-cache/1"
+
+
+class VerdictCache:
+    """One invocation's slice of the cross-run verdict cache.
+
+    ``readonly=True`` opens the file for lookups only (the serve-worker
+    mode): ``record``/``store_*`` become no-ops, and a missing or
+    damaged file is simply an empty cache. A writable cache creates
+    ``cache_dir`` on demand and appends through a
+    :class:`~repro.resilience.journal.JournalWriter` (fsync off — the
+    cache is an accelerator, not the durability layer; a torn tail is
+    dropped by the CRC codec on the next load).
+    """
+
+    def __init__(self, cache_dir: str, fingerprint: str, *,
+                 readonly: bool = False) -> None:
+        self.cache_dir = cache_dir
+        self.fingerprint = fingerprint
+        self.readonly = readonly
+        self.path = os.path.join(cache_dir, f"{fingerprint}.jsonl")
+        # Lookup hits / fresh stores, for the end-of-run summary.
+        self.question_hits = 0
+        self.loop_hits = 0
+        self.question_stores = 0
+        self.loop_stores = 0
+        state, valid = self._load()
+        self._state = state
+        self._writer: Optional[JournalWriter] = None
+        self.appending = valid
+        if not readonly:
+            os.makedirs(cache_dir, exist_ok=True)
+            # A damaged/foreign file is abandoned (truncated), not
+            # appended to: its records failed validation above.
+            self._writer = JournalWriter(
+                self.path, append=valid, fsync=False,
+                meta={"schema": CACHE_SCHEMA, "fingerprint": fingerprint})
+
+    def _load(self) -> Tuple[ResumeState, bool]:
+        """Index the existing cache file; ``valid`` is False when the
+        file is absent or its meta does not match this invocation."""
+        if not os.path.exists(self.path):
+            return ResumeState(None, []), False
+        meta, records, dropped = read_journal(self.path)
+        if meta is None or meta.get("schema") != CACHE_SCHEMA \
+                or meta.get("fingerprint") != self.fingerprint:
+            logger.warning("verdict cache %s has a bad or foreign header; "
+                           "ignoring its contents", self.path)
+            return ResumeState(None, []), False
+        if dropped:
+            logger.info("verdict cache %s: dropped %d damaged line(s)",
+                        self.path, dropped)
+        return ResumeState(meta, records, dropped), True
+
+    # ------------------------------------------------------------ lookups
+    @property
+    def settled_loops(self) -> int:
+        return self._state.settled_loops
+
+    @property
+    def settled_questions(self) -> int:
+        return self._state.settled_questions
+
+    def loop_done(self, loop_key: str) -> Optional[dict]:
+        return self._state.loop_done(loop_key)
+
+    def verdicts(self, loop_key: str) -> List[dict]:
+        return self._state.verdicts(loop_key)
+
+    def question(self, loop_key: str, ctx_path: str, question: str,
+                 ) -> Optional[Tuple[str, Optional[Dict[str, int]]]]:
+        """A decided (SAT/UNSAT) answer, or None. Bumps the hit
+        counter — call only when the answer will actually be used."""
+        hit = self._state.question(loop_key, ctx_path, question)
+        if hit is not None:
+            self.question_hits += 1
+        return hit
+
+    # ------------------------------------------------------------- stores
+    def record(self, kind: str, **fields) -> None:
+        """Journal-writer contract entry point (no-op when readonly)."""
+        if self._writer is not None:
+            self._writer.record(kind, **fields)
+
+    def store_question(self, loop_key: str, array: str, ctx_path: str,
+                       question: str, result: str,
+                       witness: Optional[Dict[str, int]] = None) -> None:
+        """Persist one decided answer. UNKNOWNs are rejected here, not
+        at the call site: *never* caching an undecided answer is the
+        cache's soundness rule, so it is enforced centrally."""
+        if self.readonly or result not in ("sat", "unsat"):
+            return
+        if self._state.question(loop_key, ctx_path, question) is not None:
+            return
+        record = {"loop": loop_key, "array": array, "ctx": ctx_path,
+                  "q": question, "result": result}
+        if result == "sat" and witness is not None:
+            record["witness"] = witness
+        self.record("question", **record)
+        self._state._questions[(loop_key, ctx_path, question)] = (
+            result, witness)
+        self.question_stores += 1
+
+    def store_loop(self, loop_key: str, done: dict,
+                   verdicts: List[dict]) -> None:
+        """Persist one *clean* loop's full record set (the caller vouches
+        for cleanliness — see :attr:`~repro.formad.engine.LoopAnalysis.
+        cacheable`). Degraded records are refused outright: a safeguard
+        fallback is not settled knowledge."""
+        if self.readonly or done.get("degraded"):
+            return
+        if self._state.loop_done(loop_key) is not None:
+            return
+        verdict_records = [
+            dict({k: v for k, v in verdict.items() if k != "kind"},
+                 loop=loop_key)
+            for verdict in verdicts]
+        done_record = dict({k: v for k, v in done.items() if k != "kind"},
+                           loop=loop_key)
+        for record in verdict_records:
+            self.record("verdict", **record)
+        self.record("loop_done", **done_record)
+        self._state._loops[loop_key] = dict(done_record, kind="loop_done")
+        self._state._verdicts.setdefault(loop_key, []).extend(
+            verdict_records)
+        self.loop_stores += 1
+
+    # ------------------------------------------------------------ summary
+    @property
+    def hits(self) -> int:
+        return self.question_hits + self.loop_hits
+
+    def summary(self) -> str:
+        return (f"verdict cache {self.path}: "
+                f"{self.loop_hits} loop hit(s), "
+                f"{self.question_hits} question hit(s), "
+                f"{self.loop_stores} loop(s) and "
+                f"{self.question_stores} question(s) stored")
+
+    def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            self._writer = None

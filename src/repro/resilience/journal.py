@@ -130,7 +130,19 @@ def _truncate_partial_tail(path: str) -> None:
 
 
 class JournalWriter:
-    """Thread-safe append-only writer with per-record durability."""
+    """Thread-safe append-only writer with per-record durability.
+
+    **Writer contract** (also implemented by the worker-side record
+    collector in :mod:`~repro.resilience.worker` and the verdict
+    cache's writer in :mod:`~repro.resilience.cache`): a journal-like
+    object exposes ``record(kind, **fields)``, ``close()``, and the
+    boolean attribute ``appending`` — True when the writer continues an
+    existing file, False when it started a fresh one. The engine's
+    resume path *requires* ``appending`` (no duck-typed default): a
+    settled loop replayed into a fresh journal must be re-emitted so
+    the new journal is itself resumable, and a writer that cannot
+    answer the question is a bug, not a "probably appending" guess.
+    """
 
     def __init__(self, path: str, *, meta: Optional[dict] = None,
                  append: bool = False, fsync: bool = True) -> None:
@@ -138,6 +150,7 @@ class JournalWriter:
         self.appending = append
         self._fsync = fsync
         self._lock = threading.Lock()
+        self._workers = 0
         if append:
             if os.path.exists(path):
                 _truncate_partial_tail(path)
@@ -161,11 +174,38 @@ class JournalWriter:
         with self._lock:
             self._write(dict(fields, kind=kind))
 
+    def attach_worker(self) -> None:
+        """Declare that a worker subprocess holds its own ``O_APPEND``
+        handle to this journal's file. While any worker is attached,
+        :meth:`rotate` refuses to run: rotation replaces the inode, and
+        records the workers keep appending to the *old* inode would
+        silently vanish from the journal."""
+        with self._lock:
+            self._workers += 1
+
+    def detach_worker(self) -> None:
+        with self._lock:
+            if self._workers <= 0:
+                raise JournalError("detach_worker without a matching "
+                                   "attach_worker")
+            self._workers -= 1
+
     def rotate(self) -> None:
         """Compact in place: settled loops keep only their ``verdict``
         and ``loop_done`` records. Write-temp + fsync + atomic rename,
-        so a crash during rotation leaves the old journal intact."""
+        so a crash during rotation leaves the old journal intact.
+
+        Refused while worker subprocesses are attached (see
+        :meth:`attach_worker`): their ``O_APPEND`` handles point at the
+        journal's current inode, and the atomic rename would strand
+        every record they write afterwards on the orphaned old file —
+        a durability hole a later ``--resume`` could never see."""
         with self._lock:
+            if self._workers:
+                raise JournalError(
+                    f"cannot rotate: {self._workers} worker(s) hold live "
+                    f"append handles to {self.path!r}; rotation would "
+                    f"orphan their subsequent records")
             self._fh.flush()
             meta, records, _ = read_journal(self.path)
             done = {r["loop"] for r in records if r.get("kind") == "loop_done"}

@@ -1,0 +1,432 @@
+"""Multiprocess shard scheduler (the ``--backend process`` runtime).
+
+``--jobs N`` with the default thread backend fans loops out over a
+``ThreadPoolExecutor`` — but the analysis is pure Python, so the GIL
+serializes the actual solving and N threads buy almost nothing. This
+module is the fix: N **persistent worker processes** (``python -m
+repro.resilience.worker --serve``), each running a real interpreter of
+its own, pulling loop-granularity shards from a shared work queue
+(work-stealing: a worker that finishes early takes the next loop, so
+one slow region never idles the rest of the pool).
+
+Division of labor (docs/SCALING.md):
+
+* **Workers** analyze. They never write the parent's journal, trace
+  stream, or verdict cache; each reply carries the journal-shaped
+  records, buffered trace events, and cache metadata of one loop.
+* **The parent** owns all I/O: it is the single journal writer, the
+  single cache writer, and the single trace sink. Each shard's feeder
+  thread (named ``shard-<k>`` — the name trace events inherit) applies
+  its worker's replies under one lock, so per-loop record blocks stay
+  contiguous in the journal.
+* **Replay stays parental**: settled loops from a ``--resume`` journal
+  and clean loops from the ``--cache-dir`` verdict cache are replayed
+  in the parent *before* sharding; only genuinely open loops are
+  queued.
+
+Fault handling matches ``--isolate``: a crashed, hung, or killed
+worker degrades the loop it was holding (safeguards everywhere,
+planned question counts — Table-1 totals stay fault-independent) and
+the feeder respawns a fresh worker for its next shard. A
+:class:`~repro.formad.engine.PrimalRaceError` reported by any worker
+stops the pool and is re-raised, exactly as the inline analysis would.
+
+The default backend stays ``thread``: its output is byte-identical to
+the process backend (tests/resilience/test_backend_identity.py keeps
+that true), so nothing changes unless ``--backend process`` is asked
+for.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import queue
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .journal import rebuild_analysis
+from .workers import (_DEADLINE_GRACE, IsolationConfig, WorkerOutcome,
+                      _worker_env)
+
+logger = logging.getLogger(__name__)
+
+
+class WorkerGone(RuntimeError):
+    """A serve worker died, went silent, or answered garbage."""
+
+    def __init__(self, status: str, detail: str) -> None:
+        super().__init__(detail)
+        #: ``crash`` or ``timeout`` — becomes the WorkerOutcome status.
+        self.status = status
+        self.detail = detail
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """How ``--backend process`` runs its shard workers."""
+
+    #: Number of worker processes (capped by the open-loop count).
+    jobs: int = 2
+    #: Hard wall-clock cap per shard request, enforced by SIGKILL.
+    kill_timeout: float = 60.0
+    #: Interpreter for the worker processes.
+    python: str = sys.executable
+    #: Extra environment entries for the workers (tests inject
+    #: ``REPRO_WORKER_FAULT`` here).
+    extra_env: Optional[Dict[str, str]] = None
+
+    def isolation(self) -> IsolationConfig:
+        """The equivalent one-shot config (shared env construction)."""
+        return IsolationConfig(kill_timeout=self.kill_timeout,
+                               python=self.python, extra_env=self.extra_env)
+
+
+class WorkerClient:
+    """One persistent serve worker and its line-protocol plumbing.
+
+    stdout is drained by a dedicated reader thread into a queue, so
+    every request gets a *timeout-bounded* wait for its reply line — a
+    hung worker surfaces as :class:`WorkerGone` (``timeout``) instead
+    of blocking the feeder forever. stderr is drained too (into a
+    short tail kept for crash diagnostics) so a chatty worker can
+    never deadlock on a full pipe.
+    """
+
+    def __init__(self, config: ShardConfig, init_request: dict) -> None:
+        self._proc = subprocess.Popen(
+            [config.python, "-m", "repro.resilience.worker", "--serve"],
+            stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE, text=True,
+            env=_worker_env(config.isolation()))
+        self._lines: "queue.Queue[Optional[str]]" = queue.Queue()
+        self._stderr_tail: deque = deque(maxlen=20)
+        threading.Thread(target=self._read_stdout, daemon=True).start()
+        threading.Thread(target=self._read_stderr, daemon=True).start()
+        reply = self.request(init_request, timeout=config.kill_timeout)
+        if not reply.get("ok"):
+            raise WorkerGone("crash", f"worker init failed: {reply!r}")
+        #: The loop keys the worker sees (a cheap contract check).
+        self.loops: List[str] = list(reply.get("loops", []))
+
+    # ------------------------------------------------------------ plumbing
+    def _read_stdout(self) -> None:
+        try:
+            for line in self._proc.stdout:
+                self._lines.put(line)
+        except ValueError:  # pragma: no cover - file closed under us
+            pass
+        self._lines.put(None)
+
+    def _read_stderr(self) -> None:
+        try:
+            for line in self._proc.stderr:
+                self._stderr_tail.append(line.rstrip())
+        except ValueError:  # pragma: no cover
+            pass
+
+    def _death_detail(self, fallback: str) -> str:
+        try:
+            # The reader saw EOF an instant before the child is
+            # reapable; give it a moment so the detail can name the
+            # exit status or signal instead of just "closed stdout".
+            self._proc.wait(timeout=1.0)
+        except subprocess.TimeoutExpired:
+            pass
+        rc = self._proc.poll()
+        if rc is not None and rc < 0:
+            detail = f"worker killed by signal {-rc}"
+        elif rc is not None:
+            detail = f"worker exited with status {rc}"
+        else:
+            detail = fallback
+        if self._stderr_tail:
+            detail += f": {self._stderr_tail[-1]}"
+        return detail
+
+    # ------------------------------------------------------------ protocol
+    def request(self, request: dict, timeout: float) -> dict:
+        try:
+            self._proc.stdin.write(json.dumps(request) + "\n")
+            self._proc.stdin.flush()
+        except (BrokenPipeError, OSError) as exc:
+            raise WorkerGone(
+                "crash", self._death_detail(f"worker pipe broke: {exc}"))
+        try:
+            line = self._lines.get(timeout=timeout)
+        except queue.Empty:
+            raise WorkerGone(
+                "timeout",
+                f"worker exceeded its {timeout:.1f}s kill timeout")
+        if line is None:
+            raise WorkerGone("crash",
+                             self._death_detail("worker closed its stdout"))
+        try:
+            reply = json.loads(line)
+        except ValueError:
+            raise WorkerGone("crash", "worker produced unparsable output")
+        if not isinstance(reply, dict):
+            raise WorkerGone("crash", "worker produced a non-object reply")
+        return reply
+
+    def kill(self) -> None:
+        if self._proc.poll() is None:
+            self._proc.kill()
+        try:
+            self._proc.wait(timeout=5)
+        except subprocess.TimeoutExpired:  # pragma: no cover
+            pass
+
+    def shutdown(self) -> None:
+        try:
+            self._proc.stdin.write(json.dumps({"op": "shutdown"}) + "\n")
+            self._proc.stdin.flush()
+            self._proc.stdin.close()
+        except (BrokenPipeError, OSError):
+            pass
+        try:
+            self._proc.wait(timeout=5)
+        except subprocess.TimeoutExpired:
+            self.kill()
+
+
+def _init_request(engine, source: str, head: str,
+                  independents: Sequence[str], dependents: Sequence[str], *,
+                  resume_path: Optional[str],
+                  cache_dir: Optional[str],
+                  fingerprint: Optional[str]) -> dict:
+    return {
+        "op": "init",
+        "source": source,
+        "head": head,
+        "independents": list(independents),
+        "dependents": list(dependents),
+        "flags": engine.fingerprint_flags(),
+        "question_timeout": engine.question_timeout,
+        "escalation": {
+            "max_attempts": engine.escalation.max_attempts,
+            "growth": engine.escalation.growth,
+            "max_scale": engine.escalation.max_scale,
+            "jitter": engine.escalation.jitter,
+        },
+        "resume": resume_path,
+        "cache_dir": cache_dir,
+        "fingerprint": fingerprint,
+        "trace": engine.tracer.enabled,
+    }
+
+
+def _apply_reply(engine, cache, loop, key: str, reply: dict):
+    """Apply one shard reply in the parent: journal its records, store
+    its decided questions (and, if clean, the whole loop) in the
+    verdict cache, re-emit its trace events, and rebuild the
+    :class:`~repro.formad.engine.LoopAnalysis`. Callers hold the
+    scheduler's apply lock, so one loop's records stay contiguous."""
+    journal = engine._journal
+    tracer = engine.tracer
+    done: Optional[dict] = None
+    verdicts: List[dict] = []
+    for item in reply.get("records", []):
+        kind, fields = str(item[0]), dict(item[1])
+        if journal is not None:
+            journal.record(kind, **fields)
+        if kind == "loop_done":
+            done = fields
+        elif kind == "verdict":
+            verdicts.append(fields)
+        elif kind == "question" and cache is not None:
+            cache.store_question(
+                str(fields.get("loop", key)), str(fields.get("array", "")),
+                str(fields.get("ctx", "")), str(fields.get("q", "")),
+                str(fields.get("result", "")), fields.get("witness"))
+    if done is None:
+        raise WorkerGone("crash", "worker reply missing its loop_done record")
+    if cache is not None:
+        cache.question_hits += int(reply.get("cache_hits") or 0)
+        if reply.get("cacheable"):
+            cache.store_loop(key, done, verdicts)
+    if tracer.enabled:
+        for item in reply.get("events", []):
+            tracer.emit(str(item[0]), **dict(item[1]))
+    analysis = rebuild_analysis(loop, done, verdicts, resumed=False)
+    analysis.cacheable = bool(reply.get("cacheable"))
+    return analysis
+
+
+def analyze_sharded(
+    engine,
+    source: str,
+    head: str,
+    independents: Sequence[str],
+    dependents: Sequence[str],
+    *,
+    config: Optional[ShardConfig] = None,
+    resume_path: Optional[str] = None,
+    cache_dir: Optional[str] = None,
+    fingerprint: Optional[str] = None,
+) -> Tuple[List, List[WorkerOutcome]]:
+    """Analyze every parallel loop of *engine*'s procedure across a
+    pool of persistent worker processes.
+
+    Returns ``(analyses, outcomes)`` in loop order, mirroring
+    :func:`~repro.resilience.workers.analyze_isolated` — plus the
+    ``resumed``/``cached`` outcomes of loops the parent replayed
+    without dispatching a shard.
+    """
+    from ..formad.engine import PrimalRaceError
+
+    config = config or ShardConfig()
+    tracer = engine.tracer
+    cache = engine._vcache
+    loops = list(engine.proc.parallel_loops())
+    slots: List[Optional[object]] = [None] * len(loops)
+    outcomes: List[Optional[WorkerOutcome]] = [None] * len(loops)
+    pending: "queue.Queue" = queue.Queue()
+    for index, loop in enumerate(loops):
+        key = engine.loop_key(loop)
+        replayed = engine._replay_settled(loop)
+        if replayed is not None:
+            slots[index] = replayed
+            outcomes[index] = WorkerOutcome(key, "resumed")
+            continue
+        replayed = engine._replay_cached(loop)
+        if replayed is not None:
+            slots[index] = replayed
+            outcomes[index] = WorkerOutcome(key, "cached")
+            continue
+        pending.put((index, loop))
+    if pending.empty():
+        return list(slots), list(outcomes)
+
+    init_request = _init_request(engine, source, head, independents,
+                                 dependents, resume_path=resume_path,
+                                 cache_dir=cache_dir, fingerprint=fingerprint)
+    apply_lock = threading.Lock()
+    race: List[PrimalRaceError] = []
+
+    def degrade(index: int, loop, key: str, status: str, detail: str,
+                elapsed: float, *, phase: str = "worker") -> None:
+        with apply_lock:
+            if tracer.enabled:
+                tracer.emit("worker", loop=key, status=status,
+                            dur_s=elapsed, detail=detail)
+            slots[index] = engine.degraded_analysis(
+                loop, f"shard {detail}", phase=phase)
+            outcomes[index] = WorkerOutcome(key, status, detail, elapsed)
+
+    def shard(k: int) -> None:
+        client: Optional[WorkerClient] = None
+        try:
+            while not race:
+                try:
+                    index, loop = pending.get_nowait()
+                except queue.Empty:
+                    break
+                key = engine.loop_key(loop)
+                deadline = engine.deadline
+                if deadline is not None and deadline.expired():
+                    degrade(index, loop, key, "timeout",
+                            "run deadline expired before the shard was "
+                            "dispatched", 0.0, phase="deadline")
+                    continue
+                start = time.perf_counter()
+                try:
+                    if client is None:
+                        client = WorkerClient(config, init_request)
+                    budget = config.kill_timeout
+                    if deadline is not None:
+                        budget = min(budget,
+                                     max(deadline.remaining(), 0.0)
+                                     + _DEADLINE_GRACE)
+                    reply = client.request(
+                        {"op": "analyze", "loop_key": key,
+                         "deadline_remaining": (deadline.remaining()
+                                                if deadline is not None
+                                                else None)},
+                        timeout=budget)
+                except WorkerGone as exc:
+                    elapsed = time.perf_counter() - start
+                    if client is not None:
+                        client.kill()
+                        client = None  # a fresh worker serves the next shard
+                    degrade(index, loop, key, exc.status, exc.detail, elapsed)
+                    continue
+                elapsed = time.perf_counter() - start
+                error = reply.get("error")
+                if error is not None:
+                    if error.get("type") == "PrimalRaceError":
+                        race.append(PrimalRaceError(error.get("message", "")))
+                        break
+                    degrade(index, loop, key, "crash",
+                            f"worker error: {error.get('message', '')}",
+                            elapsed)
+                    continue
+                with apply_lock:
+                    try:
+                        analysis = _apply_reply(engine, cache, loop, key,
+                                                reply)
+                    except WorkerGone as exc:
+                        if tracer.enabled:
+                            tracer.emit("worker", loop=key, status=exc.status,
+                                        dur_s=elapsed, detail=exc.detail)
+                        slots[index] = engine.degraded_analysis(
+                            loop, f"shard {exc.detail}")
+                        outcomes[index] = WorkerOutcome(key, exc.status,
+                                                        exc.detail, elapsed)
+                        continue
+                    if tracer.enabled:
+                        tracer.emit("worker", loop=key, status="ok",
+                                    dur_s=elapsed)
+                    slots[index] = analysis
+                    outcomes[index] = WorkerOutcome(key, "ok",
+                                                    elapsed=elapsed)
+        finally:
+            if client is not None:
+                client.shutdown()
+
+    n = max(1, min(config.jobs, pending.qsize()))
+    threads = [threading.Thread(target=shard, args=(k,), name=f"shard-{k}")
+               for k in range(n)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if race:
+        raise race[0]
+    return list(slots), list(outcomes)
+
+
+def analyze_program_remote(
+    source: str,
+    head: str,
+    independents: Sequence[str],
+    dependents: Sequence[str],
+    *,
+    config: Optional[ShardConfig] = None,
+    tracer=None,
+    deadline=None,
+    flags: Optional[dict] = None,
+) -> List:
+    """One whole program analyzed through the shard runtime — the
+    experiments pipeline's process backend. Builds the parent-side
+    engine from *source*, runs :func:`analyze_sharded` over its loops,
+    and returns the analyses (loop order). The Table-1 sweep calls
+    this once per problem from its worker threads, which gives the
+    sweep process-level parallelism across problems."""
+    from ..analysis.activity import ActivityAnalysis
+    from ..formad.engine import FormADEngine
+    from ..ir import parse_program
+    from ..obs.tracer import NULL_TRACER
+
+    proc = parse_program(source)[head]
+    activity = ActivityAnalysis(proc, independents, dependents)
+    engine = FormADEngine(proc, activity, tracer=tracer or NULL_TRACER,
+                          deadline=deadline, **(flags or {}))
+    analyses, _ = analyze_sharded(engine, source, head, independents,
+                                  dependents, config=config)
+    return analyses

@@ -1,12 +1,29 @@
 """Worker subprocess entry point: ``python -m repro.resilience.worker``.
 
-Reads one JSON request from stdin (see
-:mod:`~repro.resilience.workers` for the contract), analyzes exactly
-one parallel loop, and writes one JSON reply to stdout. Any unexpected
-failure exits non-zero — the parent maps that to a per-loop *degraded*
-result. A :class:`~repro.formad.engine.PrimalRaceError` is a genuine
-finding, not a failure: it is reported in the reply (``error``) and
-re-raised by the parent.
+Two modes share this module:
+
+**One-shot** (the ``--isolate`` runtime, no arguments): read one JSON
+request from stdin (see :mod:`~repro.resilience.workers` for the
+contract), analyze exactly one parallel loop, write one JSON reply to
+stdout, exit. Any unexpected failure exits non-zero — the parent maps
+that to a per-loop *degraded* result.
+
+**Serve** (the ``--backend process`` shard runtime, ``--serve``): a
+persistent newline-delimited JSON loop. The parent sends one ``init``
+request naming the program and engine flags, then any number of
+``analyze`` requests — one per loop shard pulled from the parent's
+work queue — and finally ``shutdown``. The worker never writes the
+parent's journal, trace stream, or verdict cache: every record the
+engine would journal is buffered by a :class:`_RecordCollector`,
+every trace event by a :class:`~repro.obs.tracer.BufferTracer`, and
+both travel back in the ``analyze`` reply for the parent — the single
+writer — to apply (:mod:`~repro.resilience.shards`). The verdict
+cache, when configured, is opened **readonly** here: lookups answer
+questions locally, stores are the parent's job.
+
+In both modes a :class:`~repro.formad.engine.PrimalRaceError` is a
+genuine finding, not a failure: it is reported in the reply
+(``error``) and re-raised by the parent.
 
 ``REPRO_WORKER_FAULT`` injects deterministic faults for tests and the
 CI resilience smoke job::
@@ -17,7 +34,7 @@ CI resilience smoke job::
     REPRO_WORKER_FAULT="exit:3@1:j"    # ... only for loop key "1:j"
 
 The optional ``@<loop_key>`` suffix restricts the fault to one loop,
-leaving every other worker honest.
+leaving every other worker (and every other shard request) honest.
 """
 
 from __future__ import annotations
@@ -26,6 +43,7 @@ import json
 import os
 import sys
 import time
+from typing import List, Optional, Tuple
 
 
 def _inject_fault(loop_key: str) -> None:
@@ -45,18 +63,42 @@ def _inject_fault(loop_key: str) -> None:
         raise RuntimeError(f"injected worker fault on loop {loop_key!r}")
 
 
-def main() -> int:
-    request = json.load(sys.stdin)
-    loop_key = str(request["loop_key"])
-    _inject_fault(loop_key)
+class _RecordCollector:
+    """Journal-writer contract implementation that buffers instead of
+    writing: the serve worker's engine journals into one of these, and
+    the buffered ``(kind, fields)`` records ship back to the parent in
+    each reply. ``appending`` is False — this collector never holds
+    prior records, so a settled loop replayed worker-side re-emits its
+    records (the parent then journals them; a duplicate in an
+    append-mode parent journal is idempotent under the resume index).
+    """
 
+    appending = False
+
+    def __init__(self) -> None:
+        self.records: List[Tuple[str, dict]] = []
+
+    def record(self, kind: str, **fields) -> None:
+        self.records.append((kind, fields))
+
+    def drain(self) -> List[Tuple[str, dict]]:
+        out = self.records
+        self.records = []
+        return out
+
+    def close(self) -> None:
+        return None
+
+
+def _build_engine(request: dict, *, journal, tracer=None):
+    """The shared engine construction of both modes."""
     from ..analysis.activity import ActivityAnalysis
-    from ..formad.engine import (AnalysisStats, FormADEngine,
-                                 PrimalRaceError)
+    from ..formad.engine import FormADEngine
     from ..ir import parse_program
+    from ..obs.tracer import NULL_TRACER
     from .deadline import Deadline
     from .escalate import EscalationPolicy
-    from .journal import JournalWriter, ResumeState
+    from .journal import ResumeState
 
     program = parse_program(request["source"])
     proc = program[request["head"]]
@@ -68,20 +110,60 @@ def main() -> int:
     escalation = None
     if request.get("escalation"):
         escalation = EscalationPolicy(**request["escalation"])
+    resume = None
+    if request.get("resume"):
+        resume = ResumeState.load(request["resume"])
+    cache = None
+    if request.get("cache_dir") and request.get("fingerprint"):
+        from .cache import VerdictCache
+        cache = VerdictCache(request["cache_dir"], request["fingerprint"],
+                             readonly=True)
+    return FormADEngine(proc, activity, deadline=deadline,
+                        question_timeout=request.get("question_timeout"),
+                        escalation=escalation, journal=journal,
+                        resume=resume, cache=cache,
+                        tracer=tracer or NULL_TRACER,
+                        **(request.get("flags") or {}))
+
+
+def _serialize(engine, loop_key: str, analysis) -> dict:
+    from ..formad.engine import AnalysisStats
+
+    stats = {name: getattr(analysis.stats, name)
+             for name in AnalysisStats.__dataclass_fields__}
+    return {
+        "done": {
+            "loop": loop_key,
+            "stats": stats,
+            "safe_writes": list(analysis.safe_write_expressions),
+            "offending": list(analysis.offending_expressions),
+            "degraded": analysis.degraded,
+        },
+        "verdicts": [
+            {"array": v.array, "safe": v.safe,
+             "pairs_total": v.pairs_total, "pairs_proven": v.pairs_proven,
+             "reason": v.reason}
+            for v in analysis.verdicts.values()
+        ],
+    }
+
+
+def main() -> int:
+    request = json.load(sys.stdin)
+    loop_key = str(request["loop_key"])
+    _inject_fault(loop_key)
+
+    from ..formad.engine import PrimalRaceError
+    from .journal import JournalWriter
+
     journal = None
     if request.get("journal"):
         # Append: the parent already wrote the meta header, and loops
         # run sequentially, so the offsets never interleave.
         journal = JournalWriter(request["journal"], append=True)
-    resume = None
-    if request.get("resume"):
-        resume = ResumeState.load(request["resume"])
-    engine = FormADEngine(proc, activity, deadline=deadline,
-                          question_timeout=request.get("question_timeout"),
-                          escalation=escalation, journal=journal,
-                          resume=resume, **(request.get("flags") or {}))
+    engine = _build_engine(request, journal=journal)
     target = None
-    for loop in proc.parallel_loops():
+    for loop in engine.proc.parallel_loops():
         if engine.loop_key(loop) == loop_key:
             target = loop
             break
@@ -99,26 +181,86 @@ def main() -> int:
     finally:
         if journal is not None:
             journal.close()
-    stats = {name: getattr(analysis.stats, name)
-             for name in AnalysisStats.__dataclass_fields__}
-    payload = {
-        "done": {
+    print(json.dumps(_serialize(engine, loop_key, analysis)))
+    return 0
+
+
+def serve() -> int:
+    """The ``--serve`` request loop (one line in, one line out)."""
+    from ..obs.tracer import BufferTracer
+    from ..smt.clausify import clausify_cache_clear
+    from .deadline import Deadline
+
+    engine = None
+    collector: Optional[_RecordCollector] = None
+    tracer: Optional[BufferTracer] = None
+    loops_by_key = {}
+    cache = None
+
+    def reply(payload: dict) -> None:
+        sys.stdout.write(json.dumps(payload) + "\n")
+        sys.stdout.flush()
+
+    for line in sys.stdin:
+        line = line.strip()
+        if not line:
+            continue
+        request = json.loads(line)
+        op = request.get("op")
+        if op == "shutdown":
+            break
+        if op == "init":
+            # One engine per init; a re-init (a parent reusing the
+            # process for another run) starts from cold caches so
+            # counters stay run-deterministic.
+            clausify_cache_clear()
+            collector = _RecordCollector()
+            tracer = BufferTracer() if request.get("trace") else None
+            engine = _build_engine(request, journal=collector,
+                                   tracer=tracer)
+            cache = engine._vcache
+            loops_by_key = {engine.loop_key(loop): loop
+                            for loop in engine.proc.parallel_loops()}
+            reply({"ok": True, "loops": sorted(loops_by_key)})
+            continue
+        if op != "analyze" or engine is None:
+            reply({"error": {"type": "ValueError",
+                             "message": f"bad request op {op!r}"}})
+            continue
+        loop_key = str(request["loop_key"])
+        _inject_fault(loop_key)
+        target = loops_by_key.get(loop_key)
+        if target is None:
+            reply({"loop": loop_key, "error": {
+                "type": "KeyError",
+                "message": f"no parallel loop with key {loop_key!r}"}})
+            continue
+        if request.get("deadline_remaining") is not None:
+            engine.attach_run_state(
+                deadline=Deadline(float(request["deadline_remaining"])))
+        hits_before = cache.question_hits if cache is not None else 0
+        from ..formad.engine import PrimalRaceError
+        try:
+            analysis = engine.analyze_loop(target)
+        except PrimalRaceError as exc:
+            reply({"loop": loop_key,
+                   "error": {"type": "PrimalRaceError",
+                             "message": str(exc)}})
+            continue
+        payload = {
             "loop": loop_key,
-            "stats": stats,
-            "safe_writes": list(analysis.safe_write_expressions),
-            "offending": list(analysis.offending_expressions),
-            "degraded": analysis.degraded,
-        },
-        "verdicts": [
-            {"array": v.array, "safe": v.safe,
-             "pairs_total": v.pairs_total, "pairs_proven": v.pairs_proven,
-             "reason": v.reason}
-            for v in analysis.verdicts.values()
-        ],
-    }
-    print(json.dumps(payload))
+            "records": collector.drain(),
+            "cacheable": analysis.cacheable,
+            "cache_hits": (cache.question_hits - hits_before
+                           if cache is not None else 0),
+        }
+        if tracer is not None:
+            payload["events"] = tracer.drain()
+        reply(payload)
     return 0
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via --isolate
+    if "--serve" in sys.argv[1:]:
+        sys.exit(serve())
     sys.exit(main())

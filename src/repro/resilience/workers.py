@@ -62,7 +62,8 @@ class WorkerOutcome:
 
     loop_key: str
     #: ``ok`` | ``crash`` | ``timeout`` | ``resumed`` (no worker ran:
-    #: the loop was settled in the resume journal).
+    #: the loop was settled in the resume journal) | ``cached`` (no
+    #: worker ran: the loop replayed from the cross-run verdict cache).
     status: str
     detail: str = ""
     elapsed: float = 0.0
@@ -139,6 +140,28 @@ def analyze_isolated(
     env = _worker_env(config)
     analyses: List = []
     outcomes: List[WorkerOutcome] = []
+    # Fence journal rotation for the whole worker phase: each child
+    # opens its own O_APPEND handle to the journal file, and a rotate
+    # meanwhile would swap the inode out from under those handles —
+    # every record they append afterwards would land on the orphaned
+    # old file and vanish from any later --resume.
+    parent_journal = engine._journal if journal_path else None
+    if parent_journal is not None:
+        parent_journal.attach_worker()
+    try:
+        return _analyze_isolated(engine, source, head, independents,
+                                 dependents, config, env, journal_path,
+                                 resume_path, tracer, analyses, outcomes)
+    finally:
+        if parent_journal is not None:
+            parent_journal.detach_worker()
+
+
+def _analyze_isolated(engine, source, head, independents, dependents,
+                      config, env, journal_path, resume_path, tracer,
+                      analyses, outcomes) -> Tuple[List, List[WorkerOutcome]]:
+    from ..formad.engine import PrimalRaceError
+
     for loop in engine.proc.parallel_loops():
         key = engine.loop_key(loop)
         settled = engine._replay_settled(loop)

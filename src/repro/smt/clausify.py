@@ -54,6 +54,13 @@ def split_atom(atom: FAtom) -> Tuple[FAtom, ...]:
     return (atom,)
 
 
+#: Default CNF clause *budget*: the blow-up guard on distribution.
+#: Deliberately a separate constant from :data:`CACHE_MAXSIZE` — the
+#: budget is solver semantics (blowing it turns a check UNKNOWN), the
+#: cache bound is a memory knob; tuning one must never change the
+#: other (see tests/smt/test_clausify_budget.py).
+DEFAULT_MAX_CLAUSES = 100_000
+
 #: LRU bound of the process-global per-formula clause cache.
 CACHE_MAXSIZE = 100_000
 
@@ -81,7 +88,7 @@ _misses = 0
 
 
 def clausify_probe(formula: Formula, *,
-                   max_clauses: int = CACHE_MAXSIZE) -> Tuple[Tuple[Clause, ...], bool]:
+                   max_clauses: int = DEFAULT_MAX_CLAUSES) -> Tuple[Tuple[Clause, ...], bool]:
     """Clausify through the cache, reporting this call's outcome.
 
     Returns ``(clauses, was_hit)``. The returned tuple is the shared
@@ -115,7 +122,7 @@ def clausify_probe(formula: Formula, *,
     return clauses, False
 
 
-def clausify(formula: Formula, *, max_clauses: int = CACHE_MAXSIZE) -> List[Clause]:
+def clausify(formula: Formula, *, max_clauses: int = DEFAULT_MAX_CLAUSES) -> List[Clause]:
     """CNF clauses for *formula*. ``[]`` means trivially true; a clause
     ``()`` (empty) means trivially false. Cached per formula — the same
     knowledge assertions and congruence axioms recur across thousands of
@@ -123,7 +130,7 @@ def clausify(formula: Formula, *, max_clauses: int = CACHE_MAXSIZE) -> List[Clau
     return list(clausify_probe(formula, max_clauses=max_clauses)[0])
 
 
-def clausify_cached(formula: Formula, *, max_clauses: int = CACHE_MAXSIZE) -> Tuple[Clause, ...]:
+def clausify_cached(formula: Formula, *, max_clauses: int = DEFAULT_MAX_CLAUSES) -> Tuple[Clause, ...]:
     """Like :func:`clausify` but returns the (shared, immutable) cached
     tuple without copying — callers must not mutate it."""
     return clausify_probe(formula, max_clauses=max_clauses)[0]
@@ -138,8 +145,10 @@ def clausify_cache_info() -> CacheInfo:
 
 
 def clausify_cache_clear() -> None:
-    """Drop the per-formula clause cache (benchmarks use this to keep
-    mode-vs-mode comparisons fair)."""
+    """Drop the per-formula clause cache. Benchmarks use this to keep
+    mode-vs-mode comparisons fair, and long-lived multi-run processes
+    (the ``--backend process`` serve workers) call it at every run
+    boundary so entries from a previous program never accumulate."""
     global _hits, _misses
     with _cache_lock:
         _cache.clear()
@@ -179,7 +188,7 @@ def _cnf(formula: Formula, budget: int) -> List[Clause]:
     raise TypeError(f"not an NNF formula: {formula!r}")  # pragma: no cover
 
 
-def clausify_all(formulas: Sequence[Formula], *, max_clauses: int = 100_000) -> List[Clause]:
+def clausify_all(formulas: Sequence[Formula], *, max_clauses: int = DEFAULT_MAX_CLAUSES) -> List[Clause]:
     out: List[Clause] = []
     for f in formulas:
         out.extend(clausify(f, max_clauses=max_clauses))

@@ -128,11 +128,17 @@ def _spread_model(base: Sequence[Constraint], clauses: Sequence[Clause]) -> Dict
     Disjointness-dominated problems (FormAD's buildModel consistency
     checks) are almost always satisfied by giving every variable a
     distinct huge value; evaluating this guess costs no simplex calls.
+
+    Variables are enumerated through ``form.coeffs`` (sorted by name)
+    rather than ``form.variables()`` (a set): which value each variable
+    receives decides whether this guess already satisfies the query,
+    and set iteration order varies with the interpreter's hash seed —
+    the answer must not differ between the parent and a worker process.
     """
     names: List[str] = []
     seen = set()
     for c in base:
-        for n in c.form.variables():
+        for n, _ in c.form.coeffs:
             if n not in seen:
                 seen.add(n)
                 names.append(n)
@@ -140,7 +146,7 @@ def _spread_model(base: Sequence[Constraint], clauses: Sequence[Clause]) -> Dict
         for atom in clause:
             cons = _atom_constraints(atom) or ()
             for c in cons:
-                for n in c.form.variables():
+                for n, _ in c.form.coeffs:
                     if n not in seen:
                         seen.add(n)
                         names.append(n)

@@ -159,6 +159,129 @@ class TestRotate:
         assert kinds.count(("question", "1:j")) == 2  # unsettled: kept
 
 
+class TestRotateWorkerFence:
+    """Rotation must refuse while isolated workers hold live O_APPEND
+    handles on the journal.
+
+    Regression: ``rotate()`` replaces the file via rename, but a worker
+    subprocess appends through its *own* O_APPEND handle on the old
+    inode — rotating under it silently discards every verdict the
+    worker writes afterwards. The writer now counts attached workers
+    and refuses to rotate until they detach."""
+
+    def test_rotate_refuses_while_worker_attached(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        writer = JournalWriter(path, meta=_meta())
+        writer.record("question", loop="0:i", q="a", result="unsat")
+        writer.attach_worker()
+        with pytest.raises(JournalError, match="live append handle"):
+            writer.rotate()
+        # the refusal must not have disturbed the journal
+        writer.record("question", loop="0:i", q="b", result="sat",
+                      witness={"i": 1})
+        writer.detach_worker()
+        writer.close()
+        _, records, dropped = read_journal(path)
+        assert dropped == 0
+        assert [r["q"] for r in records] == ["a", "b"]
+
+    def test_rotate_works_again_after_detach(self, tmp_path):
+        path = str(tmp_path / "j.jsonl")
+        writer = JournalWriter(path, meta=_meta())
+        writer.record("question", loop="0:i", q="a", result="unsat")
+        writer.record("verdict", loop="0:i", array="y", safe=True)
+        writer.record("loop_done", loop="0:i", stats={}, degraded=False)
+        writer.attach_worker()
+        writer.attach_worker()
+        writer.detach_worker()
+        with pytest.raises(JournalError):
+            writer.rotate()       # one worker still attached
+        writer.detach_worker()
+        writer.rotate()           # all detached: compaction allowed
+        writer.close()
+        _, records, dropped = read_journal(path)
+        assert dropped == 0
+        kinds = [r["kind"] for r in records]
+        assert "question" not in kinds  # settled loop compacted
+        assert kinds == ["verdict", "loop_done"]
+
+    def test_detach_without_attach_is_an_error(self, tmp_path):
+        writer = JournalWriter(str(tmp_path / "j.jsonl"), meta=_meta())
+        with pytest.raises(JournalError, match="detach"):
+            writer.detach_worker()
+        writer.close()
+
+
+class TestAppendingContract:
+    """``appending`` is a *required* attribute of anything passed as a
+    journal: the engine decides whether to re-emit resume-settled loops
+    by reading it directly, without a duck-typed ``getattr`` default
+    that would silently pick a wrong behavior for a new writer kind."""
+
+    def test_journal_like_without_appending_is_rejected(self, tmp_path):
+        class Recorder:  # record()/close() but no `appending`
+            def __init__(self):
+                self.rows = []
+
+            def record(self, kind, **fields):
+                self.rows.append((kind, fields))
+
+            def close(self):
+                pass
+
+        proc = parse_program(TWO_LOOPS)["two"]
+        path = str(tmp_path / "j.jsonl")
+        _journaled_run(proc, path)
+        state = ResumeState.load(path)
+        engine = _engine(proc, resume=state)
+        engine.attach_run_state(journal=Recorder())
+        with pytest.raises(AttributeError, match="appending"):
+            engine.analyze_all()
+
+    def test_resume_into_fresh_journal_reemits_settled_loops(self, tmp_path):
+        """Resuming from journal A while writing journal B afresh must
+        copy A's settled verdicts into B — otherwise B claims to
+        describe the run but is missing its loops."""
+        proc = parse_program(TWO_LOOPS)["two"]
+        old = str(tmp_path / "old.jsonl")
+        new = str(tmp_path / "new.jsonl")
+        baseline, fingerprint = _journaled_run(proc, old)
+
+        state = ResumeState.load(old)
+        writer = JournalWriter(new, meta=_meta(fingerprint))
+        assert not writer.appending
+        resumed = _engine(proc, resume=state, journal=writer).analyze_all()
+        writer.close()
+        assert all(a.resumed for a in resumed)
+
+        fresh_state = ResumeState.load(new)
+        assert fresh_state.settled_loops == 2
+        for key in ("0:i", "1:j"):
+            assert fresh_state.loop_done(key) is not None
+        # the new journal resumes exactly like the old one
+        again = _engine(proc, resume=fresh_state).analyze_all()
+        for a, b in zip(again, baseline):
+            assert a.resumed
+            assert {n: v.safe for n, v in a.verdicts.items()} \
+                == {n: v.safe for n, v in b.verdicts.items()}
+
+    def test_appending_journal_does_not_duplicate_settled_loops(self, tmp_path):
+        """Resuming *into the same journal* (append mode) must not
+        re-emit: the records are already there."""
+        proc = parse_program(TWO_LOOPS)["two"]
+        path = str(tmp_path / "j.jsonl")
+        _journaled_run(proc, path)
+        before = len(read_journal(path)[1])
+
+        state = ResumeState.load(path)
+        writer = JournalWriter(path, append=True)
+        assert writer.appending
+        resumed = _engine(proc, resume=state, journal=writer).analyze_all()
+        writer.close()
+        assert all(a.resumed for a in resumed)
+        assert len(read_journal(path)[1]) == before
+
+
 class TestResumeState:
     def test_only_decided_questions_settle(self, tmp_path):
         path = str(tmp_path / "j.jsonl")

@@ -1,0 +1,106 @@
+"""Clause *budget* vs. clause-cache *capacity* — two different knobs.
+
+Regression for the conflated-constant bug: clausify's CNF blow-up guard
+and the process-global LRU cache bound were the same ``100_000``
+literal, so shrinking the cache for a memory-constrained long-lived
+process (a ``--backend process`` serve worker) would have silently
+turned mid-sized formulas into ``ClausifyBudgetError`` → UNKNOWN
+verdicts. The budget is solver *semantics*; the cache size is a memory
+knob. These tests pin them apart:
+
+* ``DEFAULT_MAX_CLAUSES`` is the signature default of the clausify
+  entry points, independently of ``CACHE_MAXSIZE``;
+* a formula bigger than a (monkeypatched tiny) cache still clausifies
+  — capacity only evicts, it never rejects;
+* the budget still rejects, regardless of cache capacity;
+* a budget blow-up is never cached, so a later probe with a larger
+  budget succeeds;
+* ``clausify_cache_clear`` fully resets entries *and* counters — the
+  serve-worker run-boundary hygiene call.
+"""
+
+import importlib
+import inspect
+
+import pytest
+
+from repro.smt import Int
+from repro.smt.clausify import (CACHE_MAXSIZE, DEFAULT_MAX_CLAUSES,
+                                ClausifyBudgetError, clausify,
+                                clausify_cache_clear, clausify_cache_info,
+                                clausify_cached, clausify_probe)
+from repro.smt.terms import FAnd, FOr
+
+# ``repro.smt``'s __init__ re-exports the clausify *function* under the
+# submodule's name, so attribute imports resolve to the function; go
+# through the module registry for the module object itself.
+clausify_mod = importlib.import_module("repro.smt.clausify")
+
+
+def _blowup(width: int, depth: int, tag: str) -> FOr:
+    """An FOr of *depth* FAnds of *width* atoms: distributes to
+    ``width ** depth`` clauses."""
+    return FOr(tuple(
+        FAnd(tuple(Int(f"b{tag}_{d}_{w}").ge(w) for w in range(width)))
+        for d in range(depth)))
+
+
+class TestConstantsAreIndependent:
+    def test_signature_defaults_are_the_budget(self):
+        for fn in (clausify, clausify_cached, clausify_probe):
+            default = inspect.signature(fn).parameters["max_clauses"].default
+            assert default == DEFAULT_MAX_CLAUSES, fn.__name__
+
+    def test_budget_is_not_read_from_the_cache_bound(self, monkeypatch):
+        """Shrinking the cache must not shrink the budget: with a
+        2-entry cache, a formula distributing to 16 clauses still
+        clausifies (capacity evicts, never rejects)."""
+        monkeypatch.setattr(clausify_mod, "CACHE_MAXSIZE", 2)
+        clausify_cache_clear()
+        try:
+            clauses = clausify(_blowup(4, 2, "tiny"))  # 16 > 2
+            assert len(clauses) == 16
+            # and capacity is enforced: the cache never exceeds it
+            assert clausify_cache_info().currsize <= 2
+        finally:
+            clausify_cache_clear()
+
+    def test_budget_rejects_regardless_of_cache_capacity(self, monkeypatch):
+        monkeypatch.setattr(clausify_mod, "CACHE_MAXSIZE", 1_000_000)
+        clausify_cache_clear()
+        try:
+            with pytest.raises(ClausifyBudgetError):
+                clausify(_blowup(4, 3, "rej"), max_clauses=10)  # 64 > 10
+        finally:
+            clausify_cache_clear()
+
+
+class TestBudgetBlowupsAreNotCached:
+    def test_larger_budget_succeeds_after_blowup(self):
+        clausify_cache_clear()
+        try:
+            formula = _blowup(3, 3, "retry")  # 27 clauses
+            with pytest.raises(ClausifyBudgetError):
+                clausify(formula, max_clauses=5)
+            # the failed attempt must not have poisoned the cache
+            clauses, hit = clausify_probe(formula, max_clauses=100)
+            assert not hit
+            assert len(clauses) == 27
+        finally:
+            clausify_cache_clear()
+
+
+class TestCacheClearResetsEverything:
+    def test_entries_and_counters_reset(self):
+        """Long-lived serve workers call this at every run boundary;
+        both the entries and the hit/miss counters must go to zero so
+        per-run statistics start from a clean slate."""
+        clausify_cache_clear()
+        formula = Int("bclear").ge(0)
+        clausify(formula)   # miss
+        clausify(formula)   # hit
+        info = clausify_cache_info()
+        assert info.misses == 1 and info.hits == 1 and info.currsize == 1
+        clausify_cache_clear()
+        info = clausify_cache_info()
+        assert info == (0, 0, CACHE_MAXSIZE, 0)

@@ -4,9 +4,11 @@ PR 1 added per-phase fields to ``SolverStats``; this PR adds more and
 routes them through ``AnalysisStats.absorb_solver`` and the ``--jobs``
 fan-out. These tests pin the aggregation paths:
 
-* ``SolverStats.merge_into`` sums **every** dataclass field (it
-  iterates ``__dataclass_fields__``, so new fields are covered by
-  construction — the test proves the iteration really happens);
+* ``SolverStats.merge_into`` sums **every** dataclass field, and every
+  field must be *declared* additive in ``SolverStats.ADDITIVE_FIELDS``
+  — a new field that is not declared makes ``merge_into`` raise
+  instead of guessing that plain summation is its combine rule (a
+  high-water mark or a ratio would be silently corrupted by ``+``);
 * merging two independent solvers' stats equals one solver doing both
   workloads;
 * ``absorb_solver`` accounts for every ``SolverStats`` field — a new
@@ -20,6 +22,8 @@ import dataclasses
 import itertools
 import sys
 import threading
+
+import pytest
 
 from repro import analyze_formad
 from repro.formad.engine import AnalysisStats
@@ -58,6 +62,27 @@ class TestMergeInto:
         # its own merge rule and must show up here first
         assert set(INT_FIELDS) | set(FLOAT_FIELDS) \
             == set(SolverStats.__dataclass_fields__)
+
+    def test_every_field_is_declared_additive(self):
+        # ADDITIVE_FIELDS is the explicit contract: growing the
+        # dataclass without deciding the combine rule fails here.
+        assert SolverStats.ADDITIVE_FIELDS \
+            == frozenset(SolverStats.__dataclass_fields__)
+
+    def test_additive_declaration_is_not_a_field(self):
+        # The declaration set must stay a class attribute, not become
+        # a dataclass field that merge_into would then try to sum.
+        assert "ADDITIVE_FIELDS" not in SolverStats.__dataclass_fields__
+
+    def test_undeclared_field_refuses_to_merge(self):
+        """A new counter that nobody declared additive must make
+        ``merge_into`` raise, not silently sum. (A max-depth gauge
+        summed across solvers would report nonsense.)"""
+        undeclared = dataclasses.make_dataclass(
+            "GrownStats", [("peak_depth", int, 0)], bases=(SolverStats,))
+        a, b = undeclared(), undeclared()
+        with pytest.raises(TypeError, match="peak_depth"):
+            a.merge_into(b)
 
     def test_merging_two_solvers_equals_combined_run(self):
         """solver(A).stats + solver(B).stats == solver(A then B).stats
