@@ -115,12 +115,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=None,
                    help="analyze independent parallel regions over N "
                         "workers (threads or processes, see --backend)")
-    p.add_argument("--backend", choices=("thread", "process"),
+    p.add_argument("--backend", choices=("thread", "process", "auto"),
                    default="thread",
                    help="how --jobs fans out: 'thread' (default; "
-                        "GIL-bound, byte-identical output) or 'process' "
-                        "(persistent worker processes pulling loop "
-                        "shards off a work queue — docs/SCALING.md)")
+                        "GIL-bound, byte-identical output), 'process' "
+                        "(persistent worker processes pulling shards "
+                        "off a work queue — docs/SCALING.md), or 'auto' "
+                        "(process when there are enough loops and CPUs "
+                        "to amortize the pool, thread otherwise)")
+    p.add_argument("--shard-unit", choices=("loop", "question"),
+                   default="loop",
+                   help="granularity of --backend process shards: whole "
+                        "loops (default) or individual testVar questions "
+                        "fanned across the worker pool with loop "
+                        "knowledge contexts kept warm (docs/SCALING.md)")
     p.add_argument("--cache-dir", default=None, metavar="DIR",
                    help="persist decided SAT/UNSAT answers and clean "
                         "settled loops across runs (schema repro-cache/1, "
@@ -180,11 +188,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=None,
                    help="fan independent kernels and program versions out "
                         "over N worker threads")
-    p.add_argument("--backend", choices=("thread", "process"),
-                   default="thread",
-                   help="run the Table-1 analyses in-process ('thread', "
-                        "default) or in per-problem worker processes "
-                        "('process')")
+    p.add_argument("--backend", choices=("thread", "process", "auto"),
+                   default="auto",
+                   help="run the Table-1 analyses in-process ('thread') "
+                        "or in per-problem worker processes ('process'); "
+                        "'auto' (default) picks process when the host has "
+                        "more than one CPU and thread otherwise")
     p.add_argument("--trace", default=None, metavar="OUT.jsonl",
                    help="record the analysis/simulation event stream")
     p.add_argument("--deadline", type=float, default=None, metavar="S",
@@ -398,7 +407,21 @@ def _run_analyze(args, proc, independents, dependents) -> int:
         except OSError as exc:
             print(f"error: cannot open journal: {exc}", file=sys.stderr)
             return 1
-    if args.isolate and args.backend == "process":
+    backend = args.backend
+    if backend == "auto":
+        # --isolate is its own process runtime; auto defers to it.
+        if args.isolate:
+            backend = "thread"
+        else:
+            from .resilience import resolve_backend
+            loops = list(proc.parallel_loops())
+            if args.shard_unit == "question":
+                work = sum(len(engine.question_schedule(loop))
+                           for loop in loops)
+            else:
+                work = len(loops)
+            backend = resolve_backend("auto", work_items=work)
+    if args.isolate and backend == "process":
         print("error: --isolate and --backend process are both process "
               "runtimes; pick one (--isolate = one short-lived worker "
               "per loop, --backend process = a persistent shard pool)",
@@ -424,11 +447,14 @@ def _run_analyze(args, proc, independents, dependents) -> int:
                 engine, source, proc.name, independents, dependents,
                 config=config, journal_path=args.journal,
                 resume_path=args.resume)
-        elif args.backend == "process":
-            from .resilience import ShardConfig, analyze_sharded
+        elif backend == "process":
+            from .resilience import (ShardConfig, analyze_question_sharded,
+                                     analyze_sharded)
             config = ShardConfig(jobs=args.jobs or 1,
                                  kill_timeout=args.kill_timeout)
-            analyses, shard_outcomes = analyze_sharded(
+            sharder = (analyze_question_sharded
+                       if args.shard_unit == "question" else analyze_sharded)
+            analyses, shard_outcomes = sharder(
                 engine, source, proc.name, independents, dependents,
                 config=config, resume_path=args.resume,
                 cache_dir=args.cache_dir, fingerprint=fingerprint)

@@ -30,8 +30,10 @@ from .escalate import EscalationPolicy
 from .journal import (JOURNAL_SCHEMA, JournalError, JournalWriter,
                       ResumeState, journal_fingerprint, read_journal,
                       rebuild_analysis)
-from .shards import (ShardConfig, WorkerClient, WorkerGone,
-                     analyze_program_remote, analyze_sharded)
+from .shards import (QuestionShardingLost, ShardConfig, WorkerClient,
+                     WorkerGone, analyze_program_remote,
+                     analyze_question_sharded, analyze_sharded,
+                     resolve_backend)
 from .workers import IsolationConfig, WorkerOutcome, analyze_isolated
 
 __all__ = [
@@ -39,7 +41,8 @@ __all__ = [
     "Deadline", "EscalationPolicy",
     "JOURNAL_SCHEMA", "JournalError", "JournalWriter", "ResumeState",
     "journal_fingerprint", "read_journal", "rebuild_analysis",
-    "ShardConfig", "WorkerClient", "WorkerGone",
-    "analyze_program_remote", "analyze_sharded",
+    "QuestionShardingLost", "ShardConfig", "WorkerClient", "WorkerGone",
+    "analyze_program_remote", "analyze_question_sharded", "analyze_sharded",
+    "resolve_backend",
     "IsolationConfig", "WorkerOutcome", "analyze_isolated",
 ]

@@ -185,6 +185,18 @@ def main() -> int:
     return 0
 
 
+def _stats_snapshot(solver) -> dict:
+    """Every ``SolverStats`` counter of *solver*, as a plain dict."""
+    from ..smt.solver import SolverStats
+
+    return {name: getattr(solver.stats, name)
+            for name in SolverStats.__dataclass_fields__}
+
+
+def _stats_delta(before: dict, after: dict) -> dict:
+    return {name: after[name] - before[name] for name in after}
+
+
 def serve() -> int:
     """The ``--serve`` request loop (one line in, one line out)."""
     from ..obs.tracer import BufferTracer
@@ -196,10 +208,36 @@ def serve() -> int:
     tracer: Optional[BufferTracer] = None
     loops_by_key = {}
     cache = None
+    # loop_key -> QuestionContext: the warm per-loop state of
+    # --shard-unit question. One entry per loop; qreset/qdone drop it.
+    qcontexts = {}
 
     def reply(payload: dict) -> None:
         sys.stdout.write(json.dumps(payload) + "\n")
         sys.stdout.flush()
+
+    def _question_context(loop_key: str):
+        """The warm context for *loop_key*, built on demand (a fresh or
+        reset worker rebuilds it on its first qask; the parent then
+        fast-forwards the full canonical prefix). Returns
+        ``(qc, error_payload)`` — exactly one is non-None."""
+        from ..formad.engine import PrimalRaceError
+
+        qc = qcontexts.get(loop_key)
+        if qc is not None:
+            return qc, None
+        target = loops_by_key.get(loop_key)
+        if target is None:
+            return None, {"loop": loop_key, "error": {
+                "type": "KeyError",
+                "message": f"no parallel loop with key {loop_key!r}"}}
+        try:
+            qc = engine.prepare_question_context(target)
+        except PrimalRaceError as exc:
+            return None, {"loop": loop_key, "error": {
+                "type": "PrimalRaceError", "message": str(exc)}}
+        qcontexts[loop_key] = qc
+        return qc, None
 
     for line in sys.stdin:
         line = line.strip()
@@ -221,7 +259,72 @@ def serve() -> int:
             cache = engine._vcache
             loops_by_key = {engine.loop_key(loop): loop
                             for loop in engine.proc.parallel_loops()}
+            qcontexts = {}
             reply({"ok": True, "loops": sorted(loops_by_key)})
+            continue
+        if op in ("qprepare", "qask", "qreset", "qdone") \
+                and engine is not None:
+            loop_key = str(request["loop_key"])
+            if op == "qdone":
+                # The loop is merged: drop the warm context, keep the
+                # clausify cache (serial keeps its warmth across loops
+                # too).
+                qcontexts.pop(loop_key, None)
+                reply({"loop": loop_key, "ok": True})
+                continue
+            if op == "qreset":
+                # This worker fast-forwarded positions a SAT answer
+                # cancelled: its solver *and* the process-global
+                # clausify cache saw formulas the serial run never
+                # translates. Drop both; the next qask rebuilds and
+                # re-fast-forwards the canonical prefix only.
+                qcontexts.pop(loop_key, None)
+                clausify_cache_clear()
+                reply({"loop": loop_key, "ok": True})
+                continue
+            _inject_fault(loop_key)
+            if request.get("deadline_remaining") is not None:
+                engine.attach_run_state(
+                    deadline=Deadline(float(request["deadline_remaining"])))
+            qc, error = _question_context(loop_key)
+            if error is not None:
+                reply(error)
+                continue
+            if op == "qprepare":
+                payload = {"loop": loop_key, "ok": True,
+                           "degraded": qc.degraded,
+                           "consistency_checks":
+                               qc.stats.consistency_checks,
+                           "schedule_len": len(qc.schedule),
+                           "solver_stats": _stats_snapshot(qc.solver)}
+                if tracer is not None:
+                    payload["events"] = tracer.drain()
+                reply(payload)
+                continue
+            # qask: fast-forward the positions this worker missed, then
+            # answer the dispatched position. The stats window opens
+            # *after* the fast-forward — ff deltas duplicate the owning
+            # workers' shipped deltas and must stay local.
+            qc.solver.deadline = engine.deadline
+            position = int(request["position"])
+            for pos in request.get("ff") or []:
+                engine.translate_question(qc, int(pos))
+            if tracer is not None:
+                tracer.drain()  # ff/prepare events: owning replies carry them
+            before = _stats_snapshot(qc.solver)
+            t0 = time.perf_counter()
+            result, witness, reason, failure, attempts = \
+                engine.ask_question(qc, position)
+            dur_s = time.perf_counter() - t0
+            payload = {"loop": loop_key, "position": position,
+                       "result": result.name, "witness": witness,
+                       "reason": reason, "failure": failure,
+                       "attempts": attempts, "dur_s": dur_s,
+                       "solver_stats": _stats_delta(
+                           before, _stats_snapshot(qc.solver))}
+            if tracer is not None:
+                payload["events"] = tracer.drain()
+            reply(payload)
             continue
         if op != "analyze" or engine is None:
             reply({"error": {"type": "ValueError",

@@ -54,9 +54,23 @@ class Ackermannizer:
       call, so axioms are produced once and can be level-tagged by the
       caller (a pair's newest member determines the tag).
     * :meth:`forget_apps` removes applications again; per function
-      symbol the forgotten applications always form a suffix of the
-      registration order, because assertion levels are translated
-      oldest-first and popped newest-first.
+      symbol — and globally — the forgotten applications always form a
+      suffix of the registration order, because assertion levels are
+      translated oldest-first and popped newest-first.
+    * Variable names are ``!{func}@{k}`` where ``k`` is the
+      application's position in the *live* registration order. Because
+      forgets are suffix-only, re-introducing an application after an
+      identical pop/re-push cycle reassigns the *same* name, so the
+      rewritten formulas (and therefore every SAT witness the engine
+      reports) are a deterministic function of the live assertion
+      prefix plus the question — independent of which other questions
+      were asked in between. Question-granularity sharding relies on
+      this for byte-identical ``--json`` output.
+    * Instantiated congruence axioms are cached by
+      ``(app_a, app_b, var_a, var_b)`` for the lifetime of the
+      instance, so the push/ask/pop cycle of exploitation questions
+      re-*uses* axioms across levels instead of re-building (and
+      re-clausifying) them per level.
     """
 
     def __init__(self) -> None:
@@ -65,7 +79,9 @@ class Ackermannizer:
         self._cache: Dict[TApp, TVar] = {}
         self._by_func: Dict[Tuple[str, int], List[TApp]] = {}
         self._emitted: Dict[Tuple[str, int], int] = {}
-        self._counter = 0
+        # (app_a, app_b, var_a, var_b) -> instantiated congruence axiom;
+        # survives forget_apps so popped-and-re-pushed levels hit it.
+        self._axiom_cache: Dict[tuple, Formula] = {}
         self.introduced: List[TApp] = []
 
     @property
@@ -96,8 +112,11 @@ class Ackermannizer:
             rewritten = TApp(term.func, tuple(self.rewrite_term(a) for a in term.args))
             var = self._cache.get(rewritten)
             if var is None:
-                var = TVar(f"!{term.func}@{self._counter}")
-                self._counter += 1
+                # Position in the live registration order: suffix-only
+                # forgets keep live positions stable and gap-free, so
+                # the name is unique among live apps *and* reproducible
+                # after an identical pop/re-push cycle.
+                var = TVar(f"!{term.func}@{len(self.introduced)}")
                 self._cache[rewritten] = var
                 self._by_func.setdefault((term.func, len(term.args)), []).append(rewritten)
                 self.introduced.append(rewritten)
@@ -139,15 +158,20 @@ class Ackermannizer:
                 for k in range(j):
                     a = apps[k]
                     va = self._cache[a]
-                    args_differ = [arg_a.ne(arg_b)
-                                   for arg_a, arg_b in zip(a.args, b.args)
-                                   if arg_a != arg_b]
-                    if not args_differ:
-                        # Identical rewritten arguments cannot happen for
-                        # distinct cache entries, but guard anyway.
-                        axioms.append(va.eq(vb))  # pragma: no cover
-                        continue
-                    axioms.append(Or(*args_differ, va.eq(vb)))
+                    pair = (a, b, va, vb)
+                    axiom = self._axiom_cache.get(pair)
+                    if axiom is None:
+                        args_differ = [arg_a.ne(arg_b)
+                                       for arg_a, arg_b in zip(a.args, b.args)
+                                       if arg_a is not arg_b]
+                        if not args_differ:
+                            # Identical rewritten arguments cannot happen
+                            # for distinct cache entries, but guard anyway.
+                            axiom = va.eq(vb)  # pragma: no cover
+                        else:
+                            axiom = Or(*args_differ, va.eq(vb))
+                        self._axiom_cache[pair] = axiom
+                    axioms.append(axiom)
             self._emitted[key] = len(apps)
         return axioms
 

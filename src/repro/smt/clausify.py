@@ -111,12 +111,18 @@ def clausify_probe(formula: Formula, *,
             return cached, True
         _misses += 1
     # Compute outside the lock: distribution can be expensive and other
-    # threads' probes must not serialize behind it. A racing duplicate
-    # computation is harmless (same immutable value).
+    # threads' probes must not serialize behind it. Racing duplicate
+    # computations produce equal immutable values; the *first* insert
+    # wins below so every caller shares one tuple object (a later
+    # overwrite would churn the shared identity that the translated
+    # clause stores key on, and silently double peak memory).
     clauses = tuple(_cnf(to_nnf(formula), max_clauses))
     with _cache_lock:
-        _cache[key] = clauses
-        _cache.move_to_end(key)
+        existing = _cache.get(key)
+        if existing is not None:
+            _cache.move_to_end(key)
+            return existing, False
+        _cache[key] = clauses        # inserts at the MRU end already
         while len(_cache) > CACHE_MAXSIZE:
             _cache.popitem(last=False)
     return clauses, False

@@ -11,19 +11,42 @@ before terms reach this module; encountering one raises.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import weakref
+from dataclasses import dataclass
 from typing import Dict, Mapping, Tuple
 
 from .terms import (FAtom, NonLinearTermError, Rel, TAdd, TApp, TConst, TMul,
-                    Term, TVar)
+                    Term, TVar, _Interned, _hashcons)
 
 
-@dataclass(frozen=True)
-class LinForm:
-    """An immutable linear form over named integer variables."""
+class LinForm(_Interned):
+    """An immutable, hash-consed linear form over named integer variables.
+
+    Like the term nodes, LinForms are interned: the canonical constraint
+    pipeline (atom → linearize → canonicalize → simplex row lookup)
+    rebuilds the same handful of forms thousands of times per loop, so
+    structural equality is a pointer comparison and the hash is
+    precomputed. ``coeffs`` is sorted by name and zero-free — callers
+    constructing ``LinForm`` directly must preserve that invariant (use
+    :meth:`from_dict` otherwise).
+    """
+
+    __slots__ = ("coeffs", "const", "_hash", "__weakref__")
+    _table: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
 
     coeffs: Tuple[Tuple[str, int], ...]  # sorted by name, zero-free
-    const: int = 0
+    const: int
+
+    def __new__(cls, coeffs: Tuple[Tuple[str, int], ...], const: int = 0):
+        coeffs = tuple(coeffs)
+        return _hashcons(cls, (coeffs, const),
+                         (("coeffs", coeffs), ("const", const)))
+
+    def _key(self):
+        return (self.coeffs, self.const)
+
+    def __repr__(self) -> str:
+        return f"LinForm({self.coeffs!r}, {self.const!r})"
 
     @staticmethod
     def from_dict(coeffs: Mapping[str, int], const: int = 0) -> "LinForm":

@@ -7,26 +7,94 @@ linear in loop counters and scalars, and data-dependent indirections
 (``c(i)``, ``mss(1, ig, k12)``) become uninterpreted function
 applications whose only known property is functional consistency.
 
-Terms and formulas are immutable, hashable dataclasses with operator
-overloading, mirroring the small slice of the Z3 Python API the paper
-uses (``Int``, arithmetic, ``==``-style comparisons via methods,
-``And``/``Or``/``Not``).
+Terms and formulas are immutable, **hash-consed** nodes: constructing
+the same structure twice returns the same object, so
 
-Composite nodes cache their structural hash on first use: the whole
-incremental pipeline (per-formula clausification, atom canonicalization,
-Ackermann application interning, the engine's exploitation-question
-memo) keys dictionaries on terms and formulas, so hashing the same deep
-tree thousands of times would otherwise dominate translation time.
+* equality is a pointer comparison (``a is b`` iff structurally equal),
+* hashes are computed once at construction and stored in a slot,
+* dictionaries keyed on deep trees (per-formula clausification, atom
+  canonicalization, Ackermann application interning, the engine's
+  exploitation-question memo) probe in O(1) instead of re-walking the
+  tree per lookup.
+
+The intern tables are per-class :class:`weakref.WeakValueDictionary`
+instances guarded by one module lock, so canonical nodes are shared
+across threads but garbage-collected once the last user drops them —
+a long ``experiments`` run over many loops does not accumulate every
+term it ever built.
+
+The public constructor API is unchanged from the earlier dataclass
+implementation: ``TConst(5)``, ``TVar("i")``, ``TAdd((a, b))``,
+``TMul(-1, t)``, ``TApp("f", (a,))``, ``FAtom(Rel.EQ, l, r)`` etc.,
+with the same attribute names and operator overloading mirroring the
+small slice of the Z3 Python API the paper uses.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterator, Mapping, Sequence, Tuple
+import enum
+import threading
+import weakref
+from typing import Iterator, Sequence, Tuple
+
+#: One lock for every intern table: construction is cheap, contention is
+#: rare (term building is a small fraction of solve time), and a single
+#: lock keeps the invariant trivially audit-able — at most one canonical
+#: instance per structure, even under the thread backend's fan-out.
+_INTERN_LOCK = threading.Lock()
+
+
+class _Interned:
+    """Base for hash-consed nodes: frozen slots, identity equality.
+
+    Subclasses define ``__slots__`` including ``_hash`` and
+    ``__weakref__``, a class-level ``_table`` WeakValueDictionary, and a
+    ``__new__`` that calls :func:`_hashcons`. Because every constructor
+    returns the canonical instance, structural equality *is* identity —
+    ``__eq__`` below never walks the tree.
+    """
+
+    __slots__ = ()
+
+    def __setattr__(self, name, value):
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __delattr__(self, name):
+        raise AttributeError(f"{type(self).__name__} is immutable")
+
+    def __eq__(self, other):
+        return self is other
+
+    def __ne__(self, other):
+        return self is not other
+
+    def __hash__(self):
+        return self._hash
+
+    def __reduce__(self):
+        # Re-intern on unpickle so identity equality survives transport.
+        return (type(self), self._key())
+
+
+def _hashcons(cls, key, attrs):
+    """Return the canonical *cls* instance for *key*, creating it (with
+    attribute dict *attrs* plus a precomputed ``_hash``) on first use."""
+    table = cls._table
+    with _INTERN_LOCK:
+        self = table.get(key)
+        if self is None:
+            self = object.__new__(cls)
+            for name, value in attrs:
+                object.__setattr__(self, name, value)
+            object.__setattr__(self, "_hash", hash((cls.__name__, key)))
+            table[key] = self
+        return self
 
 
 class _TermOps:
     """Operator overloading shared by all integer terms."""
+
+    __slots__ = ()
 
     def __add__(self, other) -> "TAdd":
         return TAdd((self, as_term(other)))
@@ -79,101 +147,120 @@ class NonLinearTermError(TypeError):
     """Raised when a term falls outside linear integer arithmetic."""
 
 
-def _cache_structural_hash(cls):
-    """Wrap the dataclass-generated ``__hash__`` of *cls* so the
-    structural hash of a (deep, immutable) node is computed once and
-    stored on the instance instead of being recomputed per call."""
-    base_hash = cls.__hash__
-
-    def __hash__(self):
-        h = self.__dict__.get("_hash")
-        if h is None:
-            h = base_hash(self)
-            object.__setattr__(self, "_hash", h)
-        return h
-
-    cls.__hash__ = __hash__
-    return cls
-
-
-@dataclass(frozen=True)
-class TConst(_TermOps):
+class TConst(_TermOps, _Interned):
     """An integer literal."""
 
-    value: int
+    __slots__ = ("value", "_hash", "__weakref__")
+    _table: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
 
-    def __post_init__(self):
-        if not isinstance(self.value, int) or isinstance(self.value, bool):
-            raise TypeError(f"TConst needs an int, got {self.value!r}")
+    def __new__(cls, value: int):
+        if not isinstance(value, int) or isinstance(value, bool):
+            raise TypeError(f"TConst needs an int, got {value!r}")
+        return _hashcons(cls, value, (("value", value),))
+
+    def _key(self):
+        return (self.value,)
+
+    def __repr__(self) -> str:
+        return f"TConst({self.value!r})"
 
     def __str__(self) -> str:
         return str(self.value)
 
 
-@dataclass(frozen=True)
-class TVar(_TermOps):
+class TVar(_TermOps, _Interned):
     """An integer variable."""
 
-    name: str
+    __slots__ = ("name", "_hash", "__weakref__")
+    _table: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
 
-    def __post_init__(self):
-        if not self.name:
+    def __new__(cls, name: str):
+        if not name:
             raise ValueError("empty variable name")
+        return _hashcons(cls, name, (("name", name),))
+
+    def _key(self):
+        return (self.name,)
+
+    def __repr__(self) -> str:
+        return f"TVar({self.name!r})"
 
     def __str__(self) -> str:
         return self.name
 
 
-@dataclass(frozen=True)
-class TAdd(_TermOps):
+class TAdd(_TermOps, _Interned):
     """A sum of terms."""
 
-    terms: Tuple["Term", ...]
+    __slots__ = ("terms", "_hash", "__weakref__")
+    _table: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+
+    def __new__(cls, terms: Tuple["Term", ...]):
+        terms = tuple(terms)
+        return _hashcons(cls, terms, (("terms", terms),))
+
+    def _key(self):
+        return (self.terms,)
+
+    def __repr__(self) -> str:
+        return f"TAdd({self.terms!r})"
 
     def __str__(self) -> str:
         return "(" + " + ".join(map(str, self.terms)) + ")"
 
 
-@dataclass(frozen=True)
-class TMul(_TermOps):
+class TMul(_TermOps, _Interned):
     """An integer constant times a term (keeps everything linear)."""
 
-    coeff: int
-    term: "Term"
+    __slots__ = ("coeff", "term", "_hash", "__weakref__")
+    _table: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
 
-    def __post_init__(self):
-        if not isinstance(self.coeff, int) or isinstance(self.coeff, bool):
-            raise TypeError(f"TMul coefficient must be int, got {self.coeff!r}")
+    def __new__(cls, coeff: int, term: "Term"):
+        if not isinstance(coeff, int) or isinstance(coeff, bool):
+            raise TypeError(f"TMul coefficient must be int, got {coeff!r}")
+        return _hashcons(cls, (coeff, term),
+                         (("coeff", coeff), ("term", term)))
+
+    def _key(self):
+        return (self.coeff, self.term)
+
+    def __repr__(self) -> str:
+        return f"TMul({self.coeff!r}, {self.term!r})"
 
     def __str__(self) -> str:
         return f"{self.coeff}*{self.term}"
 
 
-@dataclass(frozen=True)
-class TApp(_TermOps):
+class TApp(_TermOps, _Interned):
     """An uninterpreted function application ``f(arg_1, ..., arg_n)``.
 
     Functions are identified by name and arity; applying the same name
     with different arities is an error caught at solve time.
     """
 
-    func: str
-    args: Tuple["Term", ...]
+    __slots__ = ("func", "args", "_hash", "__weakref__")
+    _table: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
 
-    def __post_init__(self):
-        if not self.func:
+    def __new__(cls, func: str, args: Tuple["Term", ...]):
+        if not func:
             raise ValueError("empty function name")
-        if not self.args:
+        args = tuple(args)
+        if not args:
             raise ValueError("TApp needs at least one argument")
+        return _hashcons(cls, (func, args),
+                         (("func", func), ("args", args)))
+
+    def _key(self):
+        return (self.func, self.args)
+
+    def __repr__(self) -> str:
+        return f"TApp({self.func!r}, {self.args!r})"
 
     def __str__(self) -> str:
         return f"{self.func}({', '.join(map(str, self.args))})"
 
 
 Term = TConst | TVar | TAdd | TMul | TApp
-
-for _cls in (TAdd, TMul, TApp):
-    _cache_structural_hash(_cls)
 
 
 def Int(name: str) -> TVar:
@@ -222,8 +309,6 @@ def term_apps(term: Term) -> list[TApp]:
 # Formulas
 # ----------------------------------------------------------------------
 
-import enum
-
 
 class Rel(enum.Enum):
     EQ = "="
@@ -244,59 +329,114 @@ class Rel(enum.Enum):
         return self.value
 
 
-@dataclass(frozen=True)
-class FAtom:
+class FAtom(_Interned):
     """An atomic constraint ``left REL right``."""
 
-    rel: Rel
-    left: Term
-    right: Term
+    __slots__ = ("rel", "left", "right", "_hash", "__weakref__")
+    _table: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+
+    def __new__(cls, rel: Rel, left: Term, right: Term):
+        return _hashcons(cls, (rel, left, right),
+                         (("rel", rel), ("left", left), ("right", right)))
+
+    def _key(self):
+        return (self.rel, self.left, self.right)
+
+    def __repr__(self) -> str:
+        return f"FAtom({self.rel!r}, {self.left!r}, {self.right!r})"
 
     def __str__(self) -> str:
         return f"({self.left} {self.rel} {self.right})"
 
 
-@dataclass(frozen=True)
-class FAnd:
-    operands: Tuple["Formula", ...]
+class FAnd(_Interned):
+    __slots__ = ("operands", "_hash", "__weakref__")
+    _table: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+
+    def __new__(cls, operands: Tuple["Formula", ...]):
+        operands = tuple(operands)
+        return _hashcons(cls, operands, (("operands", operands),))
+
+    def _key(self):
+        return (self.operands,)
+
+    def __repr__(self) -> str:
+        return f"FAnd({self.operands!r})"
 
     def __str__(self) -> str:
         return "(and " + " ".join(map(str, self.operands)) + ")"
 
 
-@dataclass(frozen=True)
-class FOr:
-    operands: Tuple["Formula", ...]
+class FOr(_Interned):
+    __slots__ = ("operands", "_hash", "__weakref__")
+    _table: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+
+    def __new__(cls, operands: Tuple["Formula", ...]):
+        operands = tuple(operands)
+        return _hashcons(cls, operands, (("operands", operands),))
+
+    def _key(self):
+        return (self.operands,)
+
+    def __repr__(self) -> str:
+        return f"FOr({self.operands!r})"
 
     def __str__(self) -> str:
         return "(or " + " ".join(map(str, self.operands)) + ")"
 
 
-@dataclass(frozen=True)
-class FNot:
-    operand: "Formula"
+class FNot(_Interned):
+    __slots__ = ("operand", "_hash", "__weakref__")
+    _table: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+
+    def __new__(cls, operand: "Formula"):
+        return _hashcons(cls, operand, (("operand", operand),))
+
+    def _key(self):
+        return (self.operand,)
+
+    def __repr__(self) -> str:
+        return f"FNot({self.operand!r})"
 
     def __str__(self) -> str:
         return f"(not {self.operand})"
 
 
-@dataclass(frozen=True)
-class FTrue:
+class FTrue(_Interned):
+    __slots__ = ("_hash", "__weakref__")
+    _table: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+
+    def __new__(cls):
+        return _hashcons(cls, (), ())
+
+    def _key(self):
+        return ()
+
+    def __repr__(self) -> str:
+        return "FTrue()"
+
     def __str__(self) -> str:
         return "true"
 
 
-@dataclass(frozen=True)
-class FFalse:
+class FFalse(_Interned):
+    __slots__ = ("_hash", "__weakref__")
+    _table: "weakref.WeakValueDictionary" = weakref.WeakValueDictionary()
+
+    def __new__(cls):
+        return _hashcons(cls, (), ())
+
+    def _key(self):
+        return ()
+
+    def __repr__(self) -> str:
+        return "FFalse()"
+
     def __str__(self) -> str:
         return "false"
 
 
 Formula = FAtom | FAnd | FOr | FNot | FTrue | FFalse
-
-for _cls in (FAtom, FAnd, FOr, FNot):
-    _cache_structural_hash(_cls)
-del _cls
 
 TRUE = FTrue()
 FALSE = FFalse()

@@ -4,12 +4,15 @@
 timers — whether the loops are analyzed
 
 * inline in the parent (default ``--backend thread``),
-* across persistent worker processes (``--backend process``), or
+* across persistent worker processes (``--backend process``),
+* with individual questions fanned across the pool
+  (``--shard-unit question``), or
 * replayed from a warm ``--cache-dir`` verdict cache,
 
-on all four paper kernels. This is what lets ``--backend process`` and
-``--cache-dir`` be adopted without re-validating any downstream
-consumer of the JSON: the bytes do not change.
+on all four paper kernels. This is what lets ``--backend process``,
+``--shard-unit question``, and ``--cache-dir`` be adopted without
+re-validating any downstream consumer of the JSON: the bytes do not
+change.
 """
 
 import json
@@ -77,6 +80,11 @@ def test_thread_process_and_cache_warm_are_identical(name, tmp_path, capsys):
                               "--backend", "process", "--jobs", "2")
     assert process_doc == thread_doc
 
+    question_doc, _ = _analyze(capsys, str(src), ins, outs,
+                               "--backend", "process", "--jobs", "2",
+                               "--shard-unit", "question")
+    assert question_doc == thread_doc
+
     cold_doc, cold_err = _analyze(capsys, str(src), ins, outs,
                                   "--cache-dir", cache_dir)
     assert cold_doc == thread_doc
@@ -94,3 +102,10 @@ def test_thread_process_and_cache_warm_are_identical(name, tmp_path, capsys):
                                    "--cache-dir", cache_dir,
                                    "--backend", "process", "--jobs", "2")
     assert warm_process_doc == thread_doc
+
+    # ... and through question-granularity sharding, warm or cold
+    warm_question_doc, _ = _analyze(capsys, str(src), ins, outs,
+                                    "--cache-dir", cache_dir,
+                                    "--backend", "process", "--jobs", "2",
+                                    "--shard-unit", "question")
+    assert warm_question_doc == thread_doc

@@ -21,6 +21,7 @@ knob. These tests pin them apart:
 
 import importlib
 import inspect
+import threading
 
 import pytest
 
@@ -86,6 +87,70 @@ class TestBudgetBlowupsAreNotCached:
             clauses, hit = clausify_probe(formula, max_clauses=100)
             assert not hit
             assert len(clauses) == 27
+        finally:
+            clausify_cache_clear()
+
+
+class TestProbeLocking:
+    """The probe takes the cache lock exactly once on the hit path and
+    resolves racing duplicate computations first-insert-wins, so every
+    caller shares one tuple object per formula (see the miss-path
+    comment in :mod:`repro.smt.clausify`)."""
+
+    def test_hit_returns_the_shared_cached_object(self):
+        clausify_cache_clear()
+        try:
+            formula = FAnd((Int("bid_a").ge(0), Int("bid_b").le(3)))
+            first, hit0 = clausify_probe(formula)
+            again, hit1 = clausify_probe(formula)
+            assert (hit0, hit1) == (False, True)
+            assert again is first
+        finally:
+            clausify_cache_clear()
+
+    def test_racing_duplicates_share_the_first_inserted_tuple(self, monkeypatch):
+        """N threads miss on the same formula simultaneously (the CNF
+        distribution runs outside the lock, so all of them compute a
+        candidate tuple) — only the first insert may land, and *every*
+        caller must get that one shared object. A later overwrite would
+        silently fork the identity that translated clauses key on and
+        double peak memory for recurring assertions."""
+        n = 4
+        barrier = threading.Barrier(n)
+        real_nnf = clausify_mod.to_nnf
+
+        def rendezvous_nnf(formula, negate=False):
+            # nobody inserts until everyone has missed
+            barrier.wait(timeout=10)
+            return real_nnf(formula, negate)
+
+        clausify_cache_clear()
+        try:
+            monkeypatch.setattr(clausify_mod, "to_nnf", rendezvous_nnf)
+            formula = FOr((Int("brace").ge(0), Int("brace").le(9)))
+            results = [None] * n
+
+            def probe(i):
+                results[i] = clausify_probe(formula)
+
+            threads = [threading.Thread(target=probe, args=(i,))
+                       for i in range(n)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30)
+            assert all(r is not None for r in results)
+            clauses0 = results[0][0]
+            # per-call attribution: every concurrent caller missed ...
+            assert [hit for _, hit in results] == [False] * n
+            # ... yet they all share the one first-inserted tuple
+            assert all(clauses is clauses0 for clauses, _ in results)
+
+            monkeypatch.setattr(clausify_mod, "to_nnf", real_nnf)
+            later, hit = clausify_probe(formula)
+            assert hit and later is clauses0
+            info = clausify_cache_info()
+            assert (info.misses, info.hits, info.currsize) == (n, 1, 1)
         finally:
             clausify_cache_clear()
 
