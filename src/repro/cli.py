@@ -32,8 +32,8 @@ from . import (STRATEGIES, differentiate, differentiate_tangent,
 from .ad import GuardKind
 from .formad import format_verdicts
 from .ir import ParseError, parse_program
-from .obs import (NULL_TRACER, JsonlTracer, explain_array, format_profile,
-                  load_trace, stats_metrics, validate_events)
+from .obs import (NULL_TRACER, JsonlTracer, RegistryTracer, explain_array,
+                  format_profile, load_trace, stats_metrics, validate_events)
 
 LOG_LEVELS = ("debug", "info", "warning", "error")
 
@@ -90,11 +90,36 @@ def _configure_logging(level: Optional[str]) -> None:
     root.setLevel(getattr(logging, level.upper()))
 
 
-def _open_tracer(path: Optional[str]):
-    """The ``--trace`` sink: a JSONL tracer, or the no-op default."""
-    if path is None:
-        return NULL_TRACER
-    return JsonlTracer(path)
+def _open_tracer(path: Optional[str],
+                 progress: Optional[float] = None):
+    """The ``--trace`` sink: a JSONL tracer, a metrics-only registry
+    when just ``--progress`` is live, or the no-op default."""
+    if path is not None:
+        return JsonlTracer(path)
+    if progress is not None:
+        return RegistryTracer()
+    return NULL_TRACER
+
+
+def _start_heartbeat(tracer, interval: float):
+    """``--progress``: a daemon thread printing one ``repro-metrics/2``
+    registry snapshot line to stderr every *interval* seconds. Returns
+    the stop event, or None when the tracer carries no registry."""
+    import threading
+
+    registry = getattr(tracer, "registry", None)
+    if registry is None:
+        return None
+
+    def beat() -> None:
+        while not stop.wait(interval):
+            print(json.dumps(registry.snapshot(), sort_keys=True),
+                  file=sys.stderr, flush=True)
+
+    stop = threading.Event()
+    threading.Thread(target=beat, name="progress-heartbeat",
+                     daemon=True).start()
+    return stop
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -137,6 +162,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--trace", default=None, metavar="OUT.jsonl",
                    help="record the structured provenance/span event "
                         "stream (replay with 'repro explain/profile')")
+    p.add_argument("--progress", nargs="?", const=2.0, type=float,
+                   default=None, metavar="S",
+                   help="print a repro-metrics/2 registry snapshot line "
+                        "to stderr every S seconds (default 2.0) and "
+                        "once at the end — live scheduler/cache/solver "
+                        "counters without recording a trace")
     p.add_argument("--json", action="store_true",
                    help="machine-readable verdicts + metrics on stdout "
                         "(stable schema, sorted keys)")
@@ -245,7 +276,7 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _analysis_json(proc, analyses, outcomes=None) -> str:
+def _analysis_json(proc, analyses, outcomes=None, cache=None) -> str:
     """The ``analyze --json`` document: verdicts + metrics, keys sorted
     for byte-stable output (schema ``repro-analyze/1``).
 
@@ -296,6 +327,10 @@ def _analysis_json(proc, analyses, outcomes=None) -> str:
             {"loop": o.loop_key, "status": o.status, "detail": o.detail}
             for o in outcomes
         ]
+    if cache is not None:
+        # Conditional like the resilience keys: only a --cache-dir run
+        # carries it, so cache-less output stays byte-identical.
+        doc["cache"] = cache
     return json.dumps(doc, indent=2, sort_keys=True)
 
 
@@ -368,7 +403,7 @@ def _run_analyze(args, proc, independents, dependents) -> int:
     escalation = None
     if args.escalate and args.escalate > 1:
         escalation = EscalationPolicy(max_attempts=args.escalate)
-    tracer = _open_tracer(args.trace)
+    tracer = _open_tracer(args.trace, progress=args.progress)
     activity = ActivityAnalysis(proc, independents, dependents)
     engine = FormADEngine(proc, activity, tracer=tracer,
                           deadline=_deadline_of(args),
@@ -439,6 +474,9 @@ def _run_analyze(args, proc, independents, dependents) -> int:
     engine.attach_run_state(journal=journal, resume=resume, cache=cache)
     outcomes = None
     shard_outcomes = None
+    heartbeat = None
+    if args.progress is not None:
+        heartbeat = _start_heartbeat(tracer, args.progress)
     try:
         if args.isolate:
             from .resilience import IsolationConfig, analyze_isolated
@@ -471,8 +509,24 @@ def _run_analyze(args, proc, independents, dependents) -> int:
             journal.close()
         if cache is not None:
             cache.close()
+            # The structured replacement for the old stderr-only
+            # summary: cache.* registry counters plus one
+            # cache_summary trace event, both before the tracer seals
+            # its final metrics event.
+            summary = cache.summary_data()
+            for name, value in summary.items():
+                if name != "path":
+                    tracer.counter(f"cache.{name}", value)
+            if tracer.enabled:
+                tracer.emit("cache_summary", **summary)
+        if heartbeat is not None:
+            heartbeat.set()
+            registry = getattr(tracer, "registry", None)
+            if registry is not None:
+                print(json.dumps(registry.snapshot(), sort_keys=True),
+                      file=sys.stderr, flush=True)
         tracer.close()
-    if cache is not None:
+    if cache is not None and not args.json:
         print(f"cache: {cache.loop_hits} loop hit(s), "
               f"{cache.question_hits} question hit(s), "
               f"{cache.loop_stores} loop(s) and "
@@ -482,7 +536,9 @@ def _run_analyze(args, proc, independents, dependents) -> int:
     timed_out = sum(a.stats.timed_out_questions for a in analyses)
     strict_failure = args.strict and (degraded or timed_out)
     if args.json:
-        print(_analysis_json(proc, analyses, outcomes))
+        print(_analysis_json(proc, analyses, outcomes,
+                             cache=(cache.summary_data()
+                                    if cache is not None else None)))
         return 3 if strict_failure else 0
     if not analyses:
         print("no parallel loops found")

@@ -14,12 +14,15 @@ and validated against the versioned event schema
 from .events import (EVENT_FIELDS, SCHEMA_NAME, SCHEMA_VERSION,
                      TraceValidationError, validate_event, validate_events)
 from .tracer import (NULL_TRACER, BufferTracer, CollectingTracer,
-                     JsonlTracer, NullTracer,
+                     JsonlTracer, NullTracer, RegistryTracer,
                      Tracer, load_trace)
-from .metrics import (COUNTER_KEYS, METRICS_SCHEMA, TIMER_KEYS,
-                      counters_only, stats_metrics)
+from .metrics import (COUNTER_KEYS, METRICS_SCHEMA, METRICS_SCHEMA_V2,
+                      TIMER_KEYS, MetricsRegistry, counters_only,
+                      migrate_metrics, stats_metrics, validate_metrics)
+from .clock import ClockSync
 from .explain import explain_array, known_arrays, resolve_array
-from .profile import build_span_tree, context_table, format_profile
+from .profile import (build_span_tree, context_table, critical_path,
+                      format_profile, utilization_table, worker_lanes)
 
 # NB: repro.obs.validate is deliberately not imported here — it is the
 # ``python -m repro.obs.validate`` entry point, and importing it from
@@ -30,10 +33,13 @@ __all__ = [
     "EVENT_FIELDS", "SCHEMA_NAME", "SCHEMA_VERSION",
     "TraceValidationError", "validate_event", "validate_events",
     "NULL_TRACER", "BufferTracer", "CollectingTracer", "JsonlTracer",
-    "NullTracer",
+    "NullTracer", "RegistryTracer",
     "Tracer", "load_trace",
-    "COUNTER_KEYS", "METRICS_SCHEMA", "TIMER_KEYS",
-    "counters_only", "stats_metrics",
+    "COUNTER_KEYS", "METRICS_SCHEMA", "METRICS_SCHEMA_V2", "TIMER_KEYS",
+    "MetricsRegistry", "counters_only", "migrate_metrics",
+    "stats_metrics", "validate_metrics",
+    "ClockSync",
     "explain_array", "known_arrays", "resolve_array",
-    "build_span_tree", "context_table", "format_profile",
+    "build_span_tree", "context_table", "critical_path",
+    "format_profile", "utilization_table", "worker_lanes",
 ]

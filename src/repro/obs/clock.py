@@ -1,0 +1,62 @@
+"""Per-worker clock-offset handshake for distributed traces.
+
+``time.perf_counter()`` is process-local: a serve worker's monotonic
+timestamps mean nothing on the parent's timeline until they are
+normalized. The wire protocol makes that cheap — every worker reply
+carries ``clock``, the worker's ``perf_counter()`` read at reply time,
+and the parent brackets each request with its own send/receive reads.
+The classic NTP midpoint estimate then gives the offset::
+
+    offset = (send + recv) / 2 - worker_clock
+
+with the request's round-trip time bounding the error. A
+:class:`ClockSync` keeps the *best* (lowest-RTT) sample it has seen,
+so the estimate tightens as the pool warms up.
+
+Normalization additionally **clamps** each translated timestamp into
+the window of the request that carried it: a worker event buffered
+during request N provably happened between the parent's send and
+receive of request N, so clamping bounds the residual offset error and
+guarantees re-emitted worker timestamps stay monotonic with the
+parent-side events around them (tests/obs/test_clock.py).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+
+class ClockSync:
+    """One worker's offset estimate (``parent_pc - worker_pc``)."""
+
+    __slots__ = ("offset", "rtt")
+
+    def __init__(self) -> None:
+        self.offset: Optional[float] = None
+        self.rtt: Optional[float] = None
+
+    def update(self, worker_clock: float, send_pc: float,
+               recv_pc: float) -> float:
+        """Fold one handshake sample; returns its offset estimate.
+        The stored estimate only changes when this sample's RTT is at
+        least as tight as the best one so far."""
+        rtt = max(recv_pc - send_pc, 0.0)
+        offset = (send_pc + recv_pc) / 2.0 - worker_clock
+        if self.rtt is None or rtt <= self.rtt:
+            self.offset, self.rtt = offset, rtt
+        return offset
+
+    def to_parent(self, worker_pc: float,
+                  window: Optional[Tuple[float, float]] = None,
+                  ) -> Optional[float]:
+        """*worker_pc* on the parent's ``perf_counter`` timeline, or
+        None before the first handshake. *window* is the (send, recv)
+        bracket of the request that carried the timestamp; the result
+        is clamped into it."""
+        if self.offset is None:
+            return None
+        t = worker_pc + self.offset
+        if window is not None:
+            lo, hi = window
+            t = min(max(t, lo), hi)
+        return t

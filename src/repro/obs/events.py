@@ -66,7 +66,24 @@ EVENT_FIELDS: Dict[str, Tuple[str, ...]] = {
     # One loop's settled verdicts were replayed from the cross-run
     # verdict cache (``--cache-dir``, docs/SCALING.md).
     "cached": ("loop",),
-    # Final counter/gauge totals, emitted once when the tracer closes.
+    # One work item left the scheduler queue: how long it sat there.
+    "queue_wait": ("loop", "wait_s"),
+    # A feeder pulled work off another worker's expected share (loop
+    # sharding: off the round-robin home slot; question sharding: a
+    # fast-forward past positions other workers answered).
+    "steal": ("loop", "worker_id"),
+    # A SAT answer cancelled the rest of an array's question block
+    # (question sharding's serial-break mirror, docs/SCALING.md).
+    "cancel": ("loop", "count"),
+    # One worker's clock-offset handshake settled (repro.obs.clock):
+    # worker timestamps re-emitted after this are normalized by it.
+    "clock_sync": ("worker_id", "offset_s", "rtt_s"),
+    # End-of-run verdict-cache tallies (replaces the old ad-hoc stderr
+    # summary line; also folded into ``analyze --json`` as "cache").
+    "cache_summary": ("path", "loop_hits", "question_hits",
+                      "loop_stores", "question_stores"),
+    # Final metrics-registry snapshot, emitted once when the tracer
+    # closes (payload schema repro-metrics/2).
     "metrics": ("counters", "gauges"),
 }
 
@@ -84,7 +101,22 @@ OPTIONAL_FIELDS: Dict[str, Tuple[str, ...]] = {
     "solver_check": ("reason",),
     # The worker's crash/timeout detail (exit status, signal, stderr).
     "worker": ("detail",),
+    # The schedule position the stolen fast-forward reached.
+    "steal": ("position",),
+    # Per-kind miss counts and the damaged-line tally of the cache file.
+    "cache_summary": ("loop_misses", "question_misses", "dropped_lines"),
+    # The registry snapshot's schema tag and histogram section
+    # (repro-metrics/2; older traces carry bare counters/gauges).
+    "metrics": ("schema", "histograms"),
 }
+
+#: Optional fields accepted on **every** event type: ``worker_id``
+#: marks an event re-emitted from (or about) a serve worker, and
+#: ``partial`` marks telemetry recovered from a shard whose worker died
+#: before finishing — consumers must not treat a partial block as the
+#: loop's complete event set (its loop also emits synthetic degraded
+#: events).
+UNIVERSAL_OPTIONAL = ("worker_id", "partial")
 
 _COMMON = ("v", "seq", "t", "type", "thread", "span")
 
@@ -112,10 +144,20 @@ def validate_event(event: dict) -> List[str]:
     for name in required:
         if name not in event:
             errors.append(f"{etype}: missing field {name!r}")
-    known = set(_COMMON) | set(required) | set(OPTIONAL_FIELDS.get(etype, ()))
+    known = (set(_COMMON) | set(required) | set(UNIVERSAL_OPTIONAL)
+             | set(OPTIONAL_FIELDS.get(etype, ())))
     for name in event:
         if name not in known:
             errors.append(f"{etype}: unknown field {name!r}")
+    if etype == "meta" and event.get("schema") != SCHEMA_NAME:
+        errors.append(f"meta: unknown trace schema {event.get('schema')!r}; "
+                      f"this reader understands {SCHEMA_NAME!r}")
+    if etype == "metrics" and "schema" in event:
+        from .metrics import validate_metrics
+        errors.extend(f"metrics payload: {e}"
+                      for e in validate_metrics(
+                          {k: event.get(k) for k in
+                           ("schema", "counters", "gauges", "histograms")}))
     return errors
 
 

@@ -2,14 +2,22 @@
 
 Spans reconstruct the call hierarchy (kernel → loop analysis → model
 build → per-array testing); ``solver_check`` events attach the solver's
-translate/clausify/search phase split to the span they ran under. Two
-views come out:
+translate/clausify/search phase split to the span they ran under. The
+views that come out:
 
 * the **span tree** — every span path with call count, total wall
   time, and the solver phase seconds spent directly inside it;
 * the **context table** — exploitation-question time grouped by
   control-flow context path, the "where does solver time go as the
-  incremental pipeline evolves" view.
+  incremental pipeline evolves" view;
+* the **worker lanes** — per-``worker_id`` activity of a distributed
+  (``--backend process``) trace: events, questions, solver checks, and
+  in-solver seconds on each worker's normalized timeline;
+* the **utilization table** — busy/idle seconds per worker from the
+  scheduler's registry counters (the "why is the 1-CPU speedup 0.79x"
+  view);
+* the **critical path** — the longest chain of nested spans, the lower
+  bound no amount of extra workers can beat.
 """
 
 from __future__ import annotations
@@ -136,6 +144,87 @@ def resilience_table(events: Sequence[dict]) -> List[Tuple[str, int]]:
     return sorted(counts.items())
 
 
+def worker_lanes(events: Sequence[dict]
+                 ) -> List[Tuple[str, int, int, int, float, float, float]]:
+    """Per-worker activity rows of a distributed trace:
+    ``(worker_id, events, questions, checks, solver_s, first_t,
+    last_t)``, sorted by worker id — empty when no event carries a
+    ``worker_id`` (a single-process trace)."""
+    lanes: Dict[str, List[float]] = {}
+    for event in events:
+        wid = event.get("worker_id")
+        if wid is None:
+            continue
+        lane = lanes.setdefault(str(wid), [0, 0, 0, 0.0, float("inf"), 0.0])
+        lane[0] += 1
+        etype = event["type"]
+        if etype == "question":
+            lane[1] += 1
+        elif etype == "solver_check":
+            lane[2] += 1
+            lane[3] += event.get("dur_s", 0.0)
+        t = event.get("t")
+        if isinstance(t, (int, float)):
+            lane[4] = min(lane[4], t)
+            lane[5] = max(lane[5], t)
+    return [(wid, int(l[0]), int(l[1]), int(l[2]), l[3],
+             (0.0 if l[4] == float("inf") else l[4]), l[5])
+            for wid, l in sorted(lanes.items())]
+
+
+def utilization_table(events: Sequence[dict]
+                      ) -> List[Tuple[str, float, float, float]]:
+    """``(worker_id, busy_s, idle_s, utilization)`` rows from the
+    scheduler's ``worker.<id>.busy_seconds``/``idle_seconds`` registry
+    counters (carried by the final ``metrics`` event)."""
+    counters: Dict[str, float] = {}
+    for event in events:
+        if event["type"] == "metrics":
+            counters = event.get("counters") or {}
+    busy: Dict[str, float] = {}
+    idle: Dict[str, float] = {}
+    for name, value in counters.items():
+        parts = name.split(".")
+        if len(parts) == 3 and parts[0] == "worker":
+            if parts[2] == "busy_seconds":
+                busy[parts[1]] = float(value)
+            elif parts[2] == "idle_seconds":
+                idle[parts[1]] = float(value)
+    rows = []
+    for wid in sorted(set(busy) | set(idle)):
+        b, i = busy.get(wid, 0.0), idle.get(wid, 0.0)
+        rows.append((wid, b, i, (b / (b + i) if b + i > 0 else 0.0)))
+    return rows
+
+
+def critical_path(events: Sequence[dict]) -> List[Tuple[int, str, float]]:
+    """The longest root-to-leaf chain of nested spans:
+    ``(depth, label, dur_s)`` rows, outermost first. Every span keeps
+    its own wall time (children overlap it), so the chain reads as
+    "the run is at least as long as its head, and inside it the
+    slowest child, and so on" — the serial backbone parallelism cannot
+    remove."""
+    spans: Dict[int, dict] = {}
+    children: Dict[Optional[int], List[int]] = {}
+    for event in events:
+        if event["type"] == "span_begin":
+            spans[event["id"]] = {"label": _span_label(event),
+                                  "parent": event["parent"], "dur": 0.0}
+            children.setdefault(event["parent"], []).append(event["id"])
+        elif event["type"] == "span_end" and event["id"] in spans:
+            spans[event["id"]]["dur"] = event["dur_s"]
+
+    path: List[Tuple[int, str, float]] = []
+    candidates = children.get(None, [])
+    depth = 0
+    while candidates:
+        sid = max(candidates, key=lambda s: spans[s]["dur"])
+        path.append((depth, spans[sid]["label"], spans[sid]["dur"]))
+        candidates = children.get(sid, [])
+        depth += 1
+    return path
+
+
 def format_profile(events: Sequence[dict]) -> str:
     """The full ``repro profile`` rendering of one trace."""
     lines: List[str] = ["span tree (count, wall time, solver phases):"]
@@ -159,6 +248,33 @@ def format_profile(events: Sequence[dict]) -> str:
         for ctx, count, memo, seconds in rows:
             lines.append(f"  {ctx:<{width}}  {count:>9d} {memo:>5d} "
                          f"{seconds * 1000.0:>7.2f} ms")
+    lanes = worker_lanes(events)
+    if lanes:
+        lines.append("")
+        lines.append("worker lanes (distributed trace):")
+        lines.append(f"  {'worker':<8} {'events':>7} {'questions':>9} "
+                     f"{'checks':>7} {'solver':>10} {'lane':>19}")
+        for wid, count, questions, checks, solver_s, first, last in lanes:
+            lines.append(
+                f"  {wid:<8} {count:>7d} {questions:>9d} {checks:>7d} "
+                f"{solver_s * 1000.0:>7.2f} ms "
+                f"{first:>8.3f}s..{last:<8.3f}s")
+    utilization = utilization_table(events)
+    if utilization:
+        lines.append("")
+        lines.append("worker utilization (busy vs idle in the pool):")
+        lines.append(f"  {'worker':<8} {'busy':>10} {'idle':>10} "
+                     f"{'util':>6}")
+        for wid, busy, idle, util in utilization:
+            lines.append(f"  {wid:<8} {busy:>9.3f}s {idle:>9.3f}s "
+                         f"{util * 100.0:>5.1f}%")
+    path = critical_path(events)
+    if path:
+        lines.append("")
+        lines.append("critical path (longest chain of nested spans):")
+        for depth, label, dur_s in path:
+            lines.append(f"  {'  ' * depth}{label}  "
+                         f"{dur_s * 1000.0:.1f} ms")
     resilience = resilience_table(events)
     if resilience:
         lines.append("")

@@ -31,6 +31,7 @@ import time
 from typing import Any, Dict, List, Optional
 
 from .events import SCHEMA_NAME, SCHEMA_VERSION
+from .metrics import MetricsRegistry
 
 logger = logging.getLogger(__name__)
 
@@ -67,8 +68,14 @@ class NullTracer:
     def gauge(self, name: str, value: float) -> None:
         return None
 
+    def observe(self, name: str, value: float) -> None:
+        return None
+
     def metrics(self) -> Dict[str, Dict[str, float]]:
         return {"counters": {}, "gauges": {}}
+
+    def to_trace_time(self, pc: float) -> float:
+        return pc
 
     def close(self) -> None:
         return None
@@ -78,32 +85,70 @@ class NullTracer:
 NULL_TRACER = NullTracer()
 
 
+class RegistryTracer(NullTracer):
+    """Metrics without events: a live :class:`MetricsRegistry` behind
+    the no-op event interface.
+
+    ``analyze --progress`` without ``--trace`` runs under one of these:
+    counters, gauges, and histograms accumulate (the heartbeat thread
+    snapshots them), while ``enabled`` stays False so every event/span
+    hot path keeps its zero-allocation guarantee — event construction
+    is still guarded behind ``if tracer.enabled:`` and never happens.
+    """
+
+    def __init__(self) -> None:
+        self.registry = MetricsRegistry()
+
+    def counter(self, name: str, value: int = 1) -> None:
+        self.registry.counter(name, value)
+
+    def gauge(self, name: str, value: float) -> None:
+        self.registry.gauge(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.registry.observe(name, value)
+
+    def metrics(self) -> Dict[str, Dict[str, float]]:
+        snapshot = self.registry.snapshot()
+        return {"counters": snapshot["counters"],
+                "gauges": snapshot["gauges"]}
+
+
 class BufferTracer(NullTracer):
-    """Collects *leaf* events in memory as ``(type, fields)`` pairs.
+    """Collects *leaf* events in memory as ``(type, fields, wt)``
+    triples, where ``wt`` is the worker's ``time.perf_counter()`` at
+    emission.
 
     The ``--backend process`` serve workers run their engine under one
     of these: the worker cannot write the parent's trace stream (seq
     numbers and span ids are parent-owned), so it buffers the raw
     emissions and ships them back in each reply; the parent re-emits
     them through its own tracer from the shard's feeder thread, which
-    restores ``seq``/``thread`` attribution. Spans are deliberately
-    dropped — a worker's span tree belongs to the worker's timeline,
-    and re-parenting it would violate the per-thread span discipline
-    the validator enforces — so only leaf events (``fact``,
-    ``question``, ``verdict``, ``degraded``, ``solver_check``) cross
-    the process boundary.
+    restores ``seq``/``thread`` attribution and normalizes ``wt`` onto
+    its own timeline via the per-worker clock-offset handshake
+    (:mod:`repro.obs.clock`). Spans are deliberately dropped — a
+    worker's span tree belongs to the worker's timeline, and
+    re-parenting it would violate the per-thread span discipline the
+    validator enforces — so only leaf events (``fact``, ``question``,
+    ``verdict``, ``degraded``, ``solver_check``) cross the process
+    boundary.
     """
 
     enabled = True
 
     def __init__(self) -> None:
         self._events: List[tuple] = []
+        #: Lifetime emission count (never reset by :meth:`drain`) — the
+        #: worker reports it so the parent can bound telemetry loss.
+        self.events_total = 0
 
     def emit(self, etype: str, **fields: Any) -> None:
-        self._events.append((etype, fields))
+        self._events.append((etype, fields, time.perf_counter()))
+        self.events_total += 1
 
     def drain(self) -> List[tuple]:
-        """Return and clear the buffered ``(type, fields)`` pairs."""
+        """Return and clear the buffered ``(type, fields, wt)``
+        triples."""
         out = self._events
         self._events = []
         return out
@@ -142,8 +187,7 @@ class Tracer:
         self._next_span_id = 0
         self._local = threading.local()
         self._origin = time.perf_counter()
-        self._counters: Dict[str, float] = {}
-        self._gauges: Dict[str, float] = {}
+        self.registry = MetricsRegistry()
         self._closed = False
         self.emit("meta", schema=SCHEMA_NAME,
                   created=datetime.datetime.now(
@@ -196,26 +240,35 @@ class Tracer:
             stack.pop()
         self.emit("span_end", id=sid, name=name, dur_s=dur_s)
 
+    def to_trace_time(self, pc: float) -> float:
+        """A raw ``perf_counter`` reading as trace-relative seconds
+        (the ``t`` of an event emitted at that instant)."""
+        return pc - self._origin
+
     # --------------------------------------------------- counters/gauges
     def counter(self, name: str, value: int = 1) -> None:
-        with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + value
+        self.registry.counter(name, value)
 
     def gauge(self, name: str, value: float) -> None:
-        with self._lock:
-            self._gauges[name] = value
+        self.registry.gauge(name, value)
+
+    def observe(self, name: str, value: float) -> None:
+        self.registry.observe(name, value)
 
     def metrics(self) -> Dict[str, Dict[str, float]]:
-        with self._lock:
-            return {"counters": dict(sorted(self._counters.items())),
-                    "gauges": dict(sorted(self._gauges.items()))}
+        snapshot = self.registry.snapshot()
+        return {"counters": snapshot["counters"],
+                "gauges": snapshot["gauges"]}
 
     # ------------------------------------------------------------- close
     def close(self) -> None:
-        """Flush the final counter/gauge totals and seal the stream."""
+        """Flush the final registry snapshot and seal the stream."""
         if self._closed:
             return
-        self.emit("metrics", **self.metrics())
+        snapshot = self.registry.snapshot()
+        self.emit("metrics", schema=snapshot["schema"],
+                  counters=snapshot["counters"], gauges=snapshot["gauges"],
+                  histograms=snapshot["histograms"])
         with self._lock:
             self._closed = True
             self._close_sink()

@@ -1,17 +1,30 @@
-"""Trace validation entry point: ``python -m repro.obs.validate t.jsonl``.
+"""Trace/metrics validation: ``python -m repro.obs.validate``.
 
-Exits 0 when every event parses and satisfies the version-1 schema
-(structure, unknown-field rejection, span begin/end discipline); exits
-1 listing the violations otherwise. CI runs this over the trace it
-records before uploading it as an artifact.
+Two modes::
+
+    python -m repro.obs.validate TRACE.jsonl
+    python -m repro.obs.validate --metrics METRICS.json
+
+The first checks a JSONL trace against the version-1 event schema
+(structure, unknown-field rejection, span begin/end discipline — this
+includes worker-re-emitted events carrying ``worker_id``/``partial``
+and the ``repro-metrics/2`` payload of the final ``metrics`` event).
+The second checks a standalone metrics snapshot (an ``analyze
+--progress`` heartbeat line, or the ``metrics`` payload CI extracts
+from a trace) against :mod:`repro.obs.metrics` — accepting both
+``repro-metrics/1`` and ``/2`` and rejecting unknown schema versions
+with a clear error. Exits 0 when valid, 1 listing the violations
+otherwise; CI runs both modes over its recorded artifacts.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 from typing import List, Optional, Sequence
 
 from .events import validate_events
+from .metrics import validate_metrics
 from .tracer import load_trace
 
 
@@ -26,13 +39,28 @@ def validate_file(path: str) -> List[str]:
     return validate_events(events)
 
 
+def validate_metrics_file(path: str) -> List[str]:
+    """All schema errors of the JSON metrics snapshot at *path*."""
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except (OSError, ValueError) as exc:
+        return [str(exc)]
+    return validate_metrics(doc)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = list(sys.argv[1:] if argv is None else argv)
+    metrics_mode = "--metrics" in args
+    if metrics_mode:
+        args.remove("--metrics")
     if len(args) != 1:
-        print("usage: python -m repro.obs.validate TRACE.jsonl",
+        print("usage: python -m repro.obs.validate TRACE.jsonl\n"
+              "       python -m repro.obs.validate --metrics METRICS.json",
               file=sys.stderr)
         return 2
-    errors = validate_file(args[0])
+    errors = (validate_metrics_file if metrics_mode
+              else validate_file)(args[0])
     if errors:
         for error in errors:
             print(f"invalid: {error}", file=sys.stderr)

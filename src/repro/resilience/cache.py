@@ -77,13 +77,18 @@ class VerdictCache:
         self.fingerprint = fingerprint
         self.readonly = readonly
         self.path = os.path.join(cache_dir, f"{fingerprint}.jsonl")
-        # Lookup hits / fresh stores, for the end-of-run summary.
+        # Lookup hits / misses / fresh stores, for the end-of-run
+        # summary and the ``cache.*`` metric counters.
         self.question_hits = 0
+        self.question_misses = 0
         self.loop_hits = 0
+        self.loop_misses = 0
         self.question_stores = 0
         self.loop_stores = 0
         state, valid = self._load()
         self._state = state
+        #: CRC-damaged lines the loader truncated away on read.
+        self.dropped_lines = state.dropped
         self._writer: Optional[JournalWriter] = None
         self.appending = valid
         if not readonly:
@@ -120,7 +125,13 @@ class VerdictCache:
         return self._state.settled_questions
 
     def loop_done(self, loop_key: str) -> Optional[dict]:
-        return self._state.loop_done(loop_key)
+        """The settled record of a clean cached loop, or None (counted
+        as a loop miss — the engine probes exactly once per open
+        loop)."""
+        done = self._state.loop_done(loop_key)
+        if done is None:
+            self.loop_misses += 1
+        return done
 
     def verdicts(self, loop_key: str) -> List[dict]:
         return self._state.verdicts(loop_key)
@@ -132,6 +143,8 @@ class VerdictCache:
         hit = self._state.question(loop_key, ctx_path, question)
         if hit is not None:
             self.question_hits += 1
+        else:
+            self.question_misses += 1
         return hit
 
     def peek_question(self, loop_key: str, ctx_path: str, question: str,
@@ -203,6 +216,18 @@ class VerdictCache:
                 f"{self.question_hits} question hit(s), "
                 f"{self.loop_stores} loop(s) and "
                 f"{self.question_stores} question(s) stored")
+
+    def summary_data(self) -> dict:
+        """The structured end-of-run summary: the ``cache_summary``
+        trace event's payload and ``analyze --json``'s ``cache`` key."""
+        return {"path": self.path,
+                "loop_hits": self.loop_hits,
+                "question_hits": self.question_hits,
+                "loop_misses": self.loop_misses,
+                "question_misses": self.question_misses,
+                "loop_stores": self.loop_stores,
+                "question_stores": self.question_stores,
+                "dropped_lines": self.dropped_lines}
 
     def close(self) -> None:
         if self._writer is not None:

@@ -53,11 +53,44 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
+from ..obs.clock import ClockSync
 from .journal import rebuild_analysis
 from .workers import (_DEADLINE_GRACE, IsolationConfig, WorkerOutcome,
                       _worker_env)
 
 logger = logging.getLogger(__name__)
+
+
+def _fold_worker_events(tracer, items, *, worker_id=None, clock=None,
+                        window=None, partial=False) -> int:
+    """Re-emit one reply's buffered worker events through the parent's
+    tracer, tagging each with its ``worker_id`` and normalizing its
+    worker-side timestamp onto the parent timeline (clamped into the
+    carrying request's send/receive *window* — see
+    :mod:`repro.obs.clock`). ``partial=True`` marks telemetry recovered
+    from a shard whose worker died before finishing. Also feeds the
+    ``solver.check_seconds`` histogram, which worker-side solvers
+    cannot reach. Returns the number of events folded."""
+    if not items:
+        return 0
+    count = 0
+    for item in items:
+        etype, fields = str(item[0]), dict(item[1])
+        if tracer.enabled:
+            if worker_id is not None:
+                fields["worker_id"] = worker_id
+            if partial:
+                fields["partial"] = True
+            if clock is not None and len(item) > 2 and item[2] is not None:
+                pc = clock.to_parent(float(item[2]), window=window)
+                if pc is not None:
+                    fields["t"] = tracer.to_trace_time(pc)
+            tracer.emit(etype, **fields)
+        if etype == "solver_check":
+            tracer.observe("solver.check_seconds",
+                           float(item[1].get("dur_s") or 0.0))
+        count += 1
+    return count
 
 
 class WorkerGone(RuntimeError):
@@ -101,7 +134,18 @@ class WorkerClient:
     never deadlock on a full pipe.
     """
 
-    def __init__(self, config: ShardConfig, init_request: dict) -> None:
+    def __init__(self, config: ShardConfig, init_request: dict,
+                 worker_id: Optional[str] = None) -> None:
+        #: Stable pool-slot identity ("w0", "w1", ...) stamped onto
+        #: every trace event this worker's replies carry.
+        self.worker_id = worker_id
+        #: The clock-offset handshake estimate (updated every reply).
+        self.clock = ClockSync()
+        #: The (send, recv) perf_counter bracket of the last request —
+        #: the clamp window for its buffered event timestamps.
+        self.last_window: Optional[Tuple[float, float]] = None
+        #: Wall-clock seconds this client spent serving requests.
+        self.busy_s = 0.0
         self._proc = subprocess.Popen(
             [config.python, "-m", "repro.resilience.worker", "--serve"],
             stdin=subprocess.PIPE, stdout=subprocess.PIPE,
@@ -154,6 +198,7 @@ class WorkerClient:
 
     # ------------------------------------------------------------ protocol
     def request(self, request: dict, timeout: float) -> dict:
+        send_pc = time.perf_counter()
         try:
             self._proc.stdin.write(json.dumps(request) + "\n")
             self._proc.stdin.flush()
@@ -175,6 +220,11 @@ class WorkerClient:
             raise WorkerGone("crash", "worker produced unparsable output")
         if not isinstance(reply, dict):
             raise WorkerGone("crash", "worker produced a non-object reply")
+        recv_pc = time.perf_counter()
+        self.busy_s += recv_pc - send_pc
+        self.last_window = (send_pc, recv_pc)
+        if isinstance(reply.get("clock"), (int, float)):
+            self.clock.update(float(reply["clock"]), send_pc, recv_pc)
         return reply
 
     def kill(self) -> None:
@@ -224,12 +274,18 @@ def _init_request(engine, source: str, head: str,
     }
 
 
-def _apply_reply(engine, cache, loop, key: str, reply: dict):
+def _apply_reply(engine, cache, loop, key: str, reply: dict, *,
+                 worker_id=None, clock=None, window=None):
     """Apply one shard reply in the parent: journal its records, store
     its decided questions (and, if clean, the whole loop) in the
     verdict cache, re-emit its trace events, and rebuild the
     :class:`~repro.formad.engine.LoopAnalysis`. Callers hold the
-    scheduler's apply lock, so one loop's records stay contiguous."""
+    scheduler's apply lock, so one loop's records stay contiguous.
+
+    A structurally broken reply (no ``loop_done``) still folds whatever
+    trace events *did* arrive — marked ``partial`` — before raising;
+    silently dropping telemetry that made it across the wire hides
+    exactly the failures the trace exists to explain."""
     journal = engine._journal
     tracer = engine.tracer
     done: Optional[dict] = None
@@ -248,14 +304,16 @@ def _apply_reply(engine, cache, loop, key: str, reply: dict):
                 str(fields.get("ctx", "")), str(fields.get("q", "")),
                 str(fields.get("result", "")), fields.get("witness"))
     if done is None:
+        _fold_worker_events(tracer, reply.get("events"),
+                            worker_id=worker_id, clock=clock,
+                            window=window, partial=True)
         raise WorkerGone("crash", "worker reply missing its loop_done record")
     if cache is not None:
         cache.question_hits += int(reply.get("cache_hits") or 0)
         if reply.get("cacheable"):
             cache.store_loop(key, done, verdicts)
-    if tracer.enabled:
-        for item in reply.get("events", []):
-            tracer.emit(str(item[0]), **dict(item[1]))
+    _fold_worker_events(tracer, reply.get("events"), worker_id=worker_id,
+                        clock=clock, window=window)
     analysis = rebuild_analysis(loop, done, verdicts, resumed=False)
     analysis.cacheable = bool(reply.get("cacheable"))
     return analysis
@@ -302,7 +360,7 @@ def analyze_sharded(
             slots[index] = replayed
             outcomes[index] = WorkerOutcome(key, "cached")
             continue
-        pending.put((index, loop))
+        pending.put((index, loop, time.perf_counter()))
     if pending.empty():
         return list(slots), list(outcomes)
 
@@ -311,26 +369,50 @@ def analyze_sharded(
                                  cache_dir=cache_dir, fingerprint=fingerprint)
     apply_lock = threading.Lock()
     race: List[PrimalRaceError] = []
+    tracer.gauge("scheduler.queue_depth", pending.qsize())
 
     def degrade(index: int, loop, key: str, status: str, detail: str,
-                elapsed: float, *, phase: str = "worker") -> None:
+                elapsed: float, *, phase: str = "worker",
+                worker_id=None) -> None:
         with apply_lock:
             if tracer.enabled:
+                extra = ({"worker_id": worker_id}
+                         if worker_id is not None else {})
                 tracer.emit("worker", loop=key, status=status,
-                            dur_s=elapsed, detail=detail)
+                            dur_s=elapsed, detail=detail, **extra)
             slots[index] = engine.degraded_analysis(
                 loop, f"shard {detail}", phase=phase)
             outcomes[index] = WorkerOutcome(key, status, detail, elapsed)
 
     def shard(k: int) -> None:
+        wid = f"w{k}"
         client: Optional[WorkerClient] = None
+        started = time.perf_counter()
+        busy = 0.0
+        spawned = False
         try:
             while not race:
                 try:
-                    index, loop = pending.get_nowait()
+                    index, loop, enqueued = pending.get_nowait()
                 except queue.Empty:
                     break
+                now = time.perf_counter()
+                wait_s = now - enqueued
+                tracer.gauge("scheduler.queue_depth", pending.qsize())
+                tracer.counter("scheduler.dispatched")
+                tracer.observe("scheduler.queue_wait_seconds", wait_s)
                 key = engine.loop_key(loop)
+                if tracer.enabled:
+                    tracer.emit("queue_wait", loop=key, wait_s=wait_s,
+                                worker_id=wid)
+                if index % n != k:
+                    # Work-stealing made visible: under a balanced
+                    # round-robin this feeder would serve loops with
+                    # index ≡ k (mod pool size); any other pull means
+                    # it out-ran a sibling and took its share.
+                    tracer.counter("scheduler.steals")
+                    if tracer.enabled:
+                        tracer.emit("steal", loop=key, worker_id=wid)
                 deadline = engine.deadline
                 if deadline is not None and deadline.expired():
                     degrade(index, loop, key, "timeout",
@@ -340,57 +422,91 @@ def analyze_sharded(
                 start = time.perf_counter()
                 try:
                     if client is None:
-                        client = WorkerClient(config, init_request)
+                        if spawned:  # not the lazy first spawn
+                            tracer.counter("scheduler.respawns")
+                        spawned = True
+                        client = WorkerClient(config, init_request,
+                                              worker_id=wid)
+                        if tracer.enabled:
+                            tracer.emit("clock_sync", worker_id=wid,
+                                        offset_s=client.clock.offset,
+                                        rtt_s=client.clock.rtt)
                     budget = config.kill_timeout
                     if deadline is not None:
                         budget = min(budget,
                                      max(deadline.remaining(), 0.0)
                                      + _DEADLINE_GRACE)
-                    reply = client.request(
-                        {"op": "analyze", "loop_key": key,
-                         "deadline_remaining": (deadline.remaining()
-                                                if deadline is not None
-                                                else None)},
-                        timeout=budget)
+                    with tracer.span("shard.request", loop=key,
+                                     worker_id=wid):
+                        reply = client.request(
+                            {"op": "analyze", "loop_key": key,
+                             "deadline_remaining": (deadline.remaining()
+                                                    if deadline is not None
+                                                    else None)},
+                            timeout=budget)
+                        elapsed = time.perf_counter() - start
+                        busy += elapsed
+                        error = reply.get("error")
+                        if error is None:
+                            with apply_lock:
+                                try:
+                                    analysis = _apply_reply(
+                                        engine, cache, loop, key, reply,
+                                        worker_id=wid, clock=client.clock,
+                                        window=client.last_window)
+                                except WorkerGone as exc:
+                                    if tracer.enabled:
+                                        tracer.emit("worker", loop=key,
+                                                    status=exc.status,
+                                                    dur_s=elapsed,
+                                                    detail=exc.detail,
+                                                    worker_id=wid)
+                                    slots[index] = engine.degraded_analysis(
+                                        loop, f"shard {exc.detail}")
+                                    outcomes[index] = WorkerOutcome(
+                                        key, exc.status, exc.detail, elapsed)
+                                    continue
+                                if tracer.enabled:
+                                    tracer.emit("worker", loop=key,
+                                                status="ok", dur_s=elapsed,
+                                                worker_id=wid)
+                                slots[index] = analysis
+                                outcomes[index] = WorkerOutcome(
+                                    key, "ok", elapsed=elapsed)
+                            continue
                 except WorkerGone as exc:
                     elapsed = time.perf_counter() - start
+                    busy += elapsed
                     if client is not None:
                         client.kill()
                         client = None  # a fresh worker serves the next shard
-                    degrade(index, loop, key, exc.status, exc.detail, elapsed)
-                    continue
-                elapsed = time.perf_counter() - start
-                error = reply.get("error")
-                if error is not None:
-                    if error.get("type") == "PrimalRaceError":
-                        race.append(PrimalRaceError(error.get("message", "")))
-                        break
-                    degrade(index, loop, key, "crash",
-                            f"worker error: {error.get('message', '')}",
-                            elapsed)
-                    continue
-                with apply_lock:
-                    try:
-                        analysis = _apply_reply(engine, cache, loop, key,
-                                                reply)
-                    except WorkerGone as exc:
-                        if tracer.enabled:
-                            tracer.emit("worker", loop=key, status=exc.status,
-                                        dur_s=elapsed, detail=exc.detail)
-                        slots[index] = engine.degraded_analysis(
-                            loop, f"shard {exc.detail}")
-                        outcomes[index] = WorkerOutcome(key, exc.status,
-                                                        exc.detail, elapsed)
-                        continue
                     if tracer.enabled:
-                        tracer.emit("worker", loop=key, status="ok",
-                                    dur_s=elapsed)
-                    slots[index] = analysis
-                    outcomes[index] = WorkerOutcome(key, "ok",
-                                                    elapsed=elapsed)
+                        # The worker died holding its event buffer: at
+                        # least this shard's telemetry never arrived.
+                        tracer.counter("telemetry.dropped_events")
+                    degrade(index, loop, key, exc.status, exc.detail,
+                            elapsed, worker_id=wid)
+                    continue
+                # error reply: fold any telemetry it carried, then
+                # degrade (PrimalRace aborts the whole pool instead).
+                if error.get("type") == "PrimalRaceError":
+                    race.append(PrimalRaceError(error.get("message", "")))
+                    break
+                with apply_lock:
+                    _fold_worker_events(tracer, reply.get("events"),
+                                        worker_id=wid, clock=client.clock,
+                                        window=client.last_window,
+                                        partial=True)
+                degrade(index, loop, key, "crash",
+                        f"worker error: {error.get('message', '')}",
+                        elapsed, worker_id=wid)
         finally:
             if client is not None:
                 client.shutdown()
+            wall = time.perf_counter() - started
+            tracer.counter(f"worker.{wid}.busy_seconds", busy)
+            tracer.counter(f"worker.{wid}.idle_seconds",
+                           max(wall - busy, 0.0))
 
     n = max(1, min(config.jobs, pending.qsize()))
     threads = [threading.Thread(target=shard, args=(k,), name=f"shard-{k}")
@@ -484,7 +600,8 @@ class _QuestionRemote:
         self._history: List[int] = []      # planned ask positions, sorted
         self._history_set: Set[int] = set()
         self._pending: List[int] = []      # min-heap of undispatched
-        self._answers: Dict[int, Tuple[dict, frozenset]] = {}
+        self._enqueued: Dict[int, float] = {}   # position -> push time
+        self._answers: Dict[int, tuple] = {}
         self._cancelled: Set[int] = set()
         self._totals: Dict[str, float] = {}
         self._merge_cursor = -1
@@ -539,7 +656,7 @@ class _QuestionRemote:
                 f"{prep.get('schedule_len')} question(s), parent "
                 f"{len(self._schedule)}")
         self._fold(prep.get("solver_stats") or {})
-        self._emit_events(prep.get("events"))
+        self._emit_events(prep.get("events"), client=client)
         degraded = prep.get("degraded")
         if not degraded:
             self._plan()
@@ -570,7 +687,7 @@ class _QuestionRemote:
                 # already outside the byte-identity claim.
                 bisect.insort(self._history, pos)
                 self._history_set.add(pos)
-                heapq.heappush(self._pending, pos)
+                self._push(pos)
                 self._lock.notify_all()
             while pos not in self._answers:
                 if self._fatal is not None:
@@ -580,9 +697,9 @@ class _QuestionRemote:
                 if deadline is not None and deadline.expired():
                     return UNKNOWN, None, "timeout", None, 0, 0.0
                 self._lock.wait(timeout=0.2)
-            reply, _basis = self._answers.pop(pos)
+            reply, _basis, emitctx = self._answers.pop(pos)
             self._fold(reply.get("solver_stats") or {})
-            self._emit_events(reply.get("events"))
+            self._emit_events(reply.get("events"), emitctx=emitctx)
             result = {"SAT": SAT, "UNSAT": UNSAT,
                       "UNKNOWN": UNKNOWN}[str(reply["result"])]
             if result is SAT:
@@ -641,7 +758,13 @@ class _QuestionRemote:
                 continue
             self._history.append(sq.position)
             self._history_set.add(sq.position)
-            heapq.heappush(self._pending, sq.position)
+            self._push(sq.position)
+
+    def _push(self, pos: int) -> None:
+        """Enqueue *pos* (caller holds the lock), stamping its push time
+        so the dequeue can report scheduler queue-wait."""
+        heapq.heappush(self._pending, pos)
+        self._enqueued[pos] = time.perf_counter()
 
     def _match(self, ctx, question, array: str) -> int:
         """The schedule position of the merge's next ask: a forward
@@ -667,24 +790,28 @@ class _QuestionRemote:
         that saw a cancelled position (recompute the survivors), and
         mark contaminated workers for reset."""
         schedule = self._schedule
-        fresh = False
+        tracer = self._engine.tracer
+        fresh = 0
         for i in range(pos + 1, len(schedule)):
             if schedule[i].array == array and i not in self._cancelled:
                 self._cancelled.add(i)
-                fresh = True
+                fresh += 1
         if not fresh:
             return
+        tracer.counter("scheduler.cancelled", fresh)
+        if tracer.enabled:
+            tracer.emit("cancel", loop=self._key, count=fresh)
         live = [p for p in self._pending if p not in self._cancelled]
         if len(live) != len(self._pending):
             self._pending[:] = live
             heapq.heapify(self._pending)
         for p in list(self._answers):
-            _reply, basis = self._answers[p]
+            _reply, basis, _emitctx = self._answers[p]
             if p in self._cancelled:
                 del self._answers[p]
             elif basis & self._cancelled:
                 del self._answers[p]
-                heapq.heappush(self._pending, p)
+                self._push(p)
         for state in self._states:
             if state["processed"] & self._cancelled:
                 state["needs_reset"] = True
@@ -701,78 +828,127 @@ class _QuestionRemote:
             thread.start()
 
     def _feed(self, k: int) -> None:
+        tracer = self._engine.tracer
+        wid = f"w{k}"
         respawns = 0
-        while True:
-            with self._lock:
-                while not self._pending and not self._closing \
-                        and self._fatal is None:
-                    self._lock.wait()
-                if self._closing or self._fatal is not None:
-                    return
-                pos = heapq.heappop(self._pending)
-                if pos in self._cancelled:
-                    continue
-                state = self._states[k]
-                needs_reset = state["needs_reset"]
-                ff = [p for p in self._history
-                      if state["cursor"] < p < pos
-                      and p not in self._cancelled
-                      and p not in state["processed"]]
-            try:
-                client = self._ensure_client(k)
-                if needs_reset:
-                    client.request({"op": "qreset", "loop_key": self._key},
-                                   timeout=self._config.kill_timeout)
+        started = time.perf_counter()
+        busy = 0.0
+        try:
+            while True:
+                with self._lock:
+                    while not self._pending and not self._closing \
+                            and self._fatal is None:
+                        self._lock.wait()
+                    if self._closing or self._fatal is not None:
+                        return
+                    pos = heapq.heappop(self._pending)
+                    if pos in self._cancelled:
+                        continue
+                    enqueued = self._enqueued.pop(pos, None)
+                    depth = len(self._pending)
+                    state = self._states[k]
+                    needs_reset = state["needs_reset"]
+                    ff = [p for p in self._history
+                          if state["cursor"] < p < pos
+                          and p not in self._cancelled
+                          and p not in state["processed"]]
+                tracer.gauge("scheduler.queue_depth", depth)
+                tracer.counter("scheduler.dispatched")
+                if enqueued is not None:
+                    wait_s = max(time.perf_counter() - enqueued, 0.0)
+                    tracer.observe("scheduler.queue_wait_seconds", wait_s)
+                    if tracer.enabled:
+                        tracer.emit("queue_wait", loop=self._key,
+                                    wait_s=wait_s, worker_id=wid)
+                if ff and state["cursor"] >= 0:
+                    # A non-empty fast-forward past an already-warm
+                    # cursor means siblings answered the intervening
+                    # positions: this pull is a steal off their share.
+                    tracer.counter("scheduler.steals")
+                    if tracer.enabled:
+                        tracer.emit("steal", loop=self._key, worker_id=wid,
+                                    position=pos)
+                t0 = time.perf_counter()
+                try:
+                    client = self._ensure_client(k)
+                    if needs_reset:
+                        client.request(
+                            {"op": "qreset", "loop_key": self._key},
+                            timeout=self._config.kill_timeout)
+                        with self._lock:
+                            state["cursor"] = -1
+                            state["processed"] = set()
+                            state["needs_reset"] = False
+                            ff = [p for p in self._history
+                                  if p < pos and p not in self._cancelled]
+                    with tracer.span("shard.request", loop=self._key,
+                                     worker_id=wid):
+                        reply = client.request(
+                            {"op": "qask", "loop_key": self._key,
+                             "position": pos, "ff": ff,
+                             "deadline_remaining":
+                                 self._deadline_remaining()},
+                            timeout=self._budget())
+                    emitctx = (wid, client.clock, client.last_window)
+                    error = reply.get("error")
+                    if error is not None:
+                        # The reply arrived, so its buffered telemetry
+                        # did too — fold it (marked partial) before the
+                        # respawn path runs, and don't count it dropped.
+                        with self._lock:
+                            self._emit_events(reply.get("events"),
+                                              emitctx=emitctx, partial=True)
+                        gone = WorkerGone(
+                            "crash", f"worker error on question {pos}: "
+                                     f"{error.get('message', error)}")
+                        gone.events_folded = True
+                        raise gone
+                except WorkerGone as exc:
+                    busy += time.perf_counter() - t0
                     with self._lock:
+                        if pos not in self._cancelled:
+                            self._push(pos)
+                        self._lock.notify_all()
+                    self._drop_client(k)
+                    if tracer.enabled \
+                            and not getattr(exc, "events_folded", False):
+                        tracer.counter("telemetry.dropped_events")
+                    respawns += 1
+                    if respawns > self._MAX_RESPAWNS:
+                        self._retire(k, exc.detail)
+                        return
+                    tracer.counter("scheduler.respawns")
+                    with self._lock:
+                        state = self._states[k]
                         state["cursor"] = -1
                         state["processed"] = set()
                         state["needs_reset"] = False
-                        ff = [p for p in self._history
-                              if p < pos and p not in self._cancelled]
-                reply = client.request(
-                    {"op": "qask", "loop_key": self._key, "position": pos,
-                     "ff": ff,
-                     "deadline_remaining": self._deadline_remaining()},
-                    timeout=self._budget())
-                error = reply.get("error")
-                if error is not None:
-                    raise WorkerGone(
-                        "crash", f"worker error on question {pos}: "
-                                 f"{error.get('message', error)}")
-            except WorkerGone as exc:
-                with self._lock:
-                    if pos not in self._cancelled:
-                        heapq.heappush(self._pending, pos)
-                    self._lock.notify_all()
-                self._drop_client(k)
-                respawns += 1
-                if respawns > self._MAX_RESPAWNS:
-                    self._retire(k, exc.detail)
-                    return
+                    continue
+                busy += time.perf_counter() - t0
                 with self._lock:
                     state = self._states[k]
-                    state["cursor"] = -1
-                    state["processed"] = set()
-                    state["needs_reset"] = False
-                continue
-            with self._lock:
-                state = self._states[k]
-                state["processed"].update(ff)
-                state["processed"].add(pos)
-                state["cursor"] = max(state["cursor"], pos)
-                contaminated = bool(state["processed"] & self._cancelled)
-                if contaminated:
-                    state["needs_reset"] = True
-                if pos in self._cancelled:
-                    pass           # the merge will never ask for it
-                elif contaminated:
-                    # The answer was computed on state that saw a
-                    # cancelled position — recompute on a clean worker.
-                    heapq.heappush(self._pending, pos)
-                else:
-                    self._answers[pos] = (reply,
-                                          frozenset(state["processed"]))
-                self._lock.notify_all()
+                    state["processed"].update(ff)
+                    state["processed"].add(pos)
+                    state["cursor"] = max(state["cursor"], pos)
+                    contaminated = bool(state["processed"] & self._cancelled)
+                    if contaminated:
+                        state["needs_reset"] = True
+                    if pos in self._cancelled:
+                        pass           # the merge will never ask for it
+                    elif contaminated:
+                        # The answer was computed on state that saw a
+                        # cancelled position — recompute on a clean worker.
+                        self._push(pos)
+                    else:
+                        self._answers[pos] = (reply,
+                                              frozenset(state["processed"]),
+                                              emitctx)
+                    self._lock.notify_all()
+        finally:
+            wall = time.perf_counter() - started
+            tracer.counter(f"worker.{wid}.busy_seconds", busy)
+            tracer.counter(f"worker.{wid}.idle_seconds",
+                           max(wall - busy, 0.0))
 
     def _retire(self, k: int, detail: str) -> None:
         with self._lock:
@@ -785,8 +961,14 @@ class _QuestionRemote:
     def _ensure_client(self, k: int) -> WorkerClient:
         client = self._clients[k]
         if client is None:
-            client = WorkerClient(self._config, self._init_request)
+            client = WorkerClient(self._config, self._init_request,
+                                  worker_id=f"w{k}")
             self._clients[k] = client
+            tracer = self._engine.tracer
+            if tracer.enabled and client.clock.offset is not None:
+                tracer.emit("clock_sync", worker_id=client.worker_id,
+                            offset_s=client.clock.offset,
+                            rtt_s=client.clock.rtt)
         return client
 
     def _drop_client(self, k: int) -> None:
@@ -811,12 +993,21 @@ class _QuestionRemote:
         for name, value in delta.items():
             self._totals[name] = self._totals.get(name, 0) + value
 
-    def _emit_events(self, events) -> None:
-        tracer = self._engine.tracer
-        if not tracer.enabled or not events:
-            return
-        for item in events:
-            tracer.emit(str(item[0]), **dict(item[1]))
+    def _emit_events(self, events, client: Optional[WorkerClient] = None,
+                     emitctx: Optional[tuple] = None,
+                     partial: bool = False) -> None:
+        """Fold one reply's buffered events through the parent tracer.
+        ``emitctx`` is the ``(worker_id, clock, window)`` triple captured
+        right after the carrying request (feeders capture it so the
+        merge thread can re-emit later without racing the client's
+        mutable ``last_window``); ``client`` is the immediate-fold
+        shorthand used on the prepare path."""
+        if client is not None and emitctx is None:
+            emitctx = (client.worker_id, client.clock, client.last_window)
+        worker_id, clock, window = emitctx if emitctx else (None, None, None)
+        _fold_worker_events(self._engine.tracer, events,
+                            worker_id=worker_id, clock=clock,
+                            window=window, partial=partial)
 
 
 def analyze_question_sharded(

@@ -213,6 +213,15 @@ def serve() -> int:
     qcontexts = {}
 
     def reply(payload: dict) -> None:
+        # Every reply carries the worker's monotonic clock (the
+        # parent's clock-offset handshake, repro.obs.clock) and drains
+        # the buffered trace events — error replies included, so a
+        # failed shard's telemetry still reaches the parent instead of
+        # leaking into the next reply.
+        payload["clock"] = time.perf_counter()
+        if tracer is not None and "events" not in payload:
+            payload["events"] = tracer.drain()
+            payload["events_total"] = tracer.events_total
         sys.stdout.write(json.dumps(payload) + "\n")
         sys.stdout.flush()
 
@@ -297,8 +306,6 @@ def serve() -> int:
                                qc.stats.consistency_checks,
                            "schedule_len": len(qc.schedule),
                            "solver_stats": _stats_snapshot(qc.solver)}
-                if tracer is not None:
-                    payload["events"] = tracer.drain()
                 reply(payload)
                 continue
             # qask: fast-forward the positions this worker missed, then
@@ -322,8 +329,6 @@ def serve() -> int:
                        "attempts": attempts, "dur_s": dur_s,
                        "solver_stats": _stats_delta(
                            before, _stats_snapshot(qc.solver))}
-            if tracer is not None:
-                payload["events"] = tracer.drain()
             reply(payload)
             continue
         if op != "analyze" or engine is None:
@@ -357,8 +362,6 @@ def serve() -> int:
             "cache_hits": (cache.question_hits - hits_before
                            if cache is not None else 0),
         }
-        if tracer is not None:
-            payload["events"] = tracer.drain()
         reply(payload)
     return 0
 

@@ -255,6 +255,11 @@ class Solver:
         elapsed = time.perf_counter() - start
         stats.record(outcome.result, elapsed, outcome.stats,
                      reason=outcome.reason)
+        # Check-latency histogram (repro-metrics/2). Unguarded: this is
+        # one no-op method call per check under the default NULL_TRACER,
+        # and --progress runs (RegistryTracer, enabled=False) must
+        # still see it.
+        tracer.observe("solver.check_seconds", elapsed)
         self.last_unknown_reason = (outcome.reason
                                     if outcome.result is UNKNOWN else None)
         if tracer.enabled:
