@@ -1,0 +1,169 @@
+"""Serving performance: warm ``repro serve`` vs per-invocation cold start.
+
+The daemon exists to amortize the cold start every one-shot ``repro
+analyze`` pays — interpreter boot, imports, model build — so the
+benchmark measures exactly that trade on the paper kernels:
+
+* **cold**: one full ``python -m repro analyze --json`` subprocess,
+  wall-clock end to end (what a CLI user pays per invocation);
+* **warm**: the *second* identical request to a live daemon over its
+  unix socket (the first primes the in-memory memo), wall-clock from
+  request write to reply read.
+
+The acceptance bar is ``warm < 25%% of cold`` per kernel — a repeat
+question to a warm daemon must cost a small fraction of re-running the
+CLI. Results land in ``BENCH_ANALYSIS.json`` under ``serving`` and are
+gated by ``benchmarks/check_regression.py``. The daemon is shut down
+with SIGTERM and must drain to exit 0 (the graceful-drain contract).
+
+Set ``REPRO_BENCH_QUICK=1`` to skip the slow LBM kernel.
+"""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import format_procedure
+from repro.programs import (build_gfmc, build_greengauss, build_lbm,
+                            build_stencil)
+from repro.serve import ServeClient
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK") == "1"
+
+#: warm repeat request must cost less than this fraction of a cold
+#: CLI invocation (per kernel; the max ratio is what the gate checks).
+WARM_OVER_COLD_BAR = 0.25
+
+KERNELS = {
+    "stencil8": (lambda: build_stencil(8, name="stencil_large"),
+                 "uold", "unew"),
+    "gfmc": (build_gfmc, "cl,cr", "cl,cr"),
+    "lbm": (build_lbm, "srcgrid", "dstgrid"),
+    "greengauss": (build_greengauss, "dv", "grad"),
+}
+
+SRC_ROOT = str(Path(__file__).resolve().parent.parent / "src")
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC_ROOT
+    return env
+
+
+def _spawn_daemon(tmp_path):
+    address = str(tmp_path / "serve.sock")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--socket", address],
+        env=_env(), cwd=str(tmp_path), stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE, text=True)
+    deadline = time.monotonic() + 30.0
+    while time.monotonic() < deadline:
+        try:
+            probe = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            probe.connect(address)
+            probe.close()
+            return proc, address
+        except OSError:
+            if proc.poll() is not None:
+                raise AssertionError(
+                    f"daemon died on start: {proc.stderr.read()}")
+            time.sleep(0.05)
+    proc.kill()
+    raise AssertionError("daemon never started listening")
+
+
+def _cold_analyze(src_path, ins, outs):
+    """Wall time of one full CLI invocation — the per-request price
+    without a daemon."""
+    start = time.perf_counter()
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro", "analyze", str(src_path),
+         "-i", ins, "-o", outs, "--json"],
+        env=_env(), capture_output=True, text=True)
+    elapsed = time.perf_counter() - start
+    assert proc.returncode == 0, proc.stderr
+    return elapsed
+
+
+@pytest.mark.figure("analysis-perf")
+def test_warm_daemon_beats_cold_start(tmp_path):
+    names = [n for n in KERNELS if not (QUICK and n == "lbm")]
+    daemon, address = _spawn_daemon(tmp_path)
+    results = {}
+    try:
+        client = ServeClient(address)
+        try:
+            for name in names:
+                builder, ins, outs = KERNELS[name]
+                proc = builder()
+                source = format_procedure(proc)
+                src_path = tmp_path / f"{name}.f90"
+                src_path.write_text(source)
+                head = proc.name
+                independents = ins.split(",")
+                dependents = outs.split(",")
+
+                cold_s = _cold_analyze(src_path, ins, outs)
+
+                # prime the daemon (its own cold run), then measure
+                # the repeat — the serving hot path under test
+                first = client.analyze(source, head, independents,
+                                       dependents)
+                assert first["served_from"] == "cold", name
+                start = time.perf_counter()
+                again = client.analyze(source, head, independents,
+                                       dependents)
+                warm_s = time.perf_counter() - start
+                assert again["served_from"] == "memo", name
+                assert again["loops"] == first["loops"], name
+
+                results[name] = {
+                    "cold_s": cold_s,
+                    "warm_s": warm_s,
+                    "warm_over_cold": warm_s / max(cold_s, 1e-9),
+                }
+        finally:
+            client.close()
+    finally:
+        if daemon.poll() is None:
+            daemon.send_signal(signal.SIGTERM)
+        try:
+            _, stderr = daemon.communicate(timeout=30.0)
+        except subprocess.TimeoutExpired:
+            daemon.kill()
+            _, stderr = daemon.communicate()
+            raise AssertionError("daemon did not drain after SIGTERM")
+    # the drain contract: SIGTERM -> answered requests -> exit 0
+    assert daemon.returncode == 0, stderr
+    assert "drained, exiting" in stderr
+
+    worst = max(r["warm_over_cold"] for r in results.values())
+    for name, entry in results.items():
+        assert entry["warm_over_cold"] < WARM_OVER_COLD_BAR, (
+            f"{name}: warm repeat took {entry['warm_s']:.3f}s, "
+            f"{entry['warm_over_cold']:.0%} of the {entry['cold_s']:.3f}s "
+            f"cold invocation (bar {WARM_OVER_COLD_BAR:.0%})")
+
+    path = Path(__file__).resolve().parent.parent / "BENCH_ANALYSIS.json"
+    doc = {}
+    if path.exists():
+        try:
+            doc = json.loads(path.read_text())
+        except ValueError:
+            doc = {}
+    doc["serving"] = {
+        "cpus": os.cpu_count(),
+        "quick_mode": QUICK,
+        "bar": WARM_OVER_COLD_BAR,
+        "warm_over_cold_max": worst,
+        "kernels": results,
+    }
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")

@@ -159,6 +159,15 @@ def build_parser() -> argparse.ArgumentParser:
                         "settled loops across runs (schema repro-cache/1, "
                         "keyed by the invocation fingerprint); a rerun "
                         "answers from DIR instead of the solver")
+    p.add_argument("--cache-max-bytes", type=int, default=None, metavar="N",
+                   help="size budget for --cache-dir: after the run, "
+                        "evict least-recently-used fingerprint files "
+                        "until the store fits N bytes (docs/SCALING.md)")
+    p.add_argument("--connect", default=None, metavar="ADDR",
+                   help="send the analysis to a running 'repro serve' "
+                        "daemon (unix-socket path or HOST:PORT) instead "
+                        "of analyzing in-process; output is byte-"
+                        "identical modulo wall-clock timers")
     p.add_argument("--trace", default=None, metavar="OUT.jsonl",
                    help="record the structured provenance/span event "
                         "stream (replay with 'repro explain/profile')")
@@ -198,6 +207,57 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strict", action="store_true",
                    help="exit non-zero (status 3) when any loop degraded "
                         "or any question timed out")
+
+    p = sub.add_parser("serve", parents=[common],
+                       help="run the long-lived analysis daemon "
+                            "(schema repro-serve/1; clients attach with "
+                            "'repro analyze --connect ADDR')")
+    p.add_argument("--socket", default=None, metavar="PATH",
+                   help="listen on this unix-domain socket path")
+    p.add_argument("--tcp", default=None, metavar="HOST:PORT",
+                   help="listen on this localhost TCP address instead "
+                        "of a unix socket")
+    p.add_argument("--jobs", type=int, default=None,
+                   help="worker fan-out per analysis (threads, or the "
+                        "warm process pool size with --backend process)")
+    p.add_argument("--backend", choices=("thread", "process"),
+                   default="thread",
+                   help="in-process analysis per request ('thread', "
+                        "default) or a persistent worker-process pool "
+                        "kept warm across requests ('process')")
+    p.add_argument("--cache-dir", default=None, metavar="DIR",
+                   help="answer repeat requests across daemon restarts "
+                        "from this repro-cache/1 store")
+    p.add_argument("--cache-max-bytes", type=int, default=None,
+                   metavar="N",
+                   help="size budget for --cache-dir, enforced by LRU "
+                        "eviction after every analysis that stores")
+    p.add_argument("--kill-timeout", type=float, default=60.0, metavar="S",
+                   help="hard wall-clock cap per worker request with "
+                        "--backend process (default 60)")
+
+    p = sub.add_parser("cache", parents=[common],
+                       help="manage a --cache-dir verdict-cache store: "
+                            "stats, offline compaction, LRU eviction")
+    p.add_argument("action", choices=("stats", "compact", "evict"),
+                   help="'stats' = size/usage summary; 'compact' = "
+                        "rewrite files without duplicate records "
+                        "(conflicting verdicts are an error unless "
+                        "--drop-conflicts); 'evict' = delete least-"
+                        "recently-used fingerprint files past "
+                        "--max-bytes")
+    p.add_argument("--cache-dir", required=True, metavar="DIR",
+                   help="the store directory")
+    p.add_argument("--fingerprint", default=None,
+                   help="compact only this fingerprint's file "
+                        "(default: every file in the store)")
+    p.add_argument("--max-bytes", type=int, default=None, metavar="N",
+                   help="the eviction budget (required for 'evict')")
+    p.add_argument("--drop-conflicts", action="store_true",
+                   help="compaction: remove conflicting record keys "
+                        "(they will be re-asked) instead of refusing")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
 
     p = sub.add_parser("differentiate", parents=[common],
                        help="generate the reverse-mode (adjoint) procedure")
@@ -400,6 +460,8 @@ def _run_analyze(args, proc, independents, dependents) -> int:
     from .resilience import (JOURNAL_SCHEMA, EscalationPolicy, JournalError,
                              JournalWriter, ResumeState, journal_fingerprint)
 
+    if args.connect:
+        return _run_analyze_connected(args, proc, independents, dependents)
     escalation = None
     if args.escalate and args.escalate > 1:
         escalation = EscalationPolicy(max_attempts=args.escalate)
@@ -526,19 +588,37 @@ def _run_analyze(args, proc, independents, dependents) -> int:
                 print(json.dumps(registry.snapshot(), sort_keys=True),
                       file=sys.stderr, flush=True)
         tracer.close()
+    if args.cache_dir and args.cache_max_bytes is not None:
+        from .resilience import CacheStore
+        evicted = CacheStore(args.cache_dir,
+                             max_bytes=args.cache_max_bytes).evict()
+        if evicted:
+            print(f"cache: evicted {len(evicted)} least-recently-used "
+                  f"fingerprint file(s) to fit --cache-max-bytes "
+                  f"{args.cache_max_bytes}", file=sys.stderr)
     if cache is not None and not args.json:
         print(f"cache: {cache.loop_hits} loop hit(s), "
               f"{cache.question_hits} question hit(s), "
               f"{cache.loop_stores} loop(s) and "
               f"{cache.question_stores} question(s) stored in "
               f"{args.cache_dir}", file=sys.stderr)
+    return _finish_analyze(args, proc, analyses, outcomes,
+                           cache_summary=(cache.summary_data()
+                                          if cache is not None else None))
+
+
+def _finish_analyze(args, proc, analyses, outcomes=None,
+                    cache_summary=None) -> int:
+    """The shared result tail of every analyze path — in-process,
+    sharded, and ``--connect`` — so daemon answers render through
+    exactly the code the local run uses (byte-identity by
+    construction)."""
     degraded = sum(1 for a in analyses if a.degraded)
     timed_out = sum(a.stats.timed_out_questions for a in analyses)
     strict_failure = args.strict and (degraded or timed_out)
     if args.json:
         print(_analysis_json(proc, analyses, outcomes,
-                             cache=(cache.summary_data()
-                                    if cache is not None else None)))
+                             cache=cache_summary))
         return 3 if strict_failure else 0
     if not analyses:
         print("no parallel loops found")
@@ -582,6 +662,123 @@ def _run_analyze(args, proc, independents, dependents) -> int:
     return 0
 
 
+def _run_analyze_connected(args, proc, independents, dependents) -> int:
+    """``analyze --connect ADDR``: ship the analysis to a running
+    ``repro serve`` daemon. Runtime flags that configure the
+    *in-process* engine are rejected — the daemon owns its runtime."""
+    from .analysis import ActivityAnalysis
+    from .formad import FormADEngine
+    from .serve import ServeError, analyze_connected
+
+    rejected = [name for name, live in (
+        ("--isolate", args.isolate),
+        ("--journal", args.journal),
+        ("--resume", args.resume),
+        ("--cache-dir", args.cache_dir),
+        ("--cache-max-bytes", args.cache_max_bytes is not None),
+        ("--trace", args.trace),
+        ("--progress", args.progress is not None),
+        ("--jobs", args.jobs),
+        ("--backend", args.backend != "thread"),
+        ("--shard-unit", args.shard_unit != "loop"),
+    ) if live]
+    if rejected:
+        print(f"error: --connect sends the analysis to the daemon; "
+              f"{', '.join(rejected)} configure the in-process runtime "
+              f"— set them on 'repro serve' instead", file=sys.stderr)
+        return 1
+    activity = ActivityAnalysis(proc, independents, dependents)
+    # Never run locally: provides the loop keys the reply is matched
+    # against and the fingerprint flags the daemon keys the memo on.
+    engine = FormADEngine(proc, activity)
+    with open(args.file) as fh:
+        source = fh.read()
+    try:
+        analyses = analyze_connected(
+            engine, source, proc.name, independents, dependents,
+            address=args.connect, deadline=args.deadline,
+            question_timeout=args.question_timeout,
+            escalate=args.escalate or 1)
+    except ServeError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    return _finish_analyze(args, proc, analyses)
+
+
+def _run_serve(args) -> int:
+    from .serve import ServeConfig, run_daemon
+    if bool(args.socket) == bool(args.tcp):
+        print("error: serve needs exactly one of --socket PATH or "
+              "--tcp HOST:PORT", file=sys.stderr)
+        return 2
+    config = ServeConfig(args.socket or args.tcp, jobs=args.jobs,
+                         backend=args.backend, cache_dir=args.cache_dir,
+                         cache_max_bytes=args.cache_max_bytes,
+                         kill_timeout=args.kill_timeout)
+    try:
+        return run_daemon(config)
+    except OSError as exc:
+        print(f"error: cannot serve on {config.address!r}: {exc}",
+              file=sys.stderr)
+        return 1
+
+
+def _run_cache(args) -> int:
+    from .resilience import CacheConflictError, CacheStore, CacheStoreError
+
+    store = CacheStore(args.cache_dir, max_bytes=args.max_bytes)
+    if args.action == "stats":
+        doc = store.stats()
+        doc["files_lru"] = [
+            {"fingerprint": fp, "bytes": size}
+            for fp, size, _ in store.usage()]
+        if args.json:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            print(f"cache store {args.cache_dir}: {doc['files']} file(s), "
+                  f"{doc['total_bytes']} byte(s)"
+                  + (f", budget {doc['max_bytes']}"
+                     if doc["max_bytes"] is not None else ""))
+            for entry in doc["files_lru"]:
+                print(f"  {entry['fingerprint']}  {entry['bytes']} B")
+        return 0
+    if args.action == "evict":
+        if args.max_bytes is None:
+            print("error: evict needs --max-bytes N", file=sys.stderr)
+            return 2
+        evicted = store.evict()
+        doc = {"evicted": evicted, **store.stats()}
+        if args.json:
+            print(json.dumps(doc, indent=2, sort_keys=True))
+        else:
+            print(f"evicted {len(evicted)} file(s); store now "
+                  f"{doc['total_bytes']} byte(s)")
+        return 0
+    # compact
+    try:
+        summaries = store.compact(args.fingerprint,
+                                  drop_conflicts=args.drop_conflicts)
+    except CacheConflictError as exc:
+        print(f"error: {exc}\nhint: rerun with --drop-conflicts to "
+              f"remove the conflicting keys (they will be re-asked)",
+              file=sys.stderr)
+        return 1
+    except CacheStoreError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps({"compacted": summaries}, indent=2,
+                         sort_keys=True))
+    else:
+        for s in summaries:
+            print(f"{s['fingerprint']}: {s['records_before']} -> "
+                  f"{s['records_after']} record(s) "
+                  f"({s['duplicates_squashed']} duplicate(s) squashed, "
+                  f"{s['conflicts_dropped']} conflict(s) dropped, "
+                  f"{s['damaged_lines_dropped']} damaged line(s))")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         return _dispatch(argv)
@@ -597,6 +794,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     _configure_logging(getattr(args, "log_level", None))
+    if args.command == "serve":
+        return _run_serve(args)
+    if args.command == "cache":
+        return _run_cache(args)
     if args.command == "audit":
         return _run_audit(args)
     if args.command == "explain":

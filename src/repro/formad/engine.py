@@ -668,6 +668,10 @@ class FormADEngine:
         from ..resilience.journal import rebuild_analysis
         analysis = rebuild_analysis(loop, done, self._vcache.verdicts(key),
                                     resumed=False)
+        # The cache stores only clean loops, so the replay *is* settled
+        # clean knowledge: mark it cacheable so run-level consumers
+        # (the serve daemon's memo) treat warm and cold runs alike.
+        analysis.cacheable = True
         self._vcache.loop_hits += 1
         logger.info("loop over %r: replayed settled verdicts from the "
                     "cross-run cache", loop.var)

@@ -104,7 +104,8 @@ OPTIONAL_FIELDS: Dict[str, Tuple[str, ...]] = {
     # The schedule position the stolen fast-forward reached.
     "steal": ("position",),
     # Per-kind miss counts and the damaged-line tally of the cache file.
-    "cache_summary": ("loop_misses", "question_misses", "dropped_lines"),
+    "cache_summary": ("loop_misses", "question_misses", "dropped_lines",
+                      "hits", "conflicts"),
     # The registry snapshot's schema tag and histogram section
     # (repro-metrics/2; older traces carry bare counters/gauges).
     "metrics": ("schema", "histograms"),

@@ -96,8 +96,12 @@ class RegistryTracer(NullTracer):
     is still guarded behind ``if tracer.enabled:`` and never happens.
     """
 
-    def __init__(self) -> None:
-        self.registry = MetricsRegistry()
+    def __init__(self, registry: "Optional[MetricsRegistry]" = None) -> None:
+        # A caller-provided registry accumulates across runs — the
+        # ``repro serve`` daemon threads one registry through every
+        # request's tracer so its /stats counters are daemon-lifetime.
+        self.registry = registry if registry is not None else \
+            MetricsRegistry()
 
     def counter(self, name: str, value: int = 1) -> None:
         self.registry.counter(name, value)

@@ -24,24 +24,27 @@ The analysis must degrade, never fail (docs/RESILIENCE.md):
   journal fingerprint.
 """
 
-from .cache import CACHE_SCHEMA, VerdictCache
+from .cache import (CACHE_SCHEMA, CacheConflictError, CacheStore,
+                    CacheStoreError, VerdictCache)
 from .deadline import Deadline
 from .escalate import EscalationPolicy
 from .journal import (JOURNAL_SCHEMA, JournalError, JournalWriter,
                       ResumeState, journal_fingerprint, read_journal,
                       rebuild_analysis)
 from .shards import (QuestionShardingLost, ShardConfig, WorkerClient,
-                     WorkerGone, analyze_program_remote,
+                     WorkerGone, WorkerPool, analyze_program_remote,
                      analyze_question_sharded, analyze_sharded,
                      resolve_backend)
 from .workers import IsolationConfig, WorkerOutcome, analyze_isolated
 
 __all__ = [
-    "CACHE_SCHEMA", "VerdictCache",
+    "CACHE_SCHEMA", "CacheConflictError", "CacheStore", "CacheStoreError",
+    "VerdictCache",
     "Deadline", "EscalationPolicy",
     "JOURNAL_SCHEMA", "JournalError", "JournalWriter", "ResumeState",
     "journal_fingerprint", "read_journal", "rebuild_analysis",
     "QuestionShardingLost", "ShardConfig", "WorkerClient", "WorkerGone",
+    "WorkerPool",
     "analyze_program_remote", "analyze_question_sharded", "analyze_sharded",
     "resolve_backend",
     "IsolationConfig", "WorkerOutcome", "analyze_isolated",

@@ -1,4 +1,5 @@
-"""The disk-backed cross-run verdict cache (schema ``repro-cache/1``).
+"""The disk-backed cross-run verdict cache (schema ``repro-cache/1``),
+managed as a real store.
 
 ``analyze --cache-dir DIR`` persists settled analysis results *across*
 invocations: run the same analysis twice and the second run answers
@@ -36,27 +37,183 @@ Question records are the insurance layer: a run that crashes mid-loop
 still leaves its decided questions behind, and the next run answers
 those from disk even though the loop never settled.
 
-Writers and readers: the CLI parent process holds the single writable
-handle (via :class:`~repro.resilience.journal.JournalWriter`, which is
-also why :class:`VerdictCache` satisfies the journal writer contract —
-``record``/``close``/``appending``); ``--backend process`` serve
-workers open the same file ``readonly`` for question lookups and ship
-new results back to the parent, which stores them. Nothing is ever
-deleted or rewritten in place; rerunning with a fresh fingerprint
-simply starts a new file.
+**Writers are exclusive.** A writable :class:`VerdictCache` takes an
+advisory ``flock`` on ``<fingerprint>.jsonl.lock`` for its whole
+lifetime; a second concurrent writer on the same fingerprint cannot
+append (it degrades to read-only lookups with a warning) — two
+processes can therefore never interleave contradictory records into
+one file. ``--backend process`` serve workers open the file
+``readonly`` for question lookups (no lock — the CRC codec drops any
+torn tail they race against) and ship new results back to the parent,
+the single writer, which stores them.
+
+**The loader never takes a side.** Files written before the lock
+existed (or through byte corruption) can carry two records for the
+same key with different answers. :func:`reconcile_records` squashes
+exact duplicates silently, but a genuinely *conflicting* key — same
+(loop, ctx, question) with different results, or a loop with two
+disagreeing ``loop_done``/``verdict`` payloads — is logged and dropped
+entirely, so the affected question/loop is re-asked instead of
+silently trusting whichever record happened to land last.
+
+:class:`CacheStore` is the directory-level manager: it opens
+per-fingerprint caches, enforces a size budget with LRU eviction
+(recency = file mtime, bumped on every valid open), and compacts
+files offline — squashing duplicates and surfacing conflicts as
+:class:`CacheConflictError` — using the journal's
+write-temp + fsync + atomic-rename idiom so a crash mid-compaction
+leaves the original file intact.
 """
 
 from __future__ import annotations
 
+import json
 import logging
 import os
 from typing import Dict, List, Optional, Tuple
 
-from .journal import (JournalWriter, ResumeState, read_journal)
+from .journal import (JournalWriter, ResumeState, _encode_line, read_journal)
+
+try:  # advisory locking is POSIX-only; elsewhere writers go unlocked
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platform
+    fcntl = None
 
 logger = logging.getLogger(__name__)
 
 CACHE_SCHEMA = "repro-cache/1"
+
+#: Suffix of the advisory writer-lock file next to each cache file.
+LOCK_SUFFIX = ".lock"
+
+#: Suffix of the compaction scratch file (never matched by the store's
+#: ``*.jsonl`` listing, so a crash mid-compaction leaves no half-state
+#: a loader could pick up).
+COMPACT_SUFFIX = ".compact.tmp"
+
+
+class CacheStoreError(RuntimeError):
+    """The store cannot perform the requested maintenance operation."""
+
+
+class CacheConflictError(CacheStoreError):
+    """A cache file carries contradictory records for the same key —
+    the fossil of two unlocked concurrent writers. Compaction refuses
+    to pick a winner unless explicitly told to drop the conflicting
+    keys (they are then re-asked on the next analysis)."""
+
+    def __init__(self, path: str, conflicts: List[str]) -> None:
+        self.path = path
+        self.conflicts = list(conflicts)
+        super().__init__(
+            f"{path}: {len(conflicts)} conflicting record key(s): "
+            + "; ".join(conflicts))
+
+
+class FileLock:
+    """A non-blocking advisory ``flock`` on one lock file.
+
+    ``flock`` locks are per open-file-description, so two
+    :class:`VerdictCache` instances conflict even inside one process —
+    exactly the contention the lock exists to detect. On platforms
+    without ``fcntl`` the lock degrades to a no-op (documented:
+    concurrent writers are only excluded on POSIX)."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._fd: Optional[int] = None
+
+    def acquire(self) -> bool:
+        if fcntl is None:  # pragma: no cover - non-POSIX platform
+            return True
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            fcntl.flock(fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            os.close(fd)
+            return False
+        self._fd = fd
+        return True
+
+    def release(self) -> None:
+        if self._fd is not None:
+            try:
+                fcntl.flock(self._fd, fcntl.LOCK_UN)
+            finally:
+                os.close(self._fd)
+                self._fd = None
+
+    @property
+    def held(self) -> bool:
+        return fcntl is None or self._fd is not None
+
+
+def _record_key(record: dict) -> Optional[tuple]:
+    """The identity under which *record* may legally appear once."""
+    kind = record.get("kind")
+    if kind == "question":
+        return ("question", record.get("loop"), record.get("ctx"),
+                record.get("q"))
+    if kind == "loop_done":
+        return ("loop_done", record.get("loop"))
+    if kind == "verdict":
+        return ("verdict", record.get("loop"), record.get("array"))
+    return None
+
+
+def reconcile_records(records: List[dict], *, path: str = "<cache>",
+                      ) -> Tuple[List[dict], int, List[str]]:
+    """``(kept, duplicates, conflicts)`` of a recovered record list.
+
+    Exact duplicate records (same key, byte-identical payload — e.g. a
+    worker-replayed loop journaled twice) squash to one. A key whose
+    records *disagree* is a conflict: every record under it is dropped
+    — for a conflicting ``loop_done``/``verdict`` the loop's wholesale
+    replay is withdrawn entirely (its question records survive on
+    their own keys) — and the conflict is reported, never resolved by
+    taking the last writer."""
+    canonical: Dict[tuple, str] = {}
+    conflicts: List[str] = []
+    conflicting_keys: set = set()
+    conflicting_loops: set = set()
+    duplicates = 0
+    for record in records:
+        key = _record_key(record)
+        if key is None:
+            continue
+        canon = json.dumps(record, sort_keys=True)
+        prev = canonical.get(key)
+        if prev is None:
+            canonical[key] = canon
+        elif prev == canon:
+            duplicates += 1
+        elif key not in conflicting_keys:
+            conflicting_keys.add(key)
+            conflicts.append(":".join(str(part) for part in key))
+            if key[0] in ("loop_done", "verdict"):
+                conflicting_loops.add(record.get("loop"))
+    kept: List[dict] = []
+    emitted: set = set()
+    for record in records:
+        key = _record_key(record)
+        if key is None:
+            kept.append(record)
+            continue
+        if key in emitted or key in conflicting_keys:
+            continue
+        if key[0] in ("loop_done", "verdict") \
+                and record.get("loop") in conflicting_loops:
+            continue
+        emitted.add(key)
+        kept.append(record)
+    if conflicts:
+        logger.warning(
+            "verdict cache %s holds conflicting records for %d key(s) "
+            "(%s): dropping them so they are re-asked — likely two "
+            "unlocked concurrent writers; run 'repro cache compact "
+            "--drop-conflicts' to repair the file",
+            path, len(conflicts), ", ".join(conflicts[:5]))
+    return kept, duplicates, conflicts
 
 
 class VerdictCache:
@@ -65,7 +222,10 @@ class VerdictCache:
     ``readonly=True`` opens the file for lookups only (the serve-worker
     mode): ``record``/``store_*`` become no-ops, and a missing or
     damaged file is simply an empty cache. A writable cache creates
-    ``cache_dir`` on demand and appends through a
+    ``cache_dir`` on demand, takes the fingerprint's advisory writer
+    lock — if another writer holds it, this cache degrades to
+    read-only lookups (``lock_contended``) instead of corrupting the
+    file — and appends through a
     :class:`~repro.resilience.journal.JournalWriter` (fsync off — the
     cache is an accelerator, not the durability layer; a torn tail is
     dropped by the CRC codec on the next load).
@@ -75,7 +235,6 @@ class VerdictCache:
                  readonly: bool = False) -> None:
         self.cache_dir = cache_dir
         self.fingerprint = fingerprint
-        self.readonly = readonly
         self.path = os.path.join(cache_dir, f"{fingerprint}.jsonl")
         # Lookup hits / misses / fresh stores, for the end-of-run
         # summary and the ``cache.*`` metric counters.
@@ -85,6 +244,23 @@ class VerdictCache:
         self.loop_misses = 0
         self.question_stores = 0
         self.loop_stores = 0
+        #: True when a writable open found another live writer and
+        #: degraded to read-only lookups.
+        self.lock_contended = False
+        self._lock: Optional[FileLock] = None
+        if not readonly:
+            os.makedirs(cache_dir, exist_ok=True)
+            lock = FileLock(self.path + LOCK_SUFFIX)
+            if lock.acquire():
+                self._lock = lock
+            else:
+                logger.warning(
+                    "verdict cache %s is held by another writer; this "
+                    "run degrades to read-only lookups (nothing will "
+                    "be stored)", self.path)
+                self.lock_contended = True
+                readonly = True
+        self.readonly = readonly
         state, valid = self._load()
         self._state = state
         #: CRC-damaged lines the loader truncated away on read.
@@ -92,16 +268,27 @@ class VerdictCache:
         self._writer: Optional[JournalWriter] = None
         self.appending = valid
         if not readonly:
-            os.makedirs(cache_dir, exist_ok=True)
             # A damaged/foreign file is abandoned (truncated), not
             # appended to: its records failed validation above.
             self._writer = JournalWriter(
                 self.path, append=valid, fsync=False,
                 meta={"schema": CACHE_SCHEMA, "fingerprint": fingerprint})
+        elif valid:
+            # LRU recency for the store's size budget: any valid open
+            # counts as a use (writable opens touch mtime by writing).
+            try:
+                os.utime(self.path, None)
+            except OSError:  # pragma: no cover - unwritable directory
+                pass
 
     def _load(self) -> Tuple[ResumeState, bool]:
         """Index the existing cache file; ``valid`` is False when the
-        file is absent or its meta does not match this invocation."""
+        file is absent or its meta does not match this invocation.
+        Duplicate records squash; conflicting keys are logged and
+        dropped (:func:`reconcile_records`) — never last-writer-wins.
+        """
+        self.conflicts = 0
+        self.duplicate_records = 0
         if not os.path.exists(self.path):
             return ResumeState(None, []), False
         meta, records, dropped = read_journal(self.path)
@@ -113,6 +300,9 @@ class VerdictCache:
         if dropped:
             logger.info("verdict cache %s: dropped %d damaged line(s)",
                         self.path, dropped)
+        records, self.duplicate_records, conflict_keys = \
+            reconcile_records(records, path=self.path)
+        self.conflicts = len(conflict_keys)
         return ResumeState(meta, records, dropped), True
 
     # ------------------------------------------------------------ lookups
@@ -208,6 +398,9 @@ class VerdictCache:
     # ------------------------------------------------------------ summary
     @property
     def hits(self) -> int:
+        """Total replay hits, loop-wholesale and per-question — the
+        one-number health signal ``summary_data`` exports as ``hits``
+        (and the CLI as the ``cache.hits`` metric counter)."""
         return self.question_hits + self.loop_hits
 
     def summary(self) -> str:
@@ -221,15 +414,178 @@ class VerdictCache:
         """The structured end-of-run summary: the ``cache_summary``
         trace event's payload and ``analyze --json``'s ``cache`` key."""
         return {"path": self.path,
+                "hits": self.hits,
                 "loop_hits": self.loop_hits,
                 "question_hits": self.question_hits,
                 "loop_misses": self.loop_misses,
                 "question_misses": self.question_misses,
                 "loop_stores": self.loop_stores,
                 "question_stores": self.question_stores,
+                "conflicts": self.conflicts,
                 "dropped_lines": self.dropped_lines}
 
     def close(self) -> None:
         if self._writer is not None:
             self._writer.close()
             self._writer = None
+        if self._lock is not None:
+            self._lock.release()
+            self._lock = None
+
+
+class CacheStore:
+    """The directory-level manager of a ``--cache-dir`` store.
+
+    One store = one directory of per-fingerprint cache files plus
+    their writer-lock files. The store adds the lifecycle operations a
+    bag of append-only files lacks:
+
+    * :meth:`open` — a (locked) :class:`VerdictCache` for one
+      fingerprint;
+    * :meth:`evict` — LRU eviction by fingerprint file until the
+      store fits ``max_bytes`` (recency = mtime; files whose writer
+      lock is currently held are never evicted);
+    * :meth:`compact` — offline rewrite squashing duplicate records
+      and *detecting* conflicting verdicts
+      (:class:`CacheConflictError`) instead of last-writer-wins, via
+      write-temp + fsync + atomic rename so a crash mid-compaction
+      leaves a loadable store.
+    """
+
+    def __init__(self, cache_dir: str,
+                 max_bytes: Optional[int] = None) -> None:
+        self.cache_dir = cache_dir
+        self.max_bytes = max_bytes
+
+    # ------------------------------------------------------------- access
+    def open(self, fingerprint: str, *,
+             readonly: bool = False) -> VerdictCache:
+        return VerdictCache(self.cache_dir, fingerprint, readonly=readonly)
+
+    def usage(self) -> List[Tuple[str, int, float]]:
+        """``(fingerprint, bytes, mtime)`` per cache file, least
+        recently used first."""
+        entries: List[Tuple[str, int, float]] = []
+        if not os.path.isdir(self.cache_dir):
+            return entries
+        for name in os.listdir(self.cache_dir):
+            if not name.endswith(".jsonl"):
+                continue
+            path = os.path.join(self.cache_dir, name)
+            try:
+                stat = os.stat(path)
+            except OSError:  # pragma: no cover - raced deletion
+                continue
+            entries.append((name[:-len(".jsonl")], stat.st_size,
+                            stat.st_mtime))
+        entries.sort(key=lambda entry: (entry[2], entry[0]))
+        return entries
+
+    def total_bytes(self) -> int:
+        return sum(size for _, size, _ in self.usage())
+
+    def stats(self) -> dict:
+        usage = self.usage()
+        return {"cache_dir": self.cache_dir,
+                "files": len(usage),
+                "total_bytes": sum(size for _, size, _ in usage),
+                "max_bytes": self.max_bytes}
+
+    # ----------------------------------------------------------- eviction
+    def evict(self, max_bytes: Optional[int] = None) -> List[str]:
+        """Delete least-recently-used fingerprint files until the store
+        fits the byte budget. Files whose writer lock is currently held
+        are in live use and are skipped. Returns the evicted
+        fingerprints, oldest first."""
+        budget = self.max_bytes if max_bytes is None else max_bytes
+        if budget is None:
+            return []
+        usage = self.usage()
+        total = sum(size for _, size, _ in usage)
+        evicted: List[str] = []
+        for fingerprint, size, _ in usage:
+            if total <= budget:
+                break
+            path = os.path.join(self.cache_dir, f"{fingerprint}.jsonl")
+            lock = FileLock(path + LOCK_SUFFIX)
+            if not lock.acquire():
+                logger.info("cache evict: %s is in live use; skipped",
+                            path)
+                continue
+            try:
+                try:
+                    os.unlink(path)
+                except FileNotFoundError:  # pragma: no cover - raced
+                    continue
+                try:
+                    os.unlink(path + LOCK_SUFFIX)
+                except OSError:  # pragma: no cover
+                    pass
+            finally:
+                lock.release()
+            total -= size
+            evicted.append(fingerprint)
+            logger.info("cache evict: removed %s (%d bytes)", path, size)
+        return evicted
+
+    # --------------------------------------------------------- compaction
+    def compact(self, fingerprint: Optional[str] = None, *,
+                drop_conflicts: bool = False) -> List[dict]:
+        """Rewrite cache files without their duplicate records.
+
+        Conflicting keys (contradictory verdicts for the same
+        question or loop) raise :class:`CacheConflictError` unless
+        ``drop_conflicts`` is set, in which case they are removed so
+        the next analysis re-asks them. Each file is rewritten under
+        its writer lock via the journal's write-temp + fsync + atomic
+        rename idiom: a crash at any point leaves either the old or
+        the new file, both loadable. Returns one summary dict per
+        compacted file."""
+        fingerprints = ([fingerprint] if fingerprint is not None
+                        else [fp for fp, _, _ in self.usage()])
+        summaries: List[dict] = []
+        for fp in fingerprints:
+            path = os.path.join(self.cache_dir, f"{fp}.jsonl")
+            if not os.path.exists(path):
+                raise CacheStoreError(f"no cache file for fingerprint "
+                                      f"{fp!r} in {self.cache_dir}")
+            lock = FileLock(path + LOCK_SUFFIX)
+            if not lock.acquire():
+                raise CacheStoreError(
+                    f"{path} is held by a live writer; compact later")
+            try:
+                summaries.append(self._compact_one(fp, path,
+                                                   drop_conflicts))
+            finally:
+                lock.release()
+        return summaries
+
+    def _compact_one(self, fingerprint: str, path: str,
+                     drop_conflicts: bool) -> dict:
+        meta, records, dropped = read_journal(path)
+        if meta is None or meta.get("schema") != CACHE_SCHEMA:
+            raise CacheStoreError(f"{path} has no valid repro-cache/1 "
+                                  f"header; refusing to compact")
+        kept, duplicates, conflicts = reconcile_records(records, path=path)
+        if conflicts and not drop_conflicts:
+            raise CacheConflictError(path, conflicts)
+        tmp = path + COMPACT_SUFFIX
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(_encode_line(meta))
+            for record in kept:
+                fh.write(_encode_line(record))
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+        dirfd = os.open(os.path.dirname(os.path.abspath(path)),
+                        os.O_RDONLY)
+        try:
+            os.fsync(dirfd)
+        finally:
+            os.close(dirfd)
+        return {"fingerprint": fingerprint,
+                "records_before": len(records),
+                "records_after": len(kept),
+                "duplicates_squashed": duplicates,
+                "conflicts_dropped": len(conflicts),
+                "damaged_lines_dropped": dropped}

@@ -134,7 +134,8 @@ class WorkerClient:
     never deadlock on a full pipe.
     """
 
-    def __init__(self, config: ShardConfig, init_request: dict,
+    def __init__(self, config: ShardConfig,
+                 init_request: Optional[dict] = None,
                  worker_id: Optional[str] = None) -> None:
         #: Stable pool-slot identity ("w0", "w1", ...) stamped onto
         #: every trace event this worker's replies carry.
@@ -146,6 +147,9 @@ class WorkerClient:
         self.last_window: Optional[Tuple[float, float]] = None
         #: Wall-clock seconds this client spent serving requests.
         self.busy_s = 0.0
+        #: The loop keys the worker sees (a cheap contract check),
+        #: populated by :meth:`init`.
+        self.loops: List[str] = []
         self._proc = subprocess.Popen(
             [config.python, "-m", "repro.resilience.worker", "--serve"],
             stdin=subprocess.PIPE, stdout=subprocess.PIPE,
@@ -155,11 +159,18 @@ class WorkerClient:
         self._stderr_tail: deque = deque(maxlen=20)
         threading.Thread(target=self._read_stdout, daemon=True).start()
         threading.Thread(target=self._read_stderr, daemon=True).start()
-        reply = self.request(init_request, timeout=config.kill_timeout)
+        if init_request is not None:
+            self.init(init_request, timeout=config.kill_timeout)
+
+    def init(self, init_request: dict, timeout: float) -> None:
+        """(Re-)initialize the worker for one analysis run. A serve
+        worker builds a fresh engine per init (and clears its clausify
+        cache), so re-initing an already-warm worker is the pool's way
+        of starting a new run without paying the process spawn."""
+        reply = self.request(init_request, timeout=timeout)
         if not reply.get("ok"):
             raise WorkerGone("crash", f"worker init failed: {reply!r}")
-        #: The loop keys the worker sees (a cheap contract check).
-        self.loops: List[str] = list(reply.get("loops", []))
+        self.loops = list(reply.get("loops", []))
 
     # ------------------------------------------------------------ plumbing
     def _read_stdout(self) -> None:
@@ -248,6 +259,102 @@ class WorkerClient:
             self.kill()
 
 
+class WorkerPool:
+    """A caller-owned pool of persistent serve workers.
+
+    Historically the pool lived and died inside one
+    :func:`analyze_sharded` call, so every invocation paid the full
+    spawn + interpreter-boot cost. This class moves pool lifetime to
+    the caller: the ``repro serve`` daemon keeps one pool warm across
+    requests, while the one-shot CLI path builds a throwaway pool per
+    run (same behavior as before).
+
+    The pool is *lazily* populated: slot ``k`` spawns on its first
+    :meth:`client` call and stays alive until it dies
+    (:meth:`drop`) or the pool shuts down. Each analysis run starts
+    with :meth:`begin_run`, which bumps a run tag; a slot whose tag is
+    stale is re-initialized (cheap — engine construction, no model
+    build) before serving its first request of the run. The re-init is
+    mandatory even for a repeated identical run: serve workers memoize
+    per-loop results and drain their record buffers per reply, so a
+    stale engine would answer a repeat dispatch with empty records.
+
+    Thread-safety: feeders touch disjoint slots (slot ``k`` belongs to
+    feeder ``k``), so per-slot state needs no lock; ``begin_run`` /
+    ``shutdown`` must not race in-flight feeders (the daemon
+    serializes runs).
+    """
+
+    def __init__(self, config: ShardConfig, size: int) -> None:
+        self.config = config
+        self.size = max(1, size)
+        self._slots: List[Optional[WorkerClient]] = [None] * self.size
+        self._tags: List[int] = [0] * self.size
+        self._init_request: Optional[dict] = None
+        self._run_tag = 0
+        #: Total processes spawned over the pool's lifetime (the
+        #: daemon's warm-pool health signal: stops growing once warm).
+        self.spawns = 0
+
+    def begin_run(self, init_request: dict) -> None:
+        """Start a new analysis run: every slot re-inits with
+        *init_request* before serving its first request of the run."""
+        self._init_request = init_request
+        self._run_tag += 1
+
+    def is_live(self, k: int) -> bool:
+        return self._slots[k] is not None
+
+    def peek(self, k: int) -> Optional[WorkerClient]:
+        """Slot *k*'s live client, or None — no spawn, no re-init (for
+        teardown paths that must not resurrect a dead worker)."""
+        return self._slots[k]
+
+    def client(self, k: int, *, tracer=None) -> WorkerClient:
+        """The (spawned, run-initialized) worker of slot *k*. Emits the
+        ``clock_sync`` trace event on a fresh spawn, exactly as the
+        inline spawn path did. Raises :class:`WorkerGone` (with the
+        slot already dropped) when the spawn or init fails."""
+        if self._init_request is None:
+            raise RuntimeError("WorkerPool.begin_run() must run before "
+                               "client()")
+        client = self._slots[k]
+        fresh = client is None
+        if fresh:
+            client = WorkerClient(self.config, worker_id=f"w{k}")
+            self._slots[k] = client
+            self._tags[k] = 0
+            self.spawns += 1
+        if self._tags[k] != self._run_tag:
+            try:
+                client.init(self._init_request,
+                            timeout=self.config.kill_timeout)
+            except WorkerGone:
+                self.drop(k)
+                raise
+            self._tags[k] = self._run_tag
+        if fresh and tracer is not None and tracer.enabled \
+                and client.clock.offset is not None:
+            tracer.emit("clock_sync", worker_id=client.worker_id,
+                        offset_s=client.clock.offset,
+                        rtt_s=client.clock.rtt)
+        return client
+
+    def drop(self, k: int) -> None:
+        """Kill slot *k*'s worker (it died or answered garbage); the
+        next :meth:`client` call respawns it."""
+        client = self._slots[k]
+        if client is not None:
+            client.kill()
+            self._slots[k] = None
+
+    def shutdown(self) -> None:
+        for k, client in enumerate(self._slots):
+            if client is not None:
+                client.shutdown()
+                self._slots[k] = None
+
+
 def _init_request(engine, source: str, head: str,
                   independents: Sequence[str], dependents: Sequence[str], *,
                   resume_path: Optional[str],
@@ -330,6 +437,7 @@ def analyze_sharded(
     resume_path: Optional[str] = None,
     cache_dir: Optional[str] = None,
     fingerprint: Optional[str] = None,
+    pool: Optional[WorkerPool] = None,
 ) -> Tuple[List, List[WorkerOutcome]]:
     """Analyze every parallel loop of *engine*'s procedure across a
     pool of persistent worker processes.
@@ -338,6 +446,11 @@ def analyze_sharded(
     :func:`~repro.resilience.workers.analyze_isolated` — plus the
     ``resumed``/``cached`` outcomes of loops the parent replayed
     without dispatching a shard.
+
+    *pool* is the caller-owned worker pool; when omitted, a throwaway
+    pool is built and torn down inside this call (the one-shot CLI
+    behavior). A provided pool is left alive for the next run — that
+    is the ``repro serve`` warm path.
     """
     from ..formad.engine import PrimalRaceError
 
@@ -367,6 +480,10 @@ def analyze_sharded(
     init_request = _init_request(engine, source, head, independents,
                                  dependents, resume_path=resume_path,
                                  cache_dir=cache_dir, fingerprint=fingerprint)
+    owned_pool = pool is None
+    if pool is None:
+        pool = WorkerPool(config, max(1, min(config.jobs, pending.qsize())))
+    pool.begin_run(init_request)
     apply_lock = threading.Lock()
     race: List[PrimalRaceError] = []
     tracer.gauge("scheduler.queue_depth", pending.qsize())
@@ -386,7 +503,6 @@ def analyze_sharded(
 
     def shard(k: int) -> None:
         wid = f"w{k}"
-        client: Optional[WorkerClient] = None
         started = time.perf_counter()
         busy = 0.0
         spawned = False
@@ -421,16 +537,12 @@ def analyze_sharded(
                     continue
                 start = time.perf_counter()
                 try:
-                    if client is None:
-                        if spawned:  # not the lazy first spawn
-                            tracer.counter("scheduler.respawns")
-                        spawned = True
-                        client = WorkerClient(config, init_request,
-                                              worker_id=wid)
-                        if tracer.enabled:
-                            tracer.emit("clock_sync", worker_id=wid,
-                                        offset_s=client.clock.offset,
-                                        rtt_s=client.clock.rtt)
+                    if not pool.is_live(k) and spawned:
+                        # not the lazy first spawn: this feeder's worker
+                        # died earlier and a fresh one takes over
+                        tracer.counter("scheduler.respawns")
+                    client = pool.client(k, tracer=tracer)
+                    spawned = True
                     budget = config.kill_timeout
                     if deadline is not None:
                         budget = min(budget,
@@ -477,9 +589,7 @@ def analyze_sharded(
                 except WorkerGone as exc:
                     elapsed = time.perf_counter() - start
                     busy += elapsed
-                    if client is not None:
-                        client.kill()
-                        client = None  # a fresh worker serves the next shard
+                    pool.drop(k)  # a fresh worker serves the next shard
                     if tracer.enabled:
                         # The worker died holding its event buffer: at
                         # least this shard's telemetry never arrived.
@@ -501,20 +611,25 @@ def analyze_sharded(
                         f"worker error: {error.get('message', '')}",
                         elapsed, worker_id=wid)
         finally:
-            if client is not None:
-                client.shutdown()
+            # The pool (not the feeder) owns worker lifetime now; a
+            # caller-provided pool keeps its workers warm for the next
+            # run, a throwaway pool shuts down below.
             wall = time.perf_counter() - started
             tracer.counter(f"worker.{wid}.busy_seconds", busy)
             tracer.counter(f"worker.{wid}.idle_seconds",
                            max(wall - busy, 0.0))
 
-    n = max(1, min(config.jobs, pending.qsize()))
+    n = max(1, min(pool.size, pending.qsize()))
     threads = [threading.Thread(target=shard, args=(k,), name=f"shard-{k}")
                for k in range(n)]
-    for thread in threads:
-        thread.start()
-    for thread in threads:
-        thread.join()
+    try:
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+    finally:
+        if owned_pool:
+            pool.shutdown()
     if race:
         raise race[0]
     return list(slots), list(outcomes)
@@ -587,14 +702,13 @@ class _QuestionRemote:
 
     _MAX_RESPAWNS = 2
 
-    def __init__(self, engine, loop, clients: List[Optional[WorkerClient]],
-                 config: ShardConfig, init_request: dict) -> None:
+    def __init__(self, engine, loop, pool: WorkerPool,
+                 config: ShardConfig) -> None:
         self._engine = engine
         self._loop = loop
         self._key = engine.loop_key(loop)
-        self._clients = clients   # shared across loops; index-owned below
+        self._pool = pool   # shared across loops; slots index-owned below
         self._config = config
-        self._init_request = init_request
         self._lock = threading.Condition()
         self._schedule: List = []
         self._history: List[int] = []      # planned ask positions, sorted
@@ -611,7 +725,7 @@ class _QuestionRemote:
         self._states = [
             {"cursor": -1, "processed": set(), "needs_reset": False,
              "dead": False}
-            for _ in clients]
+            for _ in range(pool.size)]
 
     # -------------------------------------------------- engine-facing API
     def prepare(self, refs, translator) -> dict:
@@ -626,7 +740,7 @@ class _QuestionRemote:
                                                   translator)
         prep = None
         last = "no workers configured"
-        for k in range(len(self._clients)):
+        for k in range(self._pool.size):
             try:
                 client = self._ensure_client(k)
                 prep = client.request(
@@ -722,7 +836,8 @@ class _QuestionRemote:
             self._lock.notify_all()
         for thread in self._threads:
             thread.join()
-        for k, client in enumerate(self._clients):
+        for k in range(self._pool.size):
+            client = self._pool.peek(k)
             if client is None:
                 continue
             try:
@@ -819,7 +934,7 @@ class _QuestionRemote:
 
     # ------------------------------------------------------------- feeders
     def _start_feeders(self) -> None:
-        n = max(1, min(len(self._clients), len(self._pending)))
+        n = max(1, min(self._pool.size, len(self._pending)))
         self._threads = [
             threading.Thread(target=self._feed, args=(k,),
                              name=f"qshard-{k}", daemon=True)
@@ -959,23 +1074,10 @@ class _QuestionRemote:
 
     # ------------------------------------------------------------ plumbing
     def _ensure_client(self, k: int) -> WorkerClient:
-        client = self._clients[k]
-        if client is None:
-            client = WorkerClient(self._config, self._init_request,
-                                  worker_id=f"w{k}")
-            self._clients[k] = client
-            tracer = self._engine.tracer
-            if tracer.enabled and client.clock.offset is not None:
-                tracer.emit("clock_sync", worker_id=client.worker_id,
-                            offset_s=client.clock.offset,
-                            rtt_s=client.clock.rtt)
-        return client
+        return self._pool.client(k, tracer=self._engine.tracer)
 
     def _drop_client(self, k: int) -> None:
-        client = self._clients[k]
-        if client is not None:
-            client.kill()
-            self._clients[k] = None
+        self._pool.drop(k)
 
     def _deadline_remaining(self) -> Optional[float]:
         deadline = self._engine.deadline
@@ -1021,6 +1123,7 @@ def analyze_question_sharded(
     resume_path: Optional[str] = None,
     cache_dir: Optional[str] = None,
     fingerprint: Optional[str] = None,
+    pool: Optional[WorkerPool] = None,
 ) -> Tuple[List, List[WorkerOutcome]]:
     """Analyze every parallel loop with **question-granularity**
     sharding (``--shard-unit question``): loops run in serial order,
@@ -1060,7 +1163,10 @@ def analyze_question_sharded(
     init_request = _init_request(engine, source, head, independents,
                                  dependents, resume_path=resume_path,
                                  cache_dir=cache_dir, fingerprint=fingerprint)
-    clients: List[Optional[WorkerClient]] = [None] * max(1, config.jobs)
+    owned_pool = pool is None
+    if pool is None:
+        pool = WorkerPool(config, max(1, config.jobs))
+    pool.begin_run(init_request)
     try:
         for index, loop in open_loops:
             key = engine.loop_key(loop)
@@ -1076,8 +1182,7 @@ def analyze_question_sharded(
                 outcomes[index] = WorkerOutcome(key, "timeout", detail, 0.0)
                 continue
             start = time.perf_counter()
-            remote = _QuestionRemote(engine, loop, clients, config,
-                                     init_request)
+            remote = _QuestionRemote(engine, loop, pool, config)
             try:
                 try:
                     analysis = engine._analyze(loop, remote=remote)
@@ -1099,9 +1204,8 @@ def analyze_question_sharded(
             slots[index] = analysis
             outcomes[index] = WorkerOutcome(key, "ok", elapsed=elapsed)
     finally:
-        for client in clients:
-            if client is not None:
-                client.shutdown()
+        if owned_pool:
+            pool.shutdown()
     return list(slots), list(outcomes)
 
 

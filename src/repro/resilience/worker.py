@@ -126,7 +126,12 @@ def _build_engine(request: dict, *, journal, tracer=None):
                         **(request.get("flags") or {}))
 
 
-def _serialize(engine, loop_key: str, analysis) -> dict:
+def serialize_analysis(engine, loop_key: str, analysis) -> dict:
+    """One settled :class:`~repro.formad.engine.LoopAnalysis` as the
+    wire shape ``{"done": ..., "verdicts": [...]}`` that
+    :func:`~repro.resilience.journal.rebuild_analysis` reverses. This
+    is the shared per-loop serialization of the one-shot ``--isolate``
+    reply and the ``repro serve`` daemon's analyze reply."""
     from ..formad.engine import AnalysisStats
 
     stats = {name: getattr(analysis.stats, name)
@@ -181,7 +186,7 @@ def main() -> int:
     finally:
         if journal is not None:
             journal.close()
-    print(json.dumps(_serialize(engine, loop_key, analysis)))
+    print(json.dumps(serialize_analysis(engine, loop_key, analysis)))
     return 0
 
 

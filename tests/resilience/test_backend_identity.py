@@ -6,16 +6,19 @@ timers — whether the loops are analyzed
 * inline in the parent (default ``--backend thread``),
 * across persistent worker processes (``--backend process``),
 * with individual questions fanned across the pool
-  (``--shard-unit question``), or
-* replayed from a warm ``--cache-dir`` verdict cache,
+  (``--shard-unit question``),
+* replayed from a warm ``--cache-dir`` verdict cache, or
+* served by a ``repro serve`` daemon (``--connect``), cold *and* from
+  its memo,
 
 on all four paper kernels. This is what lets ``--backend process``,
-``--shard-unit question``, and ``--cache-dir`` be adopted without
-re-validating any downstream consumer of the JSON: the bytes do not
-change.
+``--shard-unit question``, ``--cache-dir``, and ``--connect`` be
+adopted without re-validating any downstream consumer of the JSON:
+the bytes do not change.
 """
 
 import json
+import threading
 
 import pytest
 
@@ -54,6 +57,24 @@ def _normalize(doc):
     return doc
 
 
+@pytest.fixture()
+def serve_addr(tmp_path):
+    """A live in-process ``repro serve`` daemon on a unix socket."""
+    from repro.serve import AnalysisService, ServeConfig, build_server
+
+    address = str(tmp_path / "serve.sock")
+    service = AnalysisService(ServeConfig(address))
+    server = build_server(service)
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.05})
+    thread.start()
+    yield address
+    server.shutdown()
+    thread.join()
+    server.server_close()
+    service.close()
+
+
 def _analyze(capsys, src_path, ins, outs, *extra):
     # each real CLI invocation starts with a cold process-global clause
     # cache; in-process back-to-back main() calls must too, or the
@@ -72,7 +93,8 @@ def _analyze(capsys, src_path, ins, outs, *extra):
 
 
 @pytest.mark.parametrize("name", sorted(KERNELS))
-def test_thread_process_and_cache_warm_are_identical(name, tmp_path, capsys):
+def test_thread_process_and_cache_warm_are_identical(name, tmp_path, capsys,
+                                                     serve_addr):
     builder, ins, outs = KERNELS[name]
     proc = builder()
     src = tmp_path / f"{name}.f90"
@@ -114,3 +136,11 @@ def test_thread_process_and_cache_warm_are_identical(name, tmp_path, capsys):
                                     "--backend", "process", "--jobs", "2",
                                     "--shard-unit", "question")
     assert warm_question_doc == thread_doc
+
+    # ... and served by a daemon: cold, then from its in-memory memo
+    connect_doc, _ = _analyze(capsys, str(src), ins, outs,
+                              "--connect", serve_addr)
+    assert connect_doc == thread_doc
+    memo_doc, _ = _analyze(capsys, str(src), ins, outs,
+                           "--connect", serve_addr)
+    assert memo_doc == thread_doc

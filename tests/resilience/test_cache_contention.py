@@ -1,0 +1,322 @@
+"""Concurrent writers, conflicting records, and store maintenance.
+
+The bug this PR fixes: the append-only cache let two unlocked writers
+interleave contradictory records into one file, and the loader silently
+trusted whichever landed last. What must hold now
+(docs/SCALING.md, "The verdict cache"):
+
+* a second concurrent writer on one fingerprint cannot append — it
+  degrades to read-only lookups with a warning (``lock_contended``);
+* a file that *already* carries contradictory records never answers
+  from either side: the conflicting key is dropped and re-asked;
+* compaction squashes duplicates, refuses to pick a conflict winner
+  unless told to drop, and survives a crash at any point;
+* the size budget evicts least-recently-used fingerprints but never a
+  file whose writer lock is live.
+"""
+
+import logging
+import os
+
+import pytest
+
+from repro.resilience.cache import (CACHE_SCHEMA, CacheConflictError,
+                                    CacheStore, CacheStoreError, FileLock,
+                                    VerdictCache, reconcile_records)
+from repro.resilience.journal import JournalWriter, read_journal
+
+
+def _raw_writer(tmp_path, fingerprint="fp"):
+    """An unlocked append handle — simulates a pre-lock-era writer that
+    can land contradictory records."""
+    path = os.path.join(str(tmp_path), f"{fingerprint}.jsonl")
+    append = os.path.exists(path)
+    return JournalWriter(path, append=append,
+                         meta={"schema": CACHE_SCHEMA,
+                               "fingerprint": fingerprint})
+
+
+def _question(result, loop="0:i", q="q1", **extra):
+    return dict({"kind": "question", "loop": loop, "array": "y",
+                 "ctx": "[root]", "q": q, "result": result}, **extra)
+
+
+class TestWriterExclusion:
+    def test_second_writer_degrades_to_readonly(self, tmp_path, caplog):
+        first = VerdictCache(str(tmp_path), "fp")
+        with caplog.at_level(logging.WARNING):
+            second = VerdictCache(str(tmp_path), "fp")
+        assert not first.lock_contended
+        assert second.lock_contended and second.readonly
+        assert any("held by another writer" in r.message
+                   for r in caplog.records)
+
+        first.store_question("0:i", "y", "[root]", "q1", "unsat")
+        second.store_question("0:i", "y", "[root]", "q1", "sat")
+        assert first.question_stores == 1
+        assert second.question_stores == 0  # the no-op, not the race
+        first.close()
+        second.close()
+
+        # one writer's records only — nothing contradictory on disk
+        reopened = VerdictCache(str(tmp_path), "fp")
+        assert reopened.conflicts == 0
+        assert reopened.question("0:i", "[root]", "q1") == ("unsat", None)
+        reopened.close()
+
+    def test_lock_is_released_on_close(self, tmp_path):
+        first = VerdictCache(str(tmp_path), "fp")
+        first.close()
+        second = VerdictCache(str(tmp_path), "fp")
+        assert not second.lock_contended and not second.readonly
+        second.close()
+
+    def test_readonly_open_takes_no_lock(self, tmp_path):
+        writer = VerdictCache(str(tmp_path), "fp")
+        reader = VerdictCache(str(tmp_path), "fp", readonly=True)
+        assert not reader.lock_contended
+        reader.close()
+        writer.close()
+
+
+class TestConflictDetection:
+    def test_conflicting_question_is_dropped_not_last_writer_wins(
+            self, tmp_path, caplog):
+        writer = _raw_writer(tmp_path)
+        writer.record("question", **{k: v for k, v in
+                                     _question("unsat").items()
+                                     if k != "kind"})
+        writer.record("question", **{k: v for k, v in
+                                     _question("sat").items()
+                                     if k != "kind"})
+        writer.record("question", **{k: v for k, v in
+                                     _question("unsat", q="q2").items()
+                                     if k != "kind"})
+        writer.close()
+
+        with caplog.at_level(logging.WARNING):
+            cache = VerdictCache(str(tmp_path), "fp")
+        assert cache.conflicts == 1
+        assert any("conflicting records" in r.message
+                   and "--drop-conflicts" in r.message
+                   for r in caplog.records)
+        # neither answer is trusted; the question is re-asked
+        assert cache.question("0:i", "[root]", "q1") is None
+        # the untainted sibling key still answers
+        assert cache.question("0:i", "[root]", "q2") == ("unsat", None)
+        cache.close()
+
+    def test_conflicting_loop_done_withdraws_the_wholesale_replay(
+            self, tmp_path):
+        writer = _raw_writer(tmp_path)
+        writer.record("verdict", loop="0:i", array="y", safe=True)
+        writer.record("loop_done", loop="0:i", degraded=False,
+                      stats={"model_size": 7})
+        writer.record("loop_done", loop="0:i", degraded=False,
+                      stats={"model_size": 8})
+        writer.record("question", **{k: v for k, v in
+                                     _question("unsat").items()
+                                     if k != "kind"})
+        writer.close()
+
+        cache = VerdictCache(str(tmp_path), "fp")
+        assert cache.conflicts == 1
+        # the loop replay is withdrawn entirely — verdicts included
+        assert cache.loop_done("0:i") is None
+        assert cache.verdicts("0:i") == []
+        # but the loop's question records survive on their own keys
+        assert cache.question("0:i", "[root]", "q1") == ("unsat", None)
+        cache.close()
+
+    def test_exact_duplicates_squash_silently(self, tmp_path, caplog):
+        writer = _raw_writer(tmp_path)
+        for _ in range(3):
+            writer.record("question", **{k: v for k, v in
+                                         _question("unsat").items()
+                                         if k != "kind"})
+        writer.close()
+
+        with caplog.at_level(logging.WARNING):
+            cache = VerdictCache(str(tmp_path), "fp")
+        assert cache.conflicts == 0
+        assert cache.duplicate_records == 2
+        assert not caplog.records
+        assert cache.question("0:i", "[root]", "q1") == ("unsat", None)
+        cache.close()
+
+    def test_reconcile_records_reports_conflict_keys(self):
+        kept, duplicates, conflicts = reconcile_records(
+            [_question("unsat"), _question("unsat"), _question("sat")])
+        assert kept == []
+        assert duplicates == 1
+        assert conflicts == ["question:0:i:[root]:q1"]
+
+    def test_summary_data_surfaces_hits_and_conflicts(self, tmp_path):
+        cache = VerdictCache(str(tmp_path), "fp")
+        cache.store_question("0:i", "y", "[root]", "q1", "unsat")
+        cache.close()
+        warm = VerdictCache(str(tmp_path), "fp")
+        assert warm.question("0:i", "[root]", "q1") is not None
+        data = warm.summary_data()
+        assert data["hits"] == 1 == warm.hits
+        assert data["conflicts"] == 0
+        warm.close()
+
+
+class TestCompaction:
+    def _conflicted_file(self, tmp_path):
+        writer = _raw_writer(tmp_path)
+        writer.record("question", **{k: v for k, v in
+                                     _question("unsat").items()
+                                     if k != "kind"})
+        writer.record("question", **{k: v for k, v in
+                                     _question("unsat").items()
+                                     if k != "kind"})
+        writer.record("question", **{k: v for k, v in
+                                     _question("sat").items()
+                                     if k != "kind"})
+        writer.record("question", **{k: v for k, v in
+                                     _question("unsat", q="q2").items()
+                                     if k != "kind"})
+        writer.close()
+        return writer.path
+
+    def test_conflict_raises_unless_dropping(self, tmp_path):
+        path = self._conflicted_file(tmp_path)
+        store = CacheStore(str(tmp_path))
+        with pytest.raises(CacheConflictError) as err:
+            store.compact("fp")
+        assert err.value.path == path
+        assert err.value.conflicts == ["question:0:i:[root]:q1"]
+        # the refusing pass rewrote nothing
+        _, records, _ = read_journal(path)
+        assert len(records) == 4
+
+    def test_drop_conflicts_rewrites_a_clean_file(self, tmp_path):
+        path = self._conflicted_file(tmp_path)
+        summaries = CacheStore(str(tmp_path)).compact(
+            "fp", drop_conflicts=True)
+        assert summaries == [{
+            "fingerprint": "fp", "records_before": 4,
+            "records_after": 1, "duplicates_squashed": 1,
+            "conflicts_dropped": 1, "damaged_lines_dropped": 0}]
+        cache = VerdictCache(str(tmp_path), "fp")
+        assert cache.conflicts == 0 and cache.duplicate_records == 0
+        assert cache.question("0:i", "[root]", "q1") is None  # re-asked
+        assert cache.question("0:i", "[root]", "q2") == ("unsat", None)
+        cache.close()
+
+    def test_compact_refuses_a_live_writer(self, tmp_path):
+        live = VerdictCache(str(tmp_path), "fp")
+        live.store_question("0:i", "y", "[root]", "q1", "unsat")
+        store = CacheStore(str(tmp_path))
+        with pytest.raises(CacheStoreError, match="live writer"):
+            store.compact("fp")
+        live.close()
+        assert store.compact("fp")[0]["records_after"] == 1
+
+    def test_reader_during_compaction_keeps_its_answers(self, tmp_path):
+        writer = VerdictCache(str(tmp_path), "fp")
+        writer.store_question("0:i", "y", "[root]", "q1", "unsat")
+        writer.close()
+        reader = VerdictCache(str(tmp_path), "fp", readonly=True)
+        CacheStore(str(tmp_path)).compact("fp")
+        # the reader's loaded index survives the atomic rename under it
+        assert reader.question("0:i", "[root]", "q1") == ("unsat", None)
+        reader.close()
+        # and a fresh open reads the compacted file
+        fresh = VerdictCache(str(tmp_path), "fp", readonly=True)
+        assert fresh.question("0:i", "[root]", "q1") == ("unsat", None)
+        fresh.close()
+
+    def test_crashed_compaction_leaves_a_loadable_store(self, tmp_path):
+        writer = VerdictCache(str(tmp_path), "fp")
+        writer.store_question("0:i", "y", "[root]", "q1", "unsat")
+        writer.close()
+        # a compaction that died before the atomic rename leaves only
+        # its scratch file; the original is untouched and loadable
+        stray = os.path.join(str(tmp_path), "fp.jsonl.compact.tmp")
+        with open(stray, "w", encoding="utf-8") as fh:
+            fh.write("torn half-written garbage")
+        cache = VerdictCache(str(tmp_path), "fp")
+        assert cache.question("0:i", "[root]", "q1") == ("unsat", None)
+        cache.close()
+        # the scratch file is not a cache file: the store ignores it
+        store = CacheStore(str(tmp_path))
+        assert [fp for fp, _, _ in store.usage()] == ["fp"]
+        # the next compaction overwrites the stray scratch and succeeds
+        assert store.compact("fp")[0]["records_after"] == 1
+
+    def test_missing_fingerprint_is_an_error(self, tmp_path):
+        with pytest.raises(CacheStoreError, match="no cache file"):
+            CacheStore(str(tmp_path)).compact("nowhere")
+
+    def test_headerless_file_refuses_to_compact(self, tmp_path):
+        path = os.path.join(str(tmp_path), "fp.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write("not a journal\n")
+        with pytest.raises(CacheStoreError, match="header"):
+            CacheStore(str(tmp_path)).compact("fp")
+
+
+class TestEviction:
+    def _populate(self, tmp_path, fingerprints):
+        for age, fingerprint in enumerate(fingerprints):
+            cache = VerdictCache(str(tmp_path), fingerprint)
+            cache.store_question("0:i", "y", "[root]", "q1", "unsat")
+            cache.close()
+            # deterministic LRU order: older files get older mtimes
+            path = os.path.join(str(tmp_path), f"{fingerprint}.jsonl")
+            os.utime(path, (1000.0 + age, 1000.0 + age))
+
+    def test_lru_eviction_under_budget(self, tmp_path):
+        self._populate(tmp_path, ["old", "mid", "new"])
+        store = CacheStore(str(tmp_path))
+        size = store.usage()[0][1]
+        evicted = store.evict(max_bytes=2 * size)
+        assert evicted == ["old"]
+        assert sorted(fp for fp, _, _ in store.usage()) == ["mid", "new"]
+        assert store.total_bytes() <= 2 * size
+
+    def test_valid_readonly_open_bumps_recency(self, tmp_path):
+        self._populate(tmp_path, ["old", "new"])
+        # a lookup hit makes "old" the most recently used file
+        ro = VerdictCache(str(tmp_path), "old", readonly=True)
+        ro.close()
+        store = CacheStore(str(tmp_path))
+        size = store.usage()[0][1]
+        assert store.evict(max_bytes=size) == ["new"]
+
+    def test_live_writer_is_never_evicted(self, tmp_path):
+        self._populate(tmp_path, ["old", "new"])
+        live = VerdictCache(str(tmp_path), "old")  # re-takes the lock
+        store = CacheStore(str(tmp_path))
+        evicted = store.evict(max_bytes=0)
+        assert evicted == ["new"]
+        assert [fp for fp, _, _ in store.usage()] == ["old"]
+        live.close()
+
+    def test_no_budget_means_no_eviction(self, tmp_path):
+        self._populate(tmp_path, ["a", "b"])
+        store = CacheStore(str(tmp_path))
+        assert store.evict() == []
+        assert store.stats()["files"] == 2
+
+    def test_stats_shape(self, tmp_path):
+        self._populate(tmp_path, ["a"])
+        stats = CacheStore(str(tmp_path), max_bytes=4096).stats()
+        assert stats["files"] == 1
+        assert stats["max_bytes"] == 4096
+        assert stats["total_bytes"] > 0
+        assert stats["cache_dir"] == str(tmp_path)
+
+
+class TestFileLock:
+    def test_two_locks_conflict_in_one_process(self, tmp_path):
+        path = os.path.join(str(tmp_path), "x.lock")
+        a, b = FileLock(path), FileLock(path)
+        assert a.acquire() and a.held
+        assert not b.acquire() and not b.held
+        a.release()
+        assert b.acquire()
+        b.release()
