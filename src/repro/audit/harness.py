@@ -47,7 +47,9 @@ from ..analysis.activity import ActivityAnalysis
 from ..experiments.specs import ALL_FIGURE_SPECS
 from ..formad import FormADEngine, FormADGuardPolicy
 from ..obs.tracer import NULL_TRACER, NullTracer
+from ..resilience.deadline import per_question
 from ..runtime.executor import detect_races
+from ..runtime.interp import InterpreterTimeout
 from .chaos import ChaosConfig, chaos_factory
 from .generator import (CaseSpec, FAMILIES, build_procedure, generate_case,
                         make_bindings)
@@ -98,16 +100,23 @@ class CaseResult:
     classifications: Dict[str, str] = field(default_factory=dict)
     violations: List[Violation] = field(default_factory=list)
     primal_racy: bool = False
+    #: The per-case deadline expired mid-oracle; the verdicts gathered so
+    #: far stand, but the case proves nothing about the oracles it never
+    #: reached. Truncation is not a soundness violation.
+    truncated: bool = False
 
     @property
     def ok(self) -> bool:
         return not self.violations
 
     def to_json(self) -> dict:
-        return {"index": self.index, "family": self.spec.family,
-                "primal_racy": self.primal_racy,
-                "classifications": dict(self.classifications),
-                "violations": [v.kind for v in self.violations]}
+        doc = {"index": self.index, "family": self.spec.family,
+               "primal_racy": self.primal_racy,
+               "classifications": dict(self.classifications),
+               "violations": [v.kind for v in self.violations]}
+        if self.truncated:
+            doc["truncated"] = True
+        return doc
 
 
 @dataclass
@@ -146,21 +155,39 @@ class AuditReport:
     def ok(self) -> bool:
         return not self.violations
 
+    @property
+    def cases_truncated(self) -> int:
+        """Cases cut short by the per-case deadline (``--case-timeout``)."""
+        return sum(1 for c in self.cases if c.truncated)
+
     def tally(self) -> Dict[str, int]:
-        counts: Dict[str, int] = {}
-        for case in self.cases:
-            for cls in case.classifications.values():
-                counts[cls] = counts.get(cls, 0) + 1
-        return counts
+        return tally_classifications(self.cases)
 
     def to_json(self) -> dict:
-        return {"schema": REPORT_SCHEMA, "seed": self.seed,
-                "count": self.count, "ok": self.ok,
-                "truncated": self.truncated,
-                "classifications": self.tally(),
-                "cases": [c.to_json() for c in self.cases],
-                "chaos": [c.to_json() for c in self.chaos],
-                "violations": [v.to_json() for v in self.violations]}
+        doc = {"schema": REPORT_SCHEMA, "seed": self.seed,
+               "count": self.count, "ok": self.ok,
+               "truncated": self.truncated,
+               "classifications": self.tally(),
+               "cases": [c.to_json() for c in self.cases],
+               "chaos": [c.to_json() for c in self.chaos],
+               "violations": [v.to_json() for v in self.violations]}
+        if self.cases_truncated:
+            doc["cases_truncated"] = self.cases_truncated
+        return doc
+
+
+def tally_classifications(cases: Sequence[CaseResult]) -> Dict[str, int]:
+    """Classification histogram over *cases*.
+
+    The single accounting path: :meth:`AuditReport.tally`, the campaign
+    report, and the ``audit.classification.*`` counters all derive from
+    this function so they can never disagree.
+    """
+    counts: Dict[str, int] = {}
+    for case in cases:
+        for cls in case.classifications.values():
+            counts[cls] = counts.get(cls, 0) + 1
+    return counts
 
 
 # ----------------------------------------------------------------------
@@ -172,7 +199,15 @@ def _case_extents(spec: CaseSpec) -> Tuple[int, ...]:
 
 
 def run_case(index: int, spec: CaseSpec, *,
-             tracer: NullTracer = NULL_TRACER) -> CaseResult:
+             tracer: NullTracer = NULL_TRACER,
+             deadline=None,
+             question_timeout: Optional[float] = None) -> CaseResult:
+    """Audit one generated case.
+
+    ``deadline`` bounds the whole case — a hung oracle or pathological
+    kernel times out to a *truncated* case (not a violation, not a
+    stalled audit); ``question_timeout`` is forwarded to the SMT engine.
+    """
     result = CaseResult(index, spec)
 
     def fail(kind: str, detail: str) -> None:
@@ -181,9 +216,23 @@ def run_case(index: int, spec: CaseSpec, *,
 
     with tracer.span("audit.case", index=index, family=spec.family):
         try:
-            _run_case_oracles(index, spec, result, fail, tracer)
+            _run_case_oracles(index, spec, result, fail, tracer,
+                              deadline=deadline,
+                              question_timeout=question_timeout)
+        except InterpreterTimeout:
+            result.truncated = True
         except Exception as exc:  # the harness must survive any case
-            fail("analysis-crash", f"{type(exc).__name__}: {exc}")
+            if deadline is not None and deadline.expired():
+                # Budget exhaustion surfacing through the engine
+                # (DeadlineExpired et al.) is truncation, not a crash.
+                result.truncated = True
+            else:
+                fail("analysis-crash", f"{type(exc).__name__}: {exc}")
+    tracer.counter("audit.cases")
+    if result.violations:
+        tracer.counter("audit.violations", len(result.violations))
+    if result.truncated:
+        tracer.counter("audit.truncated")
     if tracer.enabled:
         tracer.emit("audit_case", case=index, family=spec.family,
                     violations=[v.kind for v in result.violations])
@@ -192,7 +241,9 @@ def run_case(index: int, spec: CaseSpec, *,
 
 def _run_case_oracles(index: int, spec: CaseSpec, result: CaseResult,
                       fail: Callable[[str, str], None],
-                      tracer: NullTracer = NULL_TRACER) -> None:
+                      tracer: NullTracer = NULL_TRACER, *,
+                      deadline=None,
+                      question_timeout: Optional[float] = None) -> None:
     proc = build_procedure(spec, name=f"audit_{spec.family}_{index}")
     extents = _case_extents(spec)
     independents, dependents = spec.independents(), spec.dependents()
@@ -200,7 +251,7 @@ def _run_case_oracles(index: int, spec: CaseSpec, result: CaseResult,
     # Phase 0: the primal contract.
     for extent in extents:
         bindings = make_bindings(spec, extent)
-        report = detect_races(proc, bindings)
+        report = detect_races(proc, bindings, deadline=deadline)
         if report.races:
             result.primal_racy = True
             if not spec.expect_primal_race:
@@ -218,11 +269,13 @@ def _run_case_oracles(index: int, spec: CaseSpec, result: CaseResult,
     # Static analysis.
     engine = FormADEngine(proc, ActivityAnalysis(proc, independents,
                                                  dependents),
-                          tracer=tracer)
+                          tracer=tracer, deadline=deadline,
+                          question_timeout=question_timeout)
     analyses = engine.analyze_all()
 
     # Oracle B: concrete collision search among future adjoint accesses.
-    shadows = [run_shadow(proc, make_bindings(spec, e)) for e in extents]
+    shadows = [run_shadow(proc, make_bindings(spec, e), deadline=deadline)
+               for e in extents]
     for analysis in analyses:
         uid = analysis.loop.uid
         for array, verdict in analysis.verdicts.items():
@@ -251,7 +304,7 @@ def _run_case_oracles(index: int, spec: CaseSpec, result: CaseResult,
         bindings = make_bindings(spec, extent)
         adj_b = adjoint_bindings(adjoint, bindings, independents,
                                  dependents, seed=index)
-        report = detect_races(adjoint.procedure, adj_b)
+        report = detect_races(adjoint.procedure, adj_b, deadline=deadline)
         if report.races:
             fail("unsound-shared",
                  f"extent {extent}: adjoint race {report.races[0]}")
@@ -262,15 +315,15 @@ def _run_case_oracles(index: int, spec: CaseSpec, result: CaseResult,
         bindings = make_bindings(spec, spec.n)
         ok, lhs, rhs = dot_product_check(proc, adjoint, bindings,
                                          independents, dependents,
-                                         seed=index)
+                                         seed=index, deadline=deadline)
         if not ok:
             fail("numeric-mismatch", f"FD={lhs!r} vs adjoint={rhs!r}")
         serial = differentiate_reverse(proc, independents, dependents,
                                        serial=True)
         g_formad = gradients(adjoint, bindings, independents, dependents,
-                             seed=index)
+                             seed=index, deadline=deadline)
         g_serial = gradients(serial, bindings, independents, dependents,
-                             seed=index)
+                             seed=index, deadline=deadline)
         for name in independents:
             if not np.allclose(g_formad[name], g_serial[name],
                                rtol=1e-8, atol=1e-10):
@@ -290,16 +343,24 @@ def _safe_sets(analyses) -> Dict[int, frozenset]:
 def chaos_check(proc, independents, dependents, config: ChaosConfig, *,
                 label: str, case: int = -1, family: str = "paper-kernel",
                 baseline: Optional[Dict[int, frozenset]] = None,
+                deadline=None,
                 ) -> ChaosOutcome:
     """Analyze under fault injection and compare to the honest verdicts.
 
     The contract is one-sided: chaos may only *degrade* (arrays drop out
     of the safe set); any array safe under chaos but not in the baseline
     is a soundness violation, and any escaped exception is a crash.
+
+    A fresh :func:`chaos_factory` is built per call — never reuse one
+    across calls: ``ChaosSolver`` seeds are derived from the factory's
+    construction order, so a shared factory would give every retry and
+    every ddmin shrink attempt a *different* fault schedule, making
+    minimized repros nondeterministic across interpreters.
     """
     if baseline is None:
         honest = FormADEngine(proc, ActivityAnalysis(proc, independents,
-                                                     dependents))
+                                                     dependents),
+                              deadline=deadline)
         baseline = _safe_sets(honest.analyze_all())
     factory = chaos_factory(config)
     rate = config.unknown_rate + config.budget_rate + config.error_rate
@@ -308,7 +369,7 @@ def chaos_check(proc, independents, dependents, config: ChaosConfig, *,
     try:
         engine = FormADEngine(proc, ActivityAnalysis(proc, independents,
                                                      dependents),
-                              solver_factory=factory)
+                              solver_factory=factory, deadline=deadline)
         chaotic = _safe_sets(engine.analyze_all())
     except Exception as exc:
         outcome.violations.append(Violation(
@@ -365,6 +426,8 @@ def run_audit(*, seed: int = 0, count: int = 50,
               tracer: NullTracer = NULL_TRACER,
               progress: Optional[Callable[[CaseResult], None]] = None,
               deadline=None,
+              case_timeout: Optional[float] = None,
+              question_timeout: Optional[float] = None,
               ) -> AuditReport:
     """Run the full audit: *count* generated cases, then (optionally)
     the paper-kernel chaos sweep. Deterministic for a given seed.
@@ -373,6 +436,8 @@ def run_audit(*, seed: int = 0, count: int = 50,
     the audit stops cleanly *between* cases when it expires, records
     how many cases were skipped in ``report.truncated``, and the cases
     that did run remain a valid (deterministic-prefix) audit.
+    ``case_timeout`` additionally bounds each *case* so one pathological
+    kernel truncates itself instead of eating the whole budget.
     """
     report = AuditReport(seed=seed, count=count)
     with tracer.span("audit.run", seed=seed, count=count):
@@ -381,7 +446,10 @@ def run_audit(*, seed: int = 0, count: int = 50,
                 report.truncated = count - index
                 break
             spec = generate_case(index, seed=seed, families=tuple(families))
-            result = run_case(index, spec, tracer=tracer)
+            case_deadline = per_question(deadline, case_timeout)
+            result = run_case(index, spec, tracer=tracer,
+                              deadline=case_deadline,
+                              question_timeout=question_timeout)
             if shrink and result.violations:
                 kinds = frozenset(v.kind for v in result.violations)
                 small = minimize(spec, _reproducer(index, kinds))
@@ -390,10 +458,15 @@ def run_audit(*, seed: int = 0, count: int = 50,
             report.cases.append(result)
             if progress is not None:
                 progress(result)
+        for cls, n in tally_classifications(report.cases).items():
+            tracer.counter(f"audit.classification.{cls}", n)
         if chaos_rates is not None and not (
                 deadline is not None and deadline.expired()):
             report.chaos = chaos_sweep(chaos_rates, seed=seed,
                                        tracer=tracer)
+            chaos_violations = sum(len(c.violations) for c in report.chaos)
+            if chaos_violations:
+                tracer.counter("audit.violations", chaos_violations)
     return report
 
 
@@ -409,6 +482,9 @@ def format_report(report: AuditReport) -> str:
     if report.truncated:
         lines.append(f"  truncated: deadline expired, {report.truncated} "
                      f"case(s) skipped")
+    if report.cases_truncated:
+        lines.append(f"  case timeouts: {report.cases_truncated} case(s) "
+                     f"cut short by --case-timeout")
     for cls, n in sorted(report.tally().items()):
         lines.append(f"  {cls:>24}: {n}")
     if report.chaos:

@@ -73,6 +73,7 @@ def dot_product_check(
     eps: float = 1e-6,
     rtol: float = 1e-4,
     seed: int = 0,
+    deadline=None,
 ) -> Tuple[bool, float, float]:
     """``(ok, fd_value, adjoint_value)`` for ⟨w, Jv⟩ ?= ⟨J^T w, v⟩."""
     rng = np.random.default_rng(seed)
@@ -85,8 +86,10 @@ def dot_product_check(
         base = np.asarray(bindings[name], dtype=float)
         seeds[name] = rng.standard_normal(base.shape if base.shape else ())
 
-    plus = run_procedure(proc, _perturbed(bindings, directions, eps), extents)
-    minus = run_procedure(proc, _perturbed(bindings, directions, -eps), extents)
+    plus = run_procedure(proc, _perturbed(bindings, directions, eps),
+                         extents, deadline=deadline)
+    minus = run_procedure(proc, _perturbed(bindings, directions, -eps),
+                          extents, deadline=deadline)
     y_plus = _as_float_map(plus, dependents)
     y_minus = _as_float_map(minus, dependents)
     lhs = 0.0
@@ -101,7 +104,8 @@ def dot_product_check(
         seed_val = seeds.get(name, np.zeros(shape))
         adj_b[adj.adjoint_name(name)] = (np.array(seed_val, dtype=float)
                                          if shape else float(seed_val))
-    adj_mem = run_procedure(adj.procedure, adj_b, extents)
+    adj_mem = run_procedure(adj.procedure, adj_b, extents,
+                            deadline=deadline)
     grads = _as_float_map(adj_mem, [adj.adjoint_name(n) for n in independents])
     rhs = 0.0
     for name in independents:
@@ -119,11 +123,12 @@ def gradients(
     *,
     extents: Mapping[str, Sequence[int]] = (),
     seed: int = 0,
+    deadline=None,
 ) -> Dict[str, np.ndarray]:
     """One adjoint run's gradient over the independents (for
     cross-strategy comparison with identical seeds)."""
     adj_b = adjoint_bindings(adj, bindings, independents, dependents,
                              seed=seed)
-    mem = run_procedure(adj.procedure, adj_b, extents)
+    mem = run_procedure(adj.procedure, adj_b, extents, deadline=deadline)
     return {name: _as_float_map(mem, [adj.adjoint_name(name)])
             [adj.adjoint_name(name)] for name in independents}

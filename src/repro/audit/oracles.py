@@ -176,9 +176,12 @@ def run_shadow(
     proc: Procedure,
     bindings: Mapping[str, object] = (),
     extents: Mapping[str, Sequence[int]] = (),
+    *,
+    deadline=None,
 ) -> AdjointShadowTracer:
-    """Interpret *proc* once under the shadow tracer."""
+    """Interpret *proc* once under the shadow tracer. ``deadline``
+    interrupts a pathological kernel between loop iterations."""
     memory = Memory.for_procedure(proc, bindings, extents)
     shadow = AdjointShadowTracer(proc)
-    Interpreter(proc, memory, shadow).run()
+    Interpreter(proc, memory, shadow, deadline=deadline).run()
     return shadow

@@ -317,6 +317,85 @@ def build_parser() -> argparse.ArgumentParser:
                    help="wall-clock budget: the audit stops cleanly "
                         "between cases when it expires (the report "
                         "notes the truncation)")
+    p.add_argument("--case-timeout", type=float, default=None, metavar="S",
+                   help="wall-clock cap per case: a hung oracle or "
+                        "pathological kernel truncates its own case "
+                        "instead of stalling the audit")
+    p.add_argument("--question-timeout", type=float, default=None,
+                   metavar="S",
+                   help="wall-clock cap per SMT question inside a case")
+
+    p = sub.add_parser("campaign", parents=[common],
+                       help="crash-safe soundness campaign: the audit at "
+                            "corpus scale across a persistent worker "
+                            "pool, with a resumable journal, flake "
+                            "quarantine, and a regression corpus "
+                            "(docs/AUDIT.md)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="generator seed (the unit stream is fully "
+                        "deterministic)")
+    p.add_argument("--count", type=int, default=1000,
+                   help="number of generated kernels (each adds one "
+                        "clean case plus one per --chaos rate)")
+    p.add_argument("--chaos", nargs="*", type=float, default=None,
+                   metavar="RATE",
+                   help="fault-injection sweep rates per kernel (bare "
+                        "--chaos uses the default 0.1..1.0 sweep)")
+    p.add_argument("--jobs", type=int, default=2,
+                   help="persistent worker processes (default 2)")
+    p.add_argument("--journal", default=None, metavar="OUT.jsonl",
+                   help="checkpoint every settled case to a crash-safe "
+                        "journal (schema repro-campaign/1)")
+    p.add_argument("--resume", action="store_true",
+                   help="skip cases already settled in --journal (the "
+                        "kill -9 recovery path); the final report is "
+                        "identical to an uninterrupted run's")
+    p.add_argument("--report", default=None, metavar="OUT.json",
+                   help="write the machine-readable campaign report")
+    p.add_argument("--corpus", default=None, metavar="DIR",
+                   help="commit minimized confirmed violations to this "
+                        "content-addressed regression corpus "
+                        "(replay with 'repro corpus replay')")
+    p.add_argument("--no-minimize", action="store_true",
+                   help="skip ddmin minimization of confirmed violations")
+    p.add_argument("--flake-cap", type=int, default=3,
+                   help="extra clean retries a flaky case gets before "
+                        "being parked as quarantined (default 3)")
+    p.add_argument("--retry-cap", type=int, default=2,
+                   help="retries after worker loss per case run "
+                        "(default 2)")
+    p.add_argument("--case-timeout", type=float, default=None, metavar="S",
+                   help="cooperative wall-clock cap per case")
+    p.add_argument("--question-timeout", type=float, default=None,
+                   metavar="S",
+                   help="wall-clock cap per SMT question inside a case")
+    p.add_argument("--kill-timeout", type=float, default=60.0, metavar="S",
+                   help="hard cap per worker request before SIGKILL "
+                        "(default 60)")
+    p.add_argument("--deadline", type=float, default=None, metavar="S",
+                   help="wall-clock budget for the whole campaign; "
+                        "unsettled cases are left for --resume")
+    p.add_argument("--trace", default=None, metavar="OUT.jsonl",
+                   help="record the structured event stream of the run")
+    p.add_argument("--progress", nargs="?", const=2.0, type=float,
+                   default=None, metavar="S",
+                   help="print a repro-metrics/2 heartbeat line (cases/"
+                        "sec, retries, quarantined, respawns, "
+                        "violations) to stderr every S seconds")
+
+    p = sub.add_parser("corpus", parents=[common],
+                       help="manage the regression corpus of minimized "
+                            "soundness failures (schema repro-corpus/1)")
+    p.add_argument("action", choices=("replay", "list"),
+                   help="'replay' re-runs every entry as a test gate "
+                        "(exit 1 while any recorded bug still "
+                        "reproduces); 'list' prints the entries")
+    p.add_argument("--corpus", default="corpus", metavar="DIR",
+                   help="the corpus directory (default ./corpus)")
+    p.add_argument("--case-timeout", type=float, default=None, metavar="S",
+                   help="cooperative wall-clock cap per replayed case")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable output")
 
     p = sub.add_parser("explain", parents=[common],
                        help="replay a trace: why is an array safe (the "
@@ -437,7 +516,9 @@ def _run_audit(args) -> int:
         report = run_audit(seed=args.seed, count=args.count,
                            chaos_rates=chaos_rates,
                            shrink=args.minimize, tracer=tracer,
-                           deadline=_deadline_of(args))
+                           deadline=_deadline_of(args),
+                           case_timeout=args.case_timeout,
+                           question_timeout=args.question_timeout)
     finally:
         tracer.close()
     print(format_report(report))
@@ -447,6 +528,95 @@ def _run_audit(args) -> int:
             fh.write("\n")
         print(f"report written to {args.report}", file=sys.stderr)
     return 0 if report.ok else 1
+
+
+def _run_campaign(args) -> int:
+    import time
+
+    from .audit.campaign import (CampaignConfig, format_campaign,
+                                 run_campaign)
+    from .audit.harness import DEFAULT_CHAOS_RATES
+    from .resilience import JournalError
+
+    if args.resume and not args.journal:
+        print("error: --resume continues a --journal; name one",
+              file=sys.stderr)
+        return 2
+    chaos_rates = args.chaos
+    if chaos_rates is not None and not chaos_rates:
+        chaos_rates = DEFAULT_CHAOS_RATES
+    config = CampaignConfig(
+        seed=args.seed, count=args.count,
+        chaos_rates=tuple(chaos_rates or ()),
+        flake_cap=args.flake_cap, retry_cap=args.retry_cap,
+        case_timeout=args.case_timeout,
+        question_timeout=args.question_timeout,
+        jobs=args.jobs, kill_timeout=args.kill_timeout,
+        shrink=not args.no_minimize, corpus_dir=args.corpus)
+    tracer = _open_tracer(args.trace, progress=args.progress)
+    heartbeat = None
+    if args.progress is not None:
+        heartbeat = _start_heartbeat(tracer, args.progress)
+    started = time.monotonic()
+    try:
+        report = run_campaign(config, tracer=tracer,
+                              journal_path=args.journal,
+                              resume=args.resume,
+                              deadline=_deadline_of(args))
+    except JournalError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        if heartbeat is not None:
+            heartbeat.set()
+            registry = getattr(tracer, "registry", None)
+            if registry is not None:
+                print(json.dumps(registry.snapshot(), sort_keys=True),
+                      file=sys.stderr, flush=True)
+        tracer.close()
+    print(format_campaign(report))
+    # Wall clock stays on stderr: the report itself is timer-free so a
+    # resumed run's report matches the uninterrupted one's exactly.
+    print(f"campaign: {len(report.entries)} settled unit(s) in "
+          f"{time.monotonic() - started:.1f}s", file=sys.stderr)
+    if args.report is not None:
+        with open(args.report, "w") as fh:
+            json.dump(report.to_json(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"report written to {args.report}", file=sys.stderr)
+    if args.journal:
+        print(f"journal written to {args.journal} (continue with "
+              f"'repro campaign ... --journal {args.journal} --resume')",
+              file=sys.stderr)
+    return 0 if report.ok else 1
+
+
+def _run_corpus(args) -> int:
+    from .audit.corpus import format_replay, load_corpus, replay_corpus
+
+    if args.action == "list":
+        entries = load_corpus(args.corpus)
+        if args.json:
+            print(json.dumps([e.to_json() for _, e in entries],
+                             indent=2, sort_keys=True))
+        else:
+            print(f"corpus {args.corpus}: {len(entries)} entr"
+                  f"{'y' if len(entries) == 1 else 'ies'}")
+            for path, entry in entries:
+                import os
+                print(f"  {os.path.basename(path)}  case {entry.case} "
+                      f"({entry.family}): {','.join(entry.kinds)}")
+        return 0
+    results = replay_corpus(args.corpus, case_timeout=args.case_timeout)
+    if args.json:
+        print(json.dumps(
+            [{"path": r.path, "case": r.entry.case,
+              "recorded": sorted(r.entry.kinds), "found": list(r.found),
+              "reproduced": r.reproduced} for r in results],
+            indent=2, sort_keys=True))
+    else:
+        print(format_replay(results))
+    return 1 if any(r.reproduced for r in results) else 0
 
 
 def _run_analyze(args, proc, independents, dependents) -> int:
@@ -800,6 +970,10 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
         return _run_cache(args)
     if args.command == "audit":
         return _run_audit(args)
+    if args.command == "campaign":
+        return _run_campaign(args)
+    if args.command == "corpus":
+        return _run_corpus(args)
     if args.command == "explain":
         return _run_explain(args)
     if args.command == "profile":

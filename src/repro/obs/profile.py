@@ -197,6 +197,25 @@ def utilization_table(events: Sequence[dict]
     return rows
 
 
+def audit_table(events: Sequence[dict]) -> List[Tuple[str, float]]:
+    """The soundness-accounting rows of an audit or campaign trace: the
+    ``audit.*`` and ``campaign.*`` registry counters (cases run,
+    violations, classification histogram, retries, quarantines, worker
+    respawns, cases/sec) carried by the final ``metrics`` event. Empty
+    for non-audit traces."""
+    counters: Dict[str, float] = {}
+    gauges: Dict[str, float] = {}
+    for event in events:
+        if event["type"] == "metrics":
+            counters = event.get("counters") or {}
+            gauges = event.get("gauges") or {}
+    rows = [(name, float(value)) for name, value in counters.items()
+            if name.startswith(("audit.", "campaign."))]
+    rows += [(name, float(value)) for name, value in gauges.items()
+             if name.startswith(("audit.", "campaign."))]
+    return sorted(rows)
+
+
 def critical_path(events: Sequence[dict]) -> List[Tuple[int, str, float]]:
     """The longest root-to-leaf chain of nested spans:
     ``(depth, label, dur_s)`` rows, outermost first. Every span keeps
@@ -281,6 +300,13 @@ def format_profile(events: Sequence[dict]) -> str:
         lines.append("resilience (timeouts, degradation, recovery):")
         for name, value in resilience:
             lines.append(f"  {name} = {value}")
+    audit = audit_table(events)
+    if audit:
+        lines.append("")
+        lines.append("soundness audit/campaign accounting:")
+        for name, value in audit:
+            rendered = int(value) if value == int(value) else round(value, 3)
+            lines.append(f"  {name} = {rendered}")
     for event in events:
         if event["type"] == "metrics" and event["counters"]:
             lines.append("")

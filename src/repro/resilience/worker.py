@@ -21,6 +21,13 @@ writer — to apply (:mod:`~repro.resilience.shards`). The verdict
 cache, when configured, is opened **readonly** here: lookups answer
 questions locally, stores are the parent's job.
 
+The serve loop also backs ``repro campaign``: an ``init`` with
+``"mode": "audit"`` puts the worker in campaign mode, and each
+``audit_case`` request runs one self-contained soundness-audit case
+(:func:`repro.audit.campaign.execute_unit`) inside this process, so a
+crash, hang, or injected fault takes down one case — never the
+campaign.
+
 In both modes a :class:`~repro.formad.engine.PrimalRaceError` is a
 genuine finding, not a failure: it is reported in the reply
 (``error``) and re-raised by the parent.
@@ -261,6 +268,34 @@ def serve() -> int:
         op = request.get("op")
         if op == "shutdown":
             break
+        if op == "init" and request.get("mode") == "audit":
+            # Campaign mode: no program to parse — every audit_case
+            # request is self-contained (it ships its own CaseSpec).
+            # Reset any prior analysis-run state so a pool reused
+            # across modes starts cold.
+            clausify_cache_clear()
+            engine = None
+            collector = None
+            tracer = None
+            loops_by_key = {}
+            qcontexts = {}
+            reply({"ok": True, "loops": []})
+            continue
+        if op == "audit_case":
+            # One subprocess-contained soundness-audit case. Faults
+            # inject against the campaign case id, so a test can kill
+            # exactly one case's worker and leave the rest honest.
+            case_id = str(request.get("case", ""))
+            _inject_fault(case_id)
+            from ..audit.campaign import execute_unit
+            try:
+                payload = execute_unit(request)
+            except Exception as exc:  # contained: the parent retries
+                payload = {"case": case_id,
+                           "error": {"type": type(exc).__name__,
+                                     "message": str(exc)}}
+            reply(payload)
+            continue
         if op == "init":
             # One engine per init; a re-init (a parent reusing the
             # process for another run) starts from cold caches so

@@ -9,8 +9,9 @@ checked by real interpretation.
 """
 
 from .memory import ArrayStorage, BoundsError, Memory
-from .interp import (Interpreter, InterpreterError, TapeError, Tracer,
-                     loop_iterations, run_procedure, NULL_TRACER)
+from .interp import (Interpreter, InterpreterError, InterpreterTimeout,
+                     TapeError, Tracer, loop_iterations, run_procedure,
+                     NULL_TRACER)
 from .machine import BROADWELL_18, MachineModel
 from .costmodel import (CostTracer, ExecutionProfile, OpCounts,
                         ParallelLoopRecord, loop_time, static_chunks,
@@ -21,7 +22,8 @@ from .executor import (ProfiledRun, RaceReport, detect_races, profile_run,
 
 __all__ = [
     "ArrayStorage", "BoundsError", "Memory",
-    "Interpreter", "InterpreterError", "TapeError", "Tracer",
+    "Interpreter", "InterpreterError", "InterpreterTimeout",
+    "TapeError", "Tracer",
     "loop_iterations", "run_procedure", "NULL_TRACER",
     "BROADWELL_18", "MachineModel",
     "CostTracer", "ExecutionProfile", "OpCounts", "ParallelLoopRecord",

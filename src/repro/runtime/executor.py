@@ -101,12 +101,18 @@ def detect_races(
     extents: Mapping[str, Sequence[int]] = (),
     *,
     tracer: NullTracer = NULL_TRACER,
+    deadline=None,
 ) -> RaceReport:
-    """Run *proc* once under the dynamic race detector."""
+    """Run *proc* once under the dynamic race detector.
+
+    ``deadline`` (a :class:`repro.resilience.Deadline`) interrupts a
+    pathological kernel between loop iterations with
+    :class:`~repro.runtime.interp.InterpreterTimeout`.
+    """
     with tracer.span("runtime.detect_races", proc=proc.name):
         memory = Memory.for_procedure(proc, bindings, extents)
         detector = RaceDetector()
-        Interpreter(proc, memory, detector).run()
+        Interpreter(proc, memory, detector, deadline=deadline).run()
         if detector.races:
             logger.warning("%s: %d race(s) detected", proc.name,
                            len(detector.races))

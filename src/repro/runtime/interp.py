@@ -40,6 +40,17 @@ class InterpreterError(RuntimeError):
     """A runtime semantic error (bad intrinsic argument, etc.)."""
 
 
+class InterpreterTimeout(RuntimeError):
+    """A cooperative deadline expired mid-execution.
+
+    The interpreter polls its optional ``deadline`` between loop
+    iterations (the only places a mini-language program can spend
+    unbounded time), so a pathological kernel is interrupted within one
+    iteration instead of stalling its caller. The audit harness maps
+    this to a *truncated* case, never a soundness violation.
+    """
+
+
 class Tracer:
     """Event sink; the default implementation ignores everything."""
 
@@ -96,13 +107,23 @@ class Interpreter:
     """Executes one procedure invocation."""
 
     def __init__(self, proc: Procedure, memory: Memory,
-                 tracer: Tracer = NULL_TRACER) -> None:
+                 tracer: Tracer = NULL_TRACER, *, deadline=None) -> None:
         self.proc = proc
         self.memory = memory
         self.tracer = tracer
+        #: Optional :class:`repro.resilience.Deadline`-shaped object
+        #: (anything with ``expired()``), polled between loop
+        #: iterations; ``None`` (the default) costs nothing.
+        self.deadline = deadline
         self.tape: Dict[Tuple[str, Optional[int]], List[float]] = {}
         self._par_key: Optional[int] = None
         self._in_parallel: Optional[Loop] = None
+
+    def _check_deadline(self, loop: Loop) -> None:
+        if self.deadline is not None and self.deadline.expired():
+            raise InterpreterTimeout(
+                f"deadline expired inside loop over {loop.var!r} "
+                f"of {self.proc.name!r}")
 
     # ------------------------------------------------------------------
     # Entry point
@@ -156,6 +177,7 @@ class Interpreter:
         step = int(self.eval(loop.step))
         values = loop_iterations(start, stop, step)
         for v in values:
+            self._check_deadline(loop)
             self.memory.set_scalar(loop.var, v)
             self.exec_body(loop.body)
         # Fortran: counter holds the first value past the last iteration.
@@ -172,6 +194,7 @@ class Interpreter:
         self._in_parallel = loop
         try:
             for v in values:
+                self._check_deadline(loop)
                 self._par_key = v
                 self.memory.set_scalar(loop.var, v)
                 self.tracer.on_parallel_iteration_begin(loop, v)
@@ -312,8 +335,10 @@ def run_procedure(
     bindings: Mapping[str, object] = (),
     extents: Mapping[str, Sequence[int]] = (),
     tracer: Tracer = NULL_TRACER,
+    *,
+    deadline=None,
 ) -> Memory:
     """Allocate memory, run, return the final memory."""
     memory = Memory.for_procedure(proc, bindings, extents)
-    Interpreter(proc, memory, tracer).run()
+    Interpreter(proc, memory, tracer, deadline=deadline).run()
     return memory
