@@ -183,6 +183,43 @@ def _compare_serving(current: dict, failures: List[str],
                      f"(bar {bar:.0%}) ok")
 
 
+def _compare_strategies(current: dict, baseline: dict,
+                        failures: List[str], notes: List[str]) -> None:
+    """Per-strategy codegen counters (``benchmarks/test_strategies.py``)
+    are deterministic structure counts — atomic statements, reduction
+    clauses, hoisted loops, preaccumulation temporaries — so they
+    compare exactly, like the per-kernel solver counters. Skipped when
+    either document lacks the section (older baseline, quick mode)."""
+    cs, bs = current.get("strategies"), baseline.get("strategies")
+    if not (isinstance(cs, dict) and isinstance(bs, dict)):
+        if isinstance(bs, dict):
+            notes.append("strategies: section absent from current run "
+                         "(quick mode?); not compared")
+        return
+    if cs.get("kernel") != bs.get("kernel"):
+        notes.append(f"strategies: kernel differs (baseline "
+                     f"{bs.get('kernel')!r}, current {cs.get('kernel')!r}); "
+                     f"not compared")
+        return
+    shared = sorted((set(cs) & set(bs)) - {"kernel"})
+    for name in shared:
+        cc, bc = cs[name], bs[name]
+        if not (isinstance(cc, dict) and isinstance(bc, dict)):
+            continue
+        for key in sorted(set(cc) & set(bc)):
+            if cc[key] != bc[key]:
+                failures.append(
+                    f"strategies/{name}: codegen counter {key} drifted "
+                    f"{bc[key]} -> {cc[key]}")
+    dropped = sorted((set(cs) ^ set(bs)) - {"kernel"})
+    if dropped:
+        notes.append(f"strategies: entries not in both runs (skipped): "
+                     f"{', '.join(dropped)}")
+    if shared:
+        notes.append(f"strategies: {len(shared)} strategy counter "
+                     f"set(s) compared exactly")
+
+
 def compare(current: dict, baseline: dict,
             tolerance: float = DEFAULT_TOLERANCE
             ) -> Tuple[List[str], List[str]]:
@@ -211,6 +248,7 @@ def compare(current: dict, baseline: dict,
     _compare_guarded_speedup("question_sharding", current, baseline,
                              tolerance, failures, notes)
     _compare_serving(current, failures, notes)
+    _compare_strategies(current, baseline, failures, notes)
     return failures, notes
 
 

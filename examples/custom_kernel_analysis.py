@@ -15,7 +15,7 @@ Three mini-studies:
 
 import numpy as np
 
-from repro import (GuardKind, ProcedureBuilder, analyze_formad, differentiate,
+from repro import (ProcedureBuilder, analyze_formad, differentiate,
                    format_procedure, PrimalRaceError)
 from repro.ir import INTEGER, REAL, integer_array, real_array
 from repro.runtime import detect_races
@@ -74,7 +74,7 @@ def main() -> None:
         print(f"  {verdict}")
     # FormAD falls back to the requested safeguard for src:
     adj = differentiate(overlap, ["src"], ["dst"], strategy="formad",
-                        fallback=GuardKind.ATOMIC)
+                        fallback="atomic")
     guarded = format_procedure(adj.procedure).count("!$omp atomic")
     print(f"  atomics in the FormAD adjoint: {guarded} (fallback applied)")
     # ... and the *unguarded* adjoint visibly races on real data:

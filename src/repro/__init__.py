@@ -9,9 +9,11 @@ The top-level API covers the common workflow::
     result = differentiate(proc, ["x"], ["y"], strategy="formad")
     print(format_procedure(result.procedure)) # the adjoint code
 
-Strategies mirror the paper's program versions: ``"serial"``,
+Strategies mirror the paper's program versions — ``"serial"``,
 ``"atomic"``, ``"reduction"``, ``"formad"`` (and ``"shared"``, which
-drops every safeguard without proof — only for experiments).
+drops every safeguard without proof — only for experiments) — plus the
+related-work safeguards ``"preaccumulate"`` and ``"transposed"`` from
+the pluggable registry in :mod:`repro.ad.strategies`.
 """
 
 import logging
@@ -21,9 +23,11 @@ from .ir import (Procedure, Program, ProcedureBuilder, format_procedure,
                  parse_expression, parse_procedure, parse_program, validate)
 from .obs import (NULL_TRACER, CollectingTracer, JsonlTracer, NullTracer,
                   Tracer)
-from .ad import (ALL_ATOMIC, ALL_REDUCTION, ALL_SHARED, GuardKind,
-                 GuardPolicy, ReverseResult, TangentResult,
-                 differentiate_reverse, differentiate_tangent)
+from .ad import (ALL_ATOMIC, ALL_PREACCUMULATE, ALL_REDUCTION, ALL_SHARED,
+                 ALL_TRANSPOSED, ConstantPolicy, GuardPolicy, ReverseResult,
+                 SafeguardStrategy, TangentResult, differentiate_reverse,
+                 differentiate_tangent, get_strategy, register_strategy,
+                 registered_strategies, resolve_strategy, strategy_names)
 from .analysis import ActivityAnalysis
 from .formad import (AnalysisReport, FormADEngine, FormADGuardPolicy,
                      LoopAnalysis, PrimalRaceError, format_table1)
@@ -37,7 +41,8 @@ __version__ = "1.0.0"
 logging.getLogger(__name__).addHandler(logging.NullHandler())
 
 #: Strategy names accepted by :func:`differentiate`.
-STRATEGIES = ("serial", "atomic", "reduction", "shared", "formad")
+STRATEGIES = ("serial", "atomic", "reduction", "shared", "formad",
+              "preaccumulate", "transposed")
 
 
 def differentiate(
@@ -46,29 +51,26 @@ def differentiate(
     dependents: Sequence[str],
     *,
     strategy: str = "formad",
-    fallback: GuardKind = GuardKind.ATOMIC,
+    fallback: str = "atomic",
 ) -> ReverseResult:
     """Reverse-differentiate *proc* with the given safeguard strategy.
 
-    ``strategy`` is one of :data:`STRATEGIES`; ``fallback`` applies only
-    to ``"formad"`` and guards the arrays whose safety could not be
-    proven.
+    ``strategy`` is one of :data:`STRATEGIES`; ``fallback`` names the
+    registered safeguard used for arrays the requested strategy cannot
+    handle (for ``"formad"``: arrays whose safety could not be proven).
+    Arrays a fixed strategy's applicability predicate rejects always
+    fall back to atomics.
     """
     if strategy == "serial":
         return differentiate_reverse(proc, independents, dependents,
                                      serial=True)
-    if strategy == "atomic":
-        return differentiate_reverse(proc, independents, dependents,
-                                     policy=ALL_ATOMIC)
-    if strategy == "reduction":
-        return differentiate_reverse(proc, independents, dependents,
-                                     policy=ALL_REDUCTION)
-    if strategy == "shared":
-        return differentiate_reverse(proc, independents, dependents,
-                                     policy=ALL_SHARED)
     if strategy == "formad":
         policy = FormADGuardPolicy(proc, independents, dependents,
                                    fallback=fallback)
+        return differentiate_reverse(proc, independents, dependents,
+                                     policy=policy)
+    if strategy in STRATEGIES:
+        policy = ConstantPolicy(get_strategy(strategy))
         return differentiate_reverse(proc, independents, dependents,
                                      policy=policy)
     raise ValueError(f"unknown strategy {strategy!r}; pick from {STRATEGIES}")
@@ -112,7 +114,10 @@ def analyze_formad(
 __all__ = [
     "Procedure", "Program", "ProcedureBuilder", "format_procedure",
     "parse_expression", "parse_procedure", "parse_program", "validate",
-    "ALL_ATOMIC", "ALL_REDUCTION", "ALL_SHARED", "GuardKind", "GuardPolicy",
+    "ALL_ATOMIC", "ALL_PREACCUMULATE", "ALL_REDUCTION", "ALL_SHARED",
+    "ALL_TRANSPOSED", "ConstantPolicy", "GuardPolicy", "SafeguardStrategy",
+    "get_strategy", "register_strategy", "registered_strategies",
+    "resolve_strategy", "strategy_names",
     "ReverseResult", "differentiate_reverse",
     "TangentResult", "differentiate_tangent",
     "ActivityAnalysis",

@@ -1,22 +1,30 @@
 """Source-transformation automatic differentiation (the Tapenade role).
 
 Reverse mode (:func:`differentiate_reverse`) is the paper's subject;
-safeguard policies for adjoint parallel loops live in
-:mod:`repro.ad.guards`, and the FormAD policy that removes safeguards
+safeguard strategies for adjoint parallel loops live in
+:mod:`repro.ad.strategies` (selected through the policies of
+:mod:`repro.ad.guards`), and the FormAD policy that removes safeguards
 with a proof is provided by :mod:`repro.formad`.
 """
 
 from .partials import Contribution, NotDifferentiableError, partials
-from .guards import (ALL_ATOMIC, ALL_REDUCTION, ALL_SHARED, ConstantPolicy,
-                     GuardKind, GuardPolicy)
+from .guards import (ALL_ATOMIC, ALL_PREACCUMULATE, ALL_REDUCTION,
+                     ALL_SHARED, ALL_TRANSPOSED, ConstantPolicy, GuardPolicy)
+from .strategies import (ATOMIC, PREACCUMULATE, REDUCTION, SHARED,
+                         TRANSPOSED, SafeguardStrategy, get_strategy,
+                         register_strategy, registered_strategies,
+                         resolve_strategy, strategy_names)
 from .reverse import ReverseResult, differentiate_reverse
 from .slicing import slice_adjoint
 from .tangent import TangentResult, differentiate_tangent
 
 __all__ = [
     "Contribution", "NotDifferentiableError", "partials",
-    "ALL_ATOMIC", "ALL_REDUCTION", "ALL_SHARED", "ConstantPolicy",
-    "GuardKind", "GuardPolicy",
+    "ALL_ATOMIC", "ALL_PREACCUMULATE", "ALL_REDUCTION", "ALL_SHARED",
+    "ALL_TRANSPOSED", "ConstantPolicy", "GuardPolicy",
+    "ATOMIC", "PREACCUMULATE", "REDUCTION", "SHARED", "TRANSPOSED",
+    "SafeguardStrategy", "get_strategy", "register_strategy",
+    "registered_strategies", "resolve_strategy", "strategy_names",
     "ReverseResult", "differentiate_reverse", "slice_adjoint",
     "TangentResult", "differentiate_tangent",
 ]

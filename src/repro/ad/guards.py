@@ -1,53 +1,53 @@
 """Safeguard policies for adjoint parallel loops.
 
-The AD engine asks a :class:`GuardPolicy` what to do with each adjoint
-increment to a *shared* array inside an adjoint parallel loop:
+The AD engine asks a :class:`GuardPolicy` which registered
+:class:`~repro.ad.strategies.SafeguardStrategy` should safeguard each
+adjoint increment to a *shared* array inside an adjoint parallel loop:
 
-* ``SHARED`` — plain update, no safeguard (only FormAD proves this);
-* ``ATOMIC`` — ``!$omp atomic`` on each increment (paper: "Adjoint
+* ``shared`` — plain update, no safeguard (only FormAD proves this);
+* ``atomic`` — ``!$omp atomic`` on each increment (paper: "Adjoint
   Atomic");
-* ``REDUCTION`` — privatize the adjoint array in a ``reduction(+)``
-  clause (paper: "Adjoint Reduction").
+* ``reduction`` — privatize the adjoint array in a ``reduction(+)``
+  clause (paper: "Adjoint Reduction");
+* ``preaccumulate`` / ``transposed`` — the related-work strategies
+  (see :mod:`repro.ad.strategies`).
 
-Policies correspond to the paper's program versions; the FormAD policy
-(deciding SHARED per proven-safe array) lives in :mod:`repro.formad`
-and implements the same interface.
+A policy only expresses *preference*; the transformer still checks the
+chosen strategy's applicability predicate against the loop's reference
+pattern and falls back to atomics when the choice is unsound for an
+array. Policies correspond to the paper's program versions; the FormAD
+policy (answering ``shared`` per proven-safe array) lives in
+:mod:`repro.formad` and implements the same interface.
 """
 
 from __future__ import annotations
 
-import enum
 from dataclasses import dataclass
 
 from ..ir.stmt import Loop
-
-
-class GuardKind(enum.Enum):
-    SHARED = "shared"
-    ATOMIC = "atomic"
-    REDUCTION = "reduction"
-
-    def __str__(self) -> str:  # pragma: no cover - cosmetic
-        return self.value
+from .strategies import (ATOMIC, PREACCUMULATE, REDUCTION, SHARED,
+                         TRANSPOSED, SafeguardStrategy)
 
 
 class GuardPolicy:
-    """Decides the safeguard per (parallel loop, primal array)."""
+    """Decides the safeguard strategy per (parallel loop, primal array)."""
 
-    def decide(self, loop: Loop, primal_array: str) -> GuardKind:
+    def decide(self, loop: Loop, primal_array: str) -> SafeguardStrategy:
         raise NotImplementedError
 
 
 @dataclass(frozen=True)
 class ConstantPolicy(GuardPolicy):
-    """Always answers the same kind (paper's atomic/reduction versions)."""
+    """Always answers the same strategy (the fixed program versions)."""
 
-    kind: GuardKind
+    strategy: SafeguardStrategy
 
-    def decide(self, loop: Loop, primal_array: str) -> GuardKind:
-        return self.kind
+    def decide(self, loop: Loop, primal_array: str) -> SafeguardStrategy:
+        return self.strategy
 
 
-ALL_ATOMIC = ConstantPolicy(GuardKind.ATOMIC)
-ALL_REDUCTION = ConstantPolicy(GuardKind.REDUCTION)
-ALL_SHARED = ConstantPolicy(GuardKind.SHARED)
+ALL_ATOMIC = ConstantPolicy(ATOMIC)
+ALL_REDUCTION = ConstantPolicy(REDUCTION)
+ALL_SHARED = ConstantPolicy(SHARED)
+ALL_PREACCUMULATE = ConstantPolicy(PREACCUMULATE)
+ALL_TRANSPOSED = ConstantPolicy(TRANSPOSED)

@@ -21,9 +21,14 @@ Structure of the generated procedure ("store-all" joint mode):
 Parallel loops map to parallel loops in both sweeps (iteration order of
 the adjoint loop reversed, as in the paper's Fig. 2). Adjoint
 increments to shared arrays are safeguarded according to a
-:class:`~repro.ad.guards.GuardPolicy` — atomics, reductions, or plain
-shared when FormAD proved safety. Tape channels are per-statement and,
-inside parallel loops, per-iteration, so pushes and pops always align.
+:class:`~repro.ad.guards.GuardPolicy`, which picks a registered
+:class:`~repro.ad.strategies.SafeguardStrategy` — atomics, reductions,
+plain shared when FormAD proved safety, iteration-local
+preaccumulation, or transposed (hoisted) adjoint loops. The chosen
+strategy owns the generated code shape; choices whose applicability
+predicate rejects the loop's access pattern fall back to atomics. Tape
+channels are per-statement and, inside parallel loops, per-iteration,
+so pushes and pops always align.
 """
 
 from __future__ import annotations
@@ -40,8 +45,10 @@ from ..ir.program import Param, Procedure
 from ..ir.stmt import Assign, If, Loop, Pop, Push, Stmt
 from ..ir.stmt import walk_stmts as _walk
 from ..ir.types import INTEGER, Intent, Kind, REAL, ScalarType, Type
-from .guards import ALL_ATOMIC, GuardKind, GuardPolicy
+from .guards import ALL_ATOMIC, GuardPolicy
 from .partials import Contribution, partials
+from .strategies import (SafeguardStrategy, TransposedSite,
+                         registered_strategies, resolve_strategy)
 
 #: Names of the scratch locals the transformation may introduce.
 TMP_ADJ = "ad_tmpb"
@@ -154,9 +161,26 @@ class _Transformer:
         self._temp_names: Dict[str, str] = {}
         # Per-parallel-loop accumulators, valid during one loop transform.
         self._loop: Optional[Loop] = None
-        self._loop_reductions: List[Tuple[str, str]] = []
+        # Order-preserving dedup of reduction clauses: keys are
+        # ("+", adjoint_name) pairs, insertion order is emission order.
+        self._loop_reductions: Dict[Tuple[str, str], None] = {}
         self._loop_private_extra: Set[str] = set()
         self._loop_mixed_arrays: Set[str] = set()
+        self._loop_refs = None
+        self._loop_body_assigned: Set[str] = set()
+        #: Primal arrays only ever *incremented* in the loop — their
+        #: adjoints are read-only seeds the transposed strategy may
+        #: safely reference from hoisted loops.
+        self._loop_increment_only: Set[str] = set()
+        #: Resolved strategy per primal array (memoized per loop).
+        self._loop_strategy: Dict[str, SafeguardStrategy] = {}
+        #: Preaccumulation buffers: (adj name, indices) -> (temp, ref).
+        self._loop_preacc: Dict[Tuple[str, tuple], Tuple[str, ArrayRef]] = {}
+        #: Hoistable transposed contribution sites, in emission order.
+        self._loop_transposed: List[TransposedSite] = []
+        #: Nesting depth of recorded control flow (branches, sequential
+        #: loops) below the current parallel loop's adjoint body.
+        self._rev_depth = 0
 
     # ------------------------------------------------------------------
     # Naming
@@ -280,52 +304,62 @@ class _Transformer:
             out.extend(self.emit_contribution(c))
         return out
 
+    def add_reduction(self, adjoint_name: str) -> None:
+        """Register a ``reduction(+)`` clause entry (deduplicated,
+        order-preserving)."""
+        self._loop_reductions.setdefault(("+", adjoint_name))
+
+    def _strategy_for(self, loop: Loop, array: str) -> SafeguardStrategy:
+        """Resolve and memoize the safeguard strategy for one primal
+        array of the current loop: the policy's preference when its
+        applicability predicate accepts the access pattern, atomics
+        otherwise."""
+        strategy = self._loop_strategy.get(array)
+        if strategy is None:
+            strategy, _reason = resolve_strategy(
+                self.policy.decide(loop, array), loop, array,
+                self._loop_refs, mixed=array in self._loop_mixed_arrays)
+            self._loop_strategy[array] = strategy
+        return strategy
+
     def emit_contribution(self, cont: Contribution) -> List[Stmt]:
         """``adjoint(ref) += expr``, safeguarded as the policy demands."""
         adj = self.adjoint_ref(cont.ref)
-        increment = Assign(adj, BinOp(Op.ADD, adj, cont.expr))
-        stmts: List[Stmt] = [increment]
+        plain = [Assign(adj, BinOp(Op.ADD, adj, cont.expr))]
         loop = self._loop
-        if loop is not None and not self.serial:
+        if loop is None or self.serial:
+            stmts: List[Stmt] = plain
+        else:
             # Reduction variables of the *primal* loop are shared as far
             # as the adjoint is concerned (their adjoints are read-only
             # seeds or shared accumulators), so only strictly private
             # names count as private here.
             strictly_private = set(loop.private) | {loop.var}
-            shared = cont.ref.name not in strictly_private
-            if shared:
-                if isinstance(cont.ref, ArrayRef):
-                    kind = self.policy.decide(loop, cont.ref.name)
-                    if kind is GuardKind.REDUCTION and \
-                            cont.ref.name in self._loop_mixed_arrays:
-                        # The adjoint array is also overwritten in this
-                        # loop; privatization would lose the overwrites,
-                        # so fall back to atomics for its increments.
-                        kind = GuardKind.ATOMIC
-                    if kind is GuardKind.ATOMIC:
-                        increment.atomic = True
-                    elif kind is GuardKind.REDUCTION:
-                        entry = ("+", adj.name)
-                        if entry not in self._loop_reductions:
-                            self._loop_reductions.append(entry)
-                else:
-                    # Shared scalar adjoints always accumulate through a
-                    # reduction clause (cheap and standard).
-                    entry = ("+", adj.name)
-                    if entry not in self._loop_reductions:
-                        self._loop_reductions.append(entry)
-            else:
+            if cont.ref.name in strictly_private:
                 # Adjoints of private variables are private themselves.
                 self._loop_private_extra.add(adj.name)
-        if cont.guard is not None:
+                stmts = plain
+            elif isinstance(cont.ref, Var):
+                # Shared scalar adjoints always accumulate through a
+                # reduction clause (cheap and standard).
+                self.add_reduction(adj.name)
+                stmts = plain
+            else:
+                strategy = self._strategy_for(loop, cont.ref.name)
+                stmts = strategy.emit_increment(self, cont, adj)
+        if cont.guard is not None and stmts:
             return [If(cont.guard, stmts)]
         return stmts
 
     # -- conditionals -----------------------------------------------------
     def transform_if(self, stmt: If) -> Tuple[List[Stmt], List[Stmt]]:
         chan = f"c{stmt.uid}"
-        fwd_then, rev_then = self.transform_body(stmt.then_body)
-        fwd_else, rev_else = self.transform_body(stmt.else_body)
+        self._rev_depth += 1
+        try:
+            fwd_then, rev_then = self.transform_body(stmt.then_body)
+            fwd_else, rev_else = self.transform_body(stmt.else_body)
+        finally:
+            self._rev_depth -= 1
         fwd = [If(stmt.cond,
                   fwd_then + [Push(chan, Const(1))],
                   fwd_else + [Push(chan, Const(0))])]
@@ -360,7 +394,11 @@ class _Transformer:
         return last, start, UnOp(Op.NEG, step)
 
     def transform_sequential_loop(self, loop: Loop) -> Tuple[List[Stmt], List[Stmt]]:
-        fwd_body, rev_body = self.transform_body(loop.body)
+        self._rev_depth += 1
+        try:
+            fwd_body, rev_body = self.transform_body(loop.body)
+        finally:
+            self._rev_depth -= 1
         fwd: List[Stmt] = []
         rev: List[Stmt] = []
         if self._bounds_invariant(loop):
@@ -392,18 +430,32 @@ class _Transformer:
         if self._loop is not None:
             raise TypeError("nested parallel loops are not supported")
         refs = collect_region_references(loop.body)
+        body_assigned = {s.target.name for s in _walk(loop.body)
+                         if isinstance(s, (Assign, Pop))}
+        body_assigned |= {s.var for s in _walk(loop.body) if isinstance(s, Loop)}
         self._loop = loop
-        self._loop_reductions = []
+        self._loop_refs = refs
+        self._loop_reductions = {}
         self._loop_private_extra = set()
+        self._loop_strategy = {}
+        self._loop_preacc = {}
+        self._loop_transposed = []
+        self._loop_body_assigned = body_assigned
         self._loop_mixed_arrays = {
             name for name in refs.arrays()
             if any(a.kind is AccessKind.WRITE for a in refs.of_array(name))
             and name in self.activity.active
         }
+        self._loop_increment_only = {
+            name for name in refs.arrays()
+            if all(a.kind is AccessKind.INCREMENT for a in refs.of_array(name))
+        }
+        saved_depth, self._rev_depth = self._rev_depth, 0
         try:
             fwd_body, rev_body = self.transform_body(loop.body)
         finally:
             self._loop = None
+            self._rev_depth = saved_depth
         parallel = not self.serial
         fwd_loop = Loop(loop.var, loop.start, loop.stop, loop.step, fwd_body,
                         parallel=parallel, private=loop.private,
@@ -414,9 +466,10 @@ class _Transformer:
         # has been restored), and that state equals the state at forward
         # loop *entry* for every name the loop body itself does not
         # assign. Only body-local modification of a bound breaks this.
-        body_assigned = {s.target.name for s in _walk(loop.body)
-                         if isinstance(s, (Assign, Pop))}
-        body_assigned |= {s.var for s in _walk(loop.body) if isinstance(s, Loop)}
+        # The same argument covers the hoisted loops a strategy may
+        # append after the adjoint loop: the adjoint loop assigns only
+        # adjoints, scratch temps, and pops of body-assigned names,
+        # none of which may appear in the bounds.
         bound_names = (variables_in(loop.start) | variables_in(loop.stop)
                        | variables_in(loop.step))
         if bound_names & body_assigned:
@@ -436,15 +489,36 @@ class _Transformer:
                 # (true OpenMP privates are garbage); zero them before
                 # any accumulation.
                 zero_privates.append(Assign(Var(adj), Const(0.0)))
-        rev_body = zero_privates + rev_body
+        # Strategies with deferred codegen (preaccumulation buffers,
+        # hoisted transposed loops) materialize it now.
+        prologue: List[Stmt] = []
+        epilogue: List[Stmt] = []
+        after_loop: List[Stmt] = []
+        for strategy in registered_strategies():
+            pro, epi, post = strategy.finalize_loop(self, loop)
+            prologue.extend(pro)
+            epilogue.extend(epi)
+            after_loop.extend(post)
+        rev_body = zero_privates + prologue + rev_body + epilogue
         for name in sorted(self._loop_private_extra):
             if name not in private:
                 private.append(name)
-        rev_loop = Loop(loop.var, rev_start, rev_stop, rev_step, rev_body,
-                        parallel=parallel, private=private,
-                        reduction=tuple(self._loop_reductions) if parallel else ())
-        reductions = self._loop_reductions
-        self._loop_reductions = []
+        reductions = tuple(self._loop_reductions)
+        assert len({name for _, name in reductions}) == len(reductions), \
+            "duplicate reduction clause emitted"
+        self._loop_reductions = {}
         self._loop_private_extra = set()
         self._loop_mixed_arrays = set()
-        return [fwd_loop], [rev_loop]
+        self._loop_increment_only = set()
+        self._loop_strategy = {}
+        self._loop_preacc = {}
+        self._loop_transposed = []
+        self._loop_refs = None
+        self._loop_body_assigned = set()
+        rev: List[Stmt] = []
+        if rev_body:
+            rev.append(Loop(loop.var, rev_start, rev_stop, rev_step, rev_body,
+                            parallel=parallel, private=private,
+                            reduction=reductions if parallel else ()))
+        rev.extend(after_loop)
+        return [fwd_loop], rev

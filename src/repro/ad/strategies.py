@@ -1,0 +1,433 @@
+"""Pluggable safeguard strategies for adjoint parallel loops.
+
+Each :class:`SafeguardStrategy` bundles everything one safeguard shape
+needs across the pipeline:
+
+* an **applicability predicate** over the loop's reference pattern
+  (checked against the FormAD verdict's primal array before the policy
+  choice is honoured; inapplicable choices fall back to atomics, which
+  are always sound for commutative adjoint increments);
+* the **adjoint code-generation hook** used by
+  :mod:`repro.ad.reverse` — given one ``adjoint += expr`` contribution
+  it decides what is emitted in the adjoint loop body and what is
+  deferred to loop finalization (private buffers, hoisted loops);
+* its **cost contribution** in the simulated machine
+  (:func:`repro.runtime.costmodel.loop_time` sums
+  :meth:`SafeguardStrategy.loop_cost` over the registry).
+
+The built-in registry holds the paper's three safeguards plus two from
+related work:
+
+``shared``
+    Plain updates, no safeguard. Only sound when FormAD proved the
+    iterations write disjoint locations.
+``atomic``
+    ``!$omp atomic`` on every increment ("Adjoint Atomic"). Always
+    applicable — adjoint increments commute.
+``reduction``
+    Privatize the adjoint array in a ``reduction(+)`` clause ("Adjoint
+    Reduction"). Inapplicable when the adjoint array is also plainly
+    overwritten in the loop (privatization would lose the overwrites).
+``preaccumulate``
+    Iteration-local adjoint preaccumulation (arXiv 2405.07819): each
+    syntactically distinct adjoint location gets a private scalar
+    buffer that collects the iteration's contributions, flushed once
+    per iteration with a single guarded (atomic) update. Requires the
+    primal array to be read-only in the loop with iteration-stable
+    subscripts and bounded per-iteration fan-in.
+``transposed``
+    Transposed ("gather") adjoint for stencil access patterns
+    (arXiv 1907.02818): increments whose subscript is an invertible
+    unit-affine map of the loop counter are hoisted out of the adjoint
+    loop into follow-up parallel loops re-indexed over the adjoint's
+    write footprint, so each adjoint element has exactly one writer
+    and needs no safeguard at all.
+
+Strategies are stateless singletons; per-loop codegen state lives on
+the transformer (``ctx``) so one registry instance can serve
+concurrent differentiations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis.references import AccessKind, RegionReferences
+from ..ir.expr import (ArrayRef, BinOp, Const, Expr, Op, Var, names_in,
+                       substitute)
+from ..ir.stmt import Assign, If, Loop, Stmt
+from ..ir.types import REAL
+
+#: Largest number of private preaccumulation buffers one loop may
+#: allocate — the "bounded per-iteration fan-in" requirement made
+#: concrete (each buffer is one register-resident scalar).
+MAX_PREACC_FANIN = 64
+
+
+def _shift(expr: Expr, offset: int) -> Expr:
+    """``expr + offset`` with the trivial cases kept clean."""
+    if offset == 0:
+        return expr
+    if offset > 0:
+        return BinOp(Op.ADD, expr, Const(offset))
+    return BinOp(Op.SUB, expr, Const(-offset))
+
+
+def _unit_affine_offset(index: Expr, var: str) -> Optional[int]:
+    """Return ``c`` when *index* is exactly ``var + c`` (coefficient 1),
+    else ``None``. Covers ``i``, ``i + k``, ``k + i`` and ``i - k``."""
+    if isinstance(index, Var):
+        return 0 if index.name == var else None
+    if isinstance(index, BinOp) and index.op in (Op.ADD, Op.SUB):
+        lhs, rhs = index.left, index.right
+        if isinstance(lhs, Var) and lhs.name == var and \
+                isinstance(rhs, Const) and isinstance(rhs.value, int):
+            return rhs.value if index.op is Op.ADD else -rhs.value
+        if index.op is Op.ADD and isinstance(rhs, Var) and rhs.name == var \
+                and isinstance(lhs, Const) and isinstance(lhs.value, int):
+            return lhs.value
+    return None
+
+
+def _pure_read(refs: RegionReferences, array: str) -> bool:
+    """Is *array* only ever read (never written or incremented) in the
+    loop? Then its adjoint is a pure accumulator in the adjoint loop."""
+    accesses = refs.of_array(array)
+    return bool(accesses) and \
+        all(a.kind is AccessKind.READ for a in accesses)
+
+
+@dataclass
+class TransposedSite:
+    """One hoistable ``adjb(..., i+c, ...) += expr`` contribution."""
+
+    adj_name: str
+    indices: Tuple[Expr, ...]
+    pos: int          #: index position holding the loop counter
+    offset: int       #: the ``c`` of ``i + c``
+    expr: Expr
+    guard: Optional[Expr]
+
+
+class SafeguardStrategy:
+    """One safeguard shape for adjoint increments to shared arrays.
+
+    Subclasses override the hooks they care about; the defaults emit a
+    plain (unsafeguarded) increment, contribute no extra cost, and are
+    always applicable.
+    """
+
+    name: str = "shared"
+
+    # -- applicability -------------------------------------------------
+    def applicable(self, loop: Loop, array: str, refs: RegionReferences,
+                   *, mixed: bool = False) -> Tuple[bool, str]:
+        """Can this strategy safeguard increments to *array*'s adjoint
+        in *loop*? Returns ``(ok, reason-when-not)``."""
+        return True, ""
+
+    # -- code generation -----------------------------------------------
+    def emit_increment(self, ctx, cont, adj: ArrayRef) -> List[Stmt]:
+        """Statements realizing ``adj += cont.expr`` inside the adjoint
+        loop body. May record deferred work on *ctx* (the reverse-mode
+        transformer) that :meth:`finalize_loop` materializes."""
+        return [Assign(adj, BinOp(Op.ADD, adj, cont.expr))]
+
+    def finalize_loop(self, ctx, loop: Loop) \
+            -> Tuple[List[Stmt], List[Stmt], List[Stmt]]:
+        """Per-loop epilogue hook, called once per parallel loop after
+        its body is transformed. Returns ``(iteration_prologue,
+        iteration_epilogue, after_loop)`` statement lists."""
+        return [], [], []
+
+    # -- simulated cost -------------------------------------------------
+    def loop_cost(self, record, machine, threads: int, *,
+                  iter_scale: float = 1.0, elem_scale: float = 1.0) -> float:
+        """Extra simulated wall time this safeguard adds to one
+        parallel loop instance (``record`` is a
+        :class:`repro.runtime.costmodel.ParallelLoopRecord`). Cost
+        follows the emitted construct: strategies whose overhead is
+        visible in the traced operation counts (preaccumulation's
+        atomic flushes, transposition's hoisted loops) charge nothing
+        here."""
+        return 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<strategy {self.name}>"
+
+
+class SharedStrategy(SafeguardStrategy):
+    """Plain updates — sound only when FormAD proved write disjointness
+    (or when the caller accepts races, e.g. the audit's racy probes)."""
+
+    name = "shared"
+
+
+class AtomicStrategy(SafeguardStrategy):
+    """Guard every increment with an atomic RMW. The universal sound
+    fallback: adjoint increments commute, so atomicity is all that is
+    needed regardless of the access pattern."""
+
+    name = "atomic"
+
+    def emit_increment(self, ctx, cont, adj: ArrayRef) -> List[Stmt]:
+        return [Assign(adj, BinOp(Op.ADD, adj, cont.expr), atomic=True)]
+
+    def loop_cost(self, record, machine, threads: int, *,
+                  iter_scale: float = 1.0, elem_scale: float = 1.0) -> float:
+        total_atomics = sum(c.atomics for c in record.per_iteration)
+        return machine.atomic_cost(total_atomics * iter_scale, threads)
+
+
+class ReductionStrategy(SafeguardStrategy):
+    """Privatize the adjoint array in a ``reduction(+)`` clause."""
+
+    name = "reduction"
+
+    def applicable(self, loop: Loop, array: str, refs: RegionReferences,
+                   *, mixed: bool = False) -> Tuple[bool, str]:
+        if mixed:
+            return False, ("adjoint array is also plainly overwritten in "
+                           "this loop; privatization would lose the "
+                           "overwrites")
+        return True, ""
+
+    def emit_increment(self, ctx, cont, adj: ArrayRef) -> List[Stmt]:
+        ctx.add_reduction(adj.name)
+        return [Assign(adj, BinOp(Op.ADD, adj, cont.expr))]
+
+    def loop_cost(self, record, machine, threads: int, *,
+                  iter_scale: float = 1.0, elem_scale: float = 1.0) -> float:
+        time = 0.0
+        for _, elems in record.reduction_arrays:
+            time += machine.reduction_cost(elems * elem_scale, threads)
+        return time
+
+
+class PreaccumulateStrategy(SafeguardStrategy):
+    """Iteration-local preaccumulation into private scalar buffers.
+
+    Each syntactically distinct adjoint location gets one private
+    scalar, zeroed at the start of every adjoint iteration; the loop
+    body accumulates into the scalar (plain, race-free updates, even
+    inside inner loops or branches) and one atomic flush per location
+    runs at the end of the iteration. Profitable when an iteration
+    contributes many times to few locations (high fan-in)."""
+
+    name = "preaccumulate"
+
+    def applicable(self, loop: Loop, array: str, refs: RegionReferences,
+                   *, mixed: bool = False) -> Tuple[bool, str]:
+        if not _pure_read(refs, array):
+            return False, ("primal array is written in the loop; its "
+                           "adjoint is not a pure accumulator")
+        body_assigned = _body_assigned_names(loop)
+        sites = set()
+        for access in refs.of_array(array):
+            for idx in access.indices:
+                if (names_in(idx) - {loop.var}) & body_assigned:
+                    return False, (f"subscript of {array} is not "
+                                   "iteration-stable")
+            sites.add(tuple(access.indices))
+        if len(sites) > MAX_PREACC_FANIN:
+            return False, (f"per-iteration fan-in {len(sites)} exceeds "
+                           f"{MAX_PREACC_FANIN} buffers")
+        return True, ""
+
+    def emit_increment(self, ctx, cont, adj: ArrayRef) -> List[Stmt]:
+        key = (adj.name, tuple(adj.indices))
+        entry = ctx._loop_preacc.get(key)
+        if entry is None:
+            temp = ctx._temp(f"ad_pre{len(ctx._loop_preacc)}", REAL).name
+            ctx._loop_preacc[key] = (temp, adj)
+            ctx._loop_private_extra.add(temp)
+        else:
+            temp = entry[0]
+        tvar = Var(temp)
+        return [Assign(tvar, BinOp(Op.ADD, tvar, cont.expr))]
+
+    def finalize_loop(self, ctx, loop: Loop) \
+            -> Tuple[List[Stmt], List[Stmt], List[Stmt]]:
+        prologue: List[Stmt] = []
+        epilogue: List[Stmt] = []
+        for temp, adj in ctx._loop_preacc.values():
+            prologue.append(Assign(Var(temp), Const(0.0)))
+            target = ArrayRef(adj.name, adj.indices)
+            epilogue.append(Assign(
+                target, BinOp(Op.ADD, target, Var(temp)), atomic=True))
+        return prologue, epilogue, []
+
+
+class TransposedStrategy(SafeguardStrategy):
+    """Hoist unit-affine increments into loops over the write footprint.
+
+    A contribution ``adjb(i + c) += expr`` inside a parallel loop over
+    ``i`` is re-indexed as a follow-up parallel loop over ``e`` in the
+    shifted iteration space, executing ``adjb(e) += expr[i := e - c]``;
+    the shifted bounds cover exactly the original write footprint, and
+    each adjoint element is written by exactly one iteration, so the
+    increments need no safeguard. Sites the per-site shiftability check
+    rejects (loop-varying operands, nesting under recorded control
+    flow) fall back to atomic increments in place — sound, since
+    adjoint increments commute across the loop boundary."""
+
+    name = "transposed"
+
+    def applicable(self, loop: Loop, array: str, refs: RegionReferences,
+                   *, mixed: bool = False) -> Tuple[bool, str]:
+        if not _pure_read(refs, array):
+            return False, ("primal array is written in the loop; its "
+                           "adjoint is not a pure accumulator")
+        body_assigned = _body_assigned_names(loop)
+        for access in refs.of_array(array):
+            counter_positions = [
+                p for p, idx in enumerate(access.indices)
+                if loop.var in names_in(idx)
+            ]
+            if len(counter_positions) != 1:
+                return False, (f"subscript of {array} does not use the "
+                               "loop counter in exactly one position")
+            pos = counter_positions[0]
+            if _unit_affine_offset(access.indices[pos], loop.var) is None:
+                return False, (f"subscript of {array} is not a unit-"
+                               "affine (invertible) map of the counter")
+            for p, idx in enumerate(access.indices):
+                if p != pos and names_in(idx) & body_assigned:
+                    return False, (f"subscript of {array} mixes the "
+                                   "counter with loop-varying values")
+        return True, ""
+
+    def emit_increment(self, ctx, cont, adj: ArrayRef) -> List[Stmt]:
+        site = self._site(ctx, cont, adj)
+        if site is None:
+            return [Assign(adj, BinOp(Op.ADD, adj, cont.expr), atomic=True)]
+        ctx._loop_transposed.append(site)
+        return []
+
+    def _site(self, ctx, cont, adj: ArrayRef) -> Optional[TransposedSite]:
+        loop = ctx._loop
+        if ctx._rev_depth != 0:
+            # Under recorded control flow (branch flags, inner loop
+            # counters) the contribution cannot be replayed outside the
+            # adjoint iteration; keep it in place.
+            return None
+        counter_positions = [p for p, idx in enumerate(adj.indices)
+                             if loop.var in names_in(idx)]
+        if len(counter_positions) != 1:
+            return None
+        pos = counter_positions[0]
+        offset = _unit_affine_offset(adj.indices[pos], loop.var)
+        if offset is None:
+            return None
+        body_assigned = ctx._loop_body_assigned
+        for p, idx in enumerate(adj.indices):
+            if p != pos and (names_in(idx) & (body_assigned | {loop.var})
+                             or names_in(idx) & set(loop.private)):
+                return None
+        # Every name the hoisted statement evaluates must have the same
+        # value after the adjoint loop as inside the iteration: loop
+        # invariants, and adjoints that are read-only seeds (adjoints
+        # of pure-increment primal targets).
+        adjoint_values = set(ctx.adjoint_of.values())
+        seed_adjoints = {ctx.adjoint_of[p] for p in ctx._loop_increment_only
+                         if p in ctx.adjoint_of}
+        used = set(names_in(cont.expr))
+        if cont.guard is not None:
+            used |= names_in(cont.guard)
+        for name in used:
+            if name == loop.var or name in seed_adjoints:
+                continue
+            if name in adjoint_values or name in ctx.new_locals \
+                    or name in body_assigned or name in loop.private:
+                return None
+        return TransposedSite(adj.name, tuple(adj.indices), pos, offset,
+                              cont.expr, cont.guard)
+
+    def finalize_loop(self, ctx, loop: Loop) \
+            -> Tuple[List[Stmt], List[Stmt], List[Stmt]]:
+        groups: Dict[int, List[TransposedSite]] = {}
+        for site in ctx._loop_transposed:
+            groups.setdefault(site.offset, []).append(site)
+        after: List[Stmt] = []
+        var = Var(loop.var)
+        for offset, sites in groups.items():
+            remap = {loop.var: _shift(var, -offset)}
+            body: List[Stmt] = []
+            for s in sites:
+                indices = list(s.indices)
+                indices[s.pos] = var
+                target = ArrayRef(s.adj_name, tuple(indices))
+                inc = Assign(target,
+                             BinOp(Op.ADD, target, substitute(s.expr, remap)))
+                if s.guard is not None:
+                    body.append(If(substitute(s.guard, remap), [inc]))
+                else:
+                    body.append(inc)
+            after.append(Loop(loop.var, _shift(loop.start, offset),
+                              _shift(loop.stop, offset), loop.step, body,
+                              parallel=True))
+        return [], [], after
+
+
+def _body_assigned_names(loop: Loop) -> set:
+    from ..ir.stmt import Pop, walk_stmts
+    names = {s.target.name for s in walk_stmts(loop.body)
+             if isinstance(s, (Assign, Pop))}
+    names |= {s.var for s in walk_stmts(loop.body) if isinstance(s, Loop)}
+    return names
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+REGISTRY: Dict[str, SafeguardStrategy] = {}
+
+
+def register_strategy(strategy: SafeguardStrategy) -> SafeguardStrategy:
+    """Add *strategy* to the registry (keyed by its ``name``)."""
+    if strategy.name in REGISTRY:
+        raise ValueError(f"strategy {strategy.name!r} already registered")
+    REGISTRY[strategy.name] = strategy
+    return strategy
+
+
+def get_strategy(name: str) -> SafeguardStrategy:
+    try:
+        return REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown safeguard strategy {name!r}; registered: "
+            f"{', '.join(REGISTRY)}") from None
+
+
+def strategy_names() -> Tuple[str, ...]:
+    """Registered strategy names, in registration order."""
+    return tuple(REGISTRY)
+
+
+def registered_strategies() -> Tuple[SafeguardStrategy, ...]:
+    return tuple(REGISTRY.values())
+
+
+def resolve_strategy(requested: SafeguardStrategy, loop: Loop, array: str,
+                     refs: RegionReferences, *, mixed: bool = False) \
+        -> Tuple[SafeguardStrategy, str]:
+    """Honour *requested* when applicable, else fall back to atomics.
+
+    Returns ``(strategy, reason)`` where *reason* is empty for an
+    honoured request and explains the fallback otherwise. Used by both
+    the reverse-mode transformer and ``analyze --json`` so the code
+    generator and the report always agree."""
+    ok, reason = requested.applicable(loop, array, refs, mixed=mixed)
+    if ok:
+        return requested, ""
+    return ATOMIC, reason
+
+
+SHARED = register_strategy(SharedStrategy())
+ATOMIC = register_strategy(AtomicStrategy())
+REDUCTION = register_strategy(ReductionStrategy())
+PREACCUMULATE = register_strategy(PreaccumulateStrategy())
+TRANSPOSED = register_strategy(TransposedStrategy())

@@ -29,13 +29,16 @@ from typing import List, Optional, Sequence
 
 from . import (STRATEGIES, differentiate, differentiate_tangent,
                format_procedure)
-from .ad import GuardKind
 from .formad import format_verdicts
 from .ir import ParseError, parse_program
 from .obs import (NULL_TRACER, JsonlTracer, RegistryTracer, explain_array,
                   format_profile, load_trace, stats_metrics, validate_events)
 
 LOG_LEVELS = ("debug", "info", "warning", "error")
+
+#: Safeguards usable as the FormAD fallback (every registered strategy
+#: except the proof-gated ``shared``).
+FALLBACKS = ("atomic", "reduction", "preaccumulate", "transposed")
 
 
 def _add_io_args(p: argparse.ArgumentParser) -> None:
@@ -207,6 +210,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strict", action="store_true",
                    help="exit non-zero (status 3) when any loop degraded "
                         "or any question timed out")
+    p.add_argument("--strategy", choices=[s for s in STRATEGIES
+                                          if s != "serial"],
+                   default=None,
+                   help="report the per-(loop, array) safeguard this "
+                        "program version would generate (adds the "
+                        "'strategy' key to --json output)")
+    p.add_argument("--fallback", choices=FALLBACKS, default="atomic",
+                   help="with --strategy formad: safeguard for arrays "
+                        "FormAD cannot prove safe")
 
     p = sub.add_parser("serve", parents=[common],
                        help="run the long-lived analysis daemon "
@@ -263,8 +275,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="generate the reverse-mode (adjoint) procedure")
     _add_io_args(p)
     p.add_argument("--strategy", choices=STRATEGIES, default="formad")
-    p.add_argument("--fallback", choices=["atomic", "reduction"],
-                   default="atomic",
+    p.add_argument("--fallback", choices=FALLBACKS, default="atomic",
                    help="safeguard for arrays FormAD cannot prove safe")
     p.add_argument("-O", "--output", default=None, help="output file")
 
@@ -415,7 +426,44 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _analysis_json(proc, analyses, outcomes=None, cache=None) -> str:
+def _strategy_selection(proc, analyses, independents, dependents,
+                        requested: str, fallback: str) -> dict:
+    """The per-(loop, array) safeguard selection of one program
+    version, computed through the same :func:`resolve_strategy` helper
+    the code generator uses, so report and generated code agree."""
+    from .ad.strategies import get_strategy, resolve_strategy
+    from .analysis import ActivityAnalysis
+    from .analysis.references import AccessKind, collect_region_references
+    activity = ActivityAnalysis(proc, independents, dependents)
+    loops = []
+    for index, analysis in enumerate(analyses):
+        loop = analysis.loop
+        refs = collect_region_references(loop.body)
+        mixed = {
+            name for name in refs.arrays()
+            if any(a.kind is AccessKind.WRITE for a in refs.of_array(name))
+            and name in activity.active
+        }
+        arrays = []
+        for name, verdict in sorted(analysis.verdicts.items()):
+            if requested == "formad" and verdict.safe:
+                chosen, reason = "shared", ""
+            else:
+                want = fallback if requested == "formad" else requested
+                strategy, reason = resolve_strategy(
+                    get_strategy(want), loop, name, refs,
+                    mixed=name in mixed)
+                chosen = strategy.name
+            arrays.append({"array": name, "strategy": chosen,
+                           "reason": reason})
+        # Ordinal, not loop.uid: the uid counter is process-global, and
+        # the selection document must be byte-stable run over run.
+        loops.append({"loop": loop.var, "index": index, "arrays": arrays})
+    return {"requested": requested, "fallback": fallback, "loops": loops}
+
+
+def _analysis_json(proc, analyses, outcomes=None, cache=None,
+                   strategy=None) -> str:
     """The ``analyze --json`` document: verdicts + metrics, keys sorted
     for byte-stable output (schema ``repro-analyze/1``).
 
@@ -470,6 +518,10 @@ def _analysis_json(proc, analyses, outcomes=None, cache=None) -> str:
         # Conditional like the resilience keys: only a --cache-dir run
         # carries it, so cache-less output stays byte-identical.
         doc["cache"] = cache
+    if strategy is not None:
+        # Conditional as well: only an --strategy run carries the
+        # per-(loop, array) safeguard selection.
+        doc["strategy"] = strategy
     return json.dumps(doc, indent=2, sort_keys=True)
 
 
@@ -786,9 +838,14 @@ def _finish_analyze(args, proc, analyses, outcomes=None,
     degraded = sum(1 for a in analyses if a.degraded)
     timed_out = sum(a.stats.timed_out_questions for a in analyses)
     strict_failure = args.strict and (degraded or timed_out)
+    strategy_doc = None
+    if getattr(args, "strategy", None):
+        strategy_doc = _strategy_selection(
+            proc, analyses, _names(args.independents),
+            _names(args.dependents), args.strategy, args.fallback)
     if args.json:
         print(_analysis_json(proc, analyses, outcomes,
-                             cache=cache_summary))
+                             cache=cache_summary, strategy=strategy_doc))
         return 3 if strict_failure else 0
     if not analyses:
         print("no parallel loops found")
@@ -817,6 +874,14 @@ def _finish_analyze(args, proc, analyses, outcomes=None,
             notes.append(f"resumed_questions={s.resumed_questions}")
         if notes:
             print(f"  resilience: {' '.join(notes)}")
+    if strategy_doc is not None:
+        print(f"strategy {strategy_doc['requested']} "
+              f"(fallback {strategy_doc['fallback']}):")
+        for entry in strategy_doc["loops"]:
+            for sel in entry["arrays"]:
+                note = f"  ({sel['reason']})" if sel["reason"] else ""
+                print(f"  loop {entry['loop']}: {sel['array']} -> "
+                      f"{sel['strategy']}{note}")
     if args.trace:
         print(f"trace written to {args.trace} (replay with "
               f"'repro explain {args.trace} --array A' or "
@@ -997,7 +1062,7 @@ def _dispatch(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "differentiate":
             result = differentiate(proc, independents, dependents,
                                    strategy=args.strategy,
-                                   fallback=GuardKind(args.fallback))
+                                   fallback=args.fallback)
             _emit(format_procedure(result.procedure), args.output)
             return 0
         if args.command == "tangent":

@@ -9,6 +9,14 @@ For each kernel the paper compares five program versions (§7):
 * **Adjoint Atomic** — every shared adjoint increment atomic;
 * **Adjoint Reduction** — shared adjoint arrays privatized.
 
+Beyond the paper, two related-work safeguards from the strategy
+registry ride along in every sweep:
+
+* **Adjoint Preaccumulate** — iteration-local adjoint buffers with one
+  atomic flush per distinct location (arXiv 2405.07819);
+* **Adjoint Transposed** — unit-affine increments hoisted into loops
+  over the adjoint's write footprint (arXiv 1907.02818).
+
 Each version is interpreted once at reduced size under the cost tracer,
 then extrapolated to the paper's problem size and simulated across
 thread counts. Speedups divide the respective *serial* version's time,
@@ -26,7 +34,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence
 import numpy as np
 
 from .. import differentiate
-from ..ad import GuardKind, ReverseResult
+from ..ad import ReverseResult
 from ..ir.program import Procedure
 from ..ir.stmt import strip_parallel
 from ..obs.tracer import NULL_TRACER, NullTracer
@@ -37,8 +45,10 @@ from .specs import KernelSpec
 
 logger = logging.getLogger(__name__)
 
-#: The adjoint strategies measured by the figures.
-ADJOINT_STRATEGIES = ("formad", "atomic", "reduction")
+#: The adjoint strategies measured by the figures: the paper's three
+#: program versions plus the two related-work registry strategies.
+ADJOINT_STRATEGIES = ("formad", "atomic", "reduction", "preaccumulate",
+                      "transposed")
 
 
 def _serialized(proc: Procedure) -> Procedure:

@@ -1,21 +1,22 @@
 """FormAD as a safeguard policy for the AD engine.
 
 ``FormADGuardPolicy`` answers the AD engine's "how do I guard this
-adjoint increment?" question with SHARED whenever the engine proved the
-array conflict-free, and with a configurable fallback (atomics by
-default, as in the paper's generated code) otherwise.
+adjoint increment?" question with the ``shared`` strategy whenever the
+engine proved the array conflict-free, and with a configurable fallback
+strategy (atomics by default, as in the paper's generated code)
+otherwise.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Union
 
-from ..ad.guards import GuardKind, GuardPolicy
+from ..ad.guards import GuardPolicy
+from ..ad.strategies import SHARED, SafeguardStrategy, get_strategy
 from ..analysis.activity import ActivityAnalysis
 from ..ir.program import Procedure
 from ..ir.stmt import Loop
-from .engine import FormADEngine, LoopAnalysis
+from .engine import ArrayVerdict, FormADEngine, LoopAnalysis
 
 
 class FormADGuardPolicy(GuardPolicy):
@@ -27,13 +28,15 @@ class FormADGuardPolicy(GuardPolicy):
         independents: Sequence[str],
         dependents: Sequence[str],
         *,
-        fallback: GuardKind = GuardKind.ATOMIC,
+        fallback: Union[str, SafeguardStrategy] = "atomic",
         max_theory_checks: int = 20000,
         node_budget: int = 2000,
         solver_factory=None,
         tracer=None,
     ) -> None:
-        if fallback is GuardKind.SHARED:
+        if isinstance(fallback, str):
+            fallback = get_strategy(fallback)
+        if fallback is SHARED:
             raise ValueError("the fallback must be a real safeguard")
         activity = ActivityAnalysis(proc, independents, dependents)
         extra = {} if tracer is None else {"tracer": tracer}
@@ -43,12 +46,21 @@ class FormADGuardPolicy(GuardPolicy):
                                    solver_factory=solver_factory,
                                    **extra)
         self.fallback = fallback
+        # Per-loop verdict tables, memoized so deciding every array of
+        # a loop costs one engine lookup instead of one per array.
+        self._loop_verdicts: Dict[int, Dict[str, ArrayVerdict]] = {}
 
-    def decide(self, loop: Loop, primal_array: str) -> GuardKind:
-        analysis = self.engine.analyze_loop(loop)
-        verdict = analysis.verdicts.get(primal_array)
+    def _verdicts(self, loop: Loop) -> Dict[str, ArrayVerdict]:
+        verdicts = self._loop_verdicts.get(loop.uid)
+        if verdicts is None:
+            verdicts = self.engine.analyze_loop(loop).verdicts
+            self._loop_verdicts[loop.uid] = verdicts
+        return verdicts
+
+    def decide(self, loop: Loop, primal_array: str) -> SafeguardStrategy:
+        verdict = self._verdicts(loop).get(primal_array)
         if verdict is not None and verdict.safe:
-            return GuardKind.SHARED
+            return SHARED
         return self.fallback
 
     def analyses(self) -> List[LoopAnalysis]:

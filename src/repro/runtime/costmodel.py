@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..ad.strategies import registered_strategies
 from ..ir.expr import ArrayRef, Const, Expr, Var, walk
 from ..ir.stmt import Loop
 from .interp import Tracer
@@ -253,14 +254,12 @@ def loop_time(record: ParallelLoopRecord, machine: MachineModel,
     thread_compute: List[float] = []
     thread_stream: List[float] = []
     thread_gather: List[float] = []
-    total_atomics = 0
     for begin, end in static_chunks(len(iters), threads):
         compute = stream = gather = 0.0
         for c in iters[begin:end]:
             compute += c.compute_seconds(machine)
             stream += c.stream_mem * machine.stream_mem_s
             gather += c.gather_mem * machine.gather_mem_s
-            total_atomics += c.atomics
         thread_compute.append(compute)
         thread_stream.append(stream)
         thread_gather.append(gather)
@@ -287,9 +286,15 @@ def loop_time(record: ParallelLoopRecord, machine: MachineModel,
     body_time = max(max(per_thread) * machine.frequency_factor(threads),
                     stream_floor + gather_floor)
     time = body_time
-    time += machine.atomic_cost(int(total_atomics * iter_scale), threads)
-    for _, elems in record.reduction_arrays:
-        time += machine.reduction_cost(int(elems * elem_scale), threads)
+    # Safeguard overhead is owned by the strategies themselves: each
+    # registered strategy charges for the construct it emits (atomic
+    # contention, reduction privatize/merge, ...). Scaled counts stay
+    # floats — truncating them to int silently zeroed small-but-real
+    # costs at fractional profiling scales.
+    for strategy in registered_strategies():
+        time += strategy.loop_cost(record, machine, threads,
+                                   iter_scale=iter_scale,
+                                   elem_scale=elem_scale)
     time += machine.fork_join_cost(threads)
     return time
 
@@ -301,16 +306,18 @@ def serial_region_time(counts: OpCounts, machine: MachineModel) -> float:
 def total_time(profile: ExecutionProfile, machine: MachineModel,
                threads: int, *, iter_scale: float = 1.0,
                invocation_scale: float = 1.0,
-               elem_scale: float = 1.0) -> float:
+               elem_scale: Optional[float] = None) -> float:
     """Simulated wall time of the whole profiled execution.
 
     ``invocation_scale`` multiplies the whole execution (more sweeps /
     repetitions of the same structure); ``iter_scale`` scales every
     parallel loop's trip count (a larger grid); ``elem_scale`` scales
-    reduction-array volumes (defaults to ``iter_scale`` when left at 1
-    by callers that pass only ``iter_scale`` — pass explicitly for
-    workloads whose arrays do not grow with the iteration count).
+    reduction-array volumes and defaults to ``iter_scale`` when not
+    given — pass it explicitly for workloads whose arrays do not grow
+    with the iteration count.
     """
+    if elem_scale is None:
+        elem_scale = iter_scale
     time = serial_region_time(profile.serial, machine) * invocation_scale
     for record in profile.parallel_loops:
         time += loop_time(record, machine, threads, iter_scale=iter_scale,

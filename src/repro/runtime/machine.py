@@ -86,15 +86,17 @@ class MachineModel:
             return 1.0
         return 1.0 + self.turbo_penalty * (threads - 1) / (self.max_threads - 1)
 
-    def atomic_cost(self, count: int, threads: int) -> float:
+    def atomic_cost(self, count: float, threads: int) -> float:
         """Total wall time consumed by *count* atomics spread over
-        *threads* threads, including contention."""
-        if count == 0:
+        *threads* threads, including contention. *count* may be a
+        fractional extrapolated value (profiling at reduced trip
+        count); it is charged pro rata, never truncated."""
+        if count <= 0:
             return 0.0
         per_op = self.atomic_s * (1.0 + self.atomic_contention * (threads - 1))
         return count * per_op / threads
 
-    def reduction_cost(self, array_elems: int, threads: int) -> float:
+    def reduction_cost(self, array_elems: float, threads: int) -> float:
         """Privatize + merge cost for one reduction array over one
         parallel region instance."""
         if threads <= 1:

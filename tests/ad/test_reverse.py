@@ -4,7 +4,7 @@ finite differences), structural properties, and safeguard insertion."""
 import numpy as np
 import pytest
 
-from repro.ad import (ALL_ATOMIC, ALL_REDUCTION, ALL_SHARED, GuardKind,
+from repro.ad import (ALL_ATOMIC, ALL_REDUCTION, ALL_SHARED,
                       differentiate_reverse)
 from repro.ir import (Assign, Loop, Push, format_procedure, parse_procedure,
                       walk_stmts)

@@ -1,0 +1,48 @@
+"""Audit oracles over the new registry strategies.
+
+The acceptance bar for `preaccumulate` and `transposed`: their
+generated adjoints must pass both the race oracle (shadow-memory
+collision detection under the parallel interpretation) and the
+numerics oracle (dot-product test against central differences) on the
+stencil and GFMC kernels. GFMC additionally exercises the per-array
+atomic fallback, since its indirection-indexed reads are rejected by
+both strategies' applicability predicates.
+"""
+
+import pytest
+
+from repro import differentiate
+from repro.audit.numcheck import adjoint_bindings, dot_product_check
+from repro.experiments.specs import gfmc_spec, small_stencil_spec
+from repro.runtime import detect_races
+
+NEW_STRATEGIES = ("preaccumulate", "transposed")
+
+
+def _specs():
+    return [
+        small_stencil_spec(n=48),
+        gfmc_spec(npair=6, nwalk=4, ngroups_max=5),
+    ]
+
+
+@pytest.mark.parametrize("spec", _specs(), ids=lambda s: s.name)
+@pytest.mark.parametrize("strategy", NEW_STRATEGIES)
+def test_race_oracle_accepts_generated_adjoint(spec, strategy):
+    adj = differentiate(spec.proc, spec.independents, spec.dependents,
+                        strategy=strategy)
+    bindings = adjoint_bindings(adj, spec.bindings, spec.independents,
+                                spec.dependents, seed=3)
+    report = detect_races(adj.procedure, bindings)
+    assert report.race_free, [str(r) for r in report.races]
+
+
+@pytest.mark.parametrize("spec", _specs(), ids=lambda s: s.name)
+@pytest.mark.parametrize("strategy", NEW_STRATEGIES)
+def test_numerics_oracle_accepts_generated_adjoint(spec, strategy):
+    adj = differentiate(spec.proc, spec.independents, spec.dependents,
+                        strategy=strategy)
+    ok, fd, adj_val = dot_product_check(spec.proc, adj, spec.bindings,
+                                        spec.independents, spec.dependents,
+                                        seed=5)
+    assert ok, f"{strategy} on {spec.name}: fd={fd!r} adj={adj_val!r}"

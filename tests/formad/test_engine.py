@@ -8,7 +8,6 @@ from repro import analyze_formad, differentiate, parse_procedure
 from repro.analysis import ActivityAnalysis
 from repro.formad import (FormADEngine, FormADGuardPolicy, PrimalRaceError,
                           extract_knowledge, format_table1, AnalysisReport)
-from repro.ad import GuardKind
 from repro.ir import Assign, Loop, Var, walk_stmts
 
 FIG2 = """
@@ -136,7 +135,7 @@ class TestUnsafePatterns:
     def test_reduction_fallback(self):
         proc = parse_procedure(OVERLAPPING)
         adj = differentiate(proc, ["x"], ["y"], strategy="formad",
-                            fallback=GuardKind.REDUCTION)
+                            fallback="reduction")
         loops = [s for s in walk_stmts(adj.procedure.body)
                  if isinstance(s, Loop) and s.parallel and s.reduction]
         assert loops

@@ -276,3 +276,125 @@ end subroutine p
         proc = parse_procedure(src)
         report = detect_races(proc, {"y": np.zeros(100), "n": 50})
         assert not report.race_free
+
+
+class TestScalingRegressions:
+    """Fractional profiling scales must not zero safeguard costs.
+
+    The old cost path truncated ``total_atomics * iter_scale`` and
+    ``elems * elem_scale`` to int, so a kernel profiled at reduced size
+    and extrapolated *down* (iter_scale < 1) lost its atomic and
+    reduction overhead entirely."""
+
+    def _atomic_record(self, n=10):
+        proc = parse_procedure(ATOMIC_GUARDED)
+        run = profile_run(proc, {"y": np.zeros(10), "n": n})
+        return run.profile.parallel_loops[0]
+
+    def test_fractional_iter_scale_keeps_atomic_cost(self):
+        from repro.ad.strategies import ATOMIC
+
+        m = MachineModel()
+        record = self._atomic_record(n=10)
+        # 10 atomics at iter_scale=0.05 -> 0.5 scaled atomics. int()
+        # made this 0; the pro-rata float cost must survive.
+        cost = ATOMIC.loop_cost(record, m, 18, iter_scale=0.05)
+        assert cost > 0
+        assert cost == pytest.approx(m.atomic_cost(0.5, 18))
+
+    def test_atomic_cost_is_pro_rata_in_count(self):
+        m = MachineModel()
+        assert m.atomic_cost(0.5, 4) == pytest.approx(m.atomic_cost(1.0, 4) / 2)
+        assert m.atomic_cost(0.0, 4) == 0.0
+        assert m.atomic_cost(-3.0, 4) == 0.0
+
+    def test_fractional_elem_scale_keeps_reduction_cost(self):
+        from repro.ad.strategies import REDUCTION
+
+        src = """
+subroutine p(x, g, n)
+  integer, intent(in) :: n
+  real, intent(in) :: x(100)
+  real, intent(inout) :: g(10)
+  !$omp parallel do reduction(+:g)
+  do i = 1, n
+    g(1) = g(1) + x(i)
+  end do
+end subroutine p
+"""
+        proc = parse_procedure(src)
+        run = profile_run(proc, {"x": np.ones(100), "g": np.zeros(10),
+                                 "n": 100})
+        record = run.profile.parallel_loops[0]
+        m = MachineModel()
+        cost = REDUCTION.loop_cost(record, m, 8, elem_scale=0.25)
+        assert cost > 0
+        assert cost == pytest.approx(m.reduction_cost(10 * 0.25, 8))
+
+    def test_total_time_elem_scale_defaults_to_iter_scale(self):
+        from repro.runtime.costmodel import total_time
+
+        src = """
+subroutine p(x, g, n)
+  integer, intent(in) :: n
+  real, intent(in) :: x(100)
+  real, intent(inout) :: g(10)
+  !$omp parallel do reduction(+:g)
+  do i = 1, n
+    g(1) = g(1) + x(i)
+  end do
+end subroutine p
+"""
+        proc = parse_procedure(src)
+        run = profile_run(proc, {"x": np.ones(100), "g": np.zeros(10),
+                                 "n": 100})
+        m = MachineModel()
+        defaulted = total_time(run.profile, m, 8, iter_scale=40.0)
+        explicit = total_time(run.profile, m, 8, iter_scale=40.0,
+                              elem_scale=40.0)
+        pinned = total_time(run.profile, m, 8, iter_scale=40.0,
+                            elem_scale=1.0)
+        assert defaulted == pytest.approx(explicit)
+        assert defaulted > pinned  # the default really scales volumes
+
+    def test_loop_time_with_more_threads_than_iterations(self):
+        record = self._atomic_record(n=3)
+        t = loop_time(record, MachineModel(), 18)
+        assert np.isfinite(t) and t > 0
+        # Trailing threads get empty chunks; fork/join still charged.
+        assert t >= MachineModel().fork_join_cost(18)
+
+
+class TestSharedStrategyRaces:
+    def test_all_shared_adjoint_of_gather_kernel_races(self):
+        """ALL_SHARED drops every safeguard; on a gather kernel whose
+        index table repeats values, the shared adjoint increments
+        collide and the race oracle must say so."""
+        from repro import differentiate
+        from repro.audit.numcheck import adjoint_bindings
+
+        src = """
+subroutine gather(x, z, t, n)
+  integer, intent(in) :: n
+  real, intent(in) :: x(8)
+  real, intent(inout) :: z(16)
+  integer, intent(in) :: t(16)
+  !$omp parallel do
+  do i = 1, n
+    z(i) = z(i) + 2.0 * x(t(i))
+  end do
+end subroutine gather
+"""
+        proc = parse_procedure(src)
+        bindings = {"x": np.ones(8), "z": np.zeros(16),
+                    "t": np.array([1, 1, 2, 2, 3, 3, 4, 4,
+                                   5, 5, 6, 6, 7, 7, 8, 8]), "n": 16}
+        adj = differentiate(proc, ["x"], ["z"], strategy="shared")
+        abind = adjoint_bindings(adj, bindings, ["x"], ["z"], seed=1)
+        report = detect_races(adj.procedure, abind)
+        assert not report.race_free
+        assert any(r.array == "xb" for r in report.races)
+        # The atomic build of the same adjoint is clean.
+        safe = differentiate(proc, ["x"], ["z"], strategy="atomic")
+        sbind = adjoint_bindings(safe, bindings, ["x"], ["z"], seed=1)
+        assert detect_races(safe.procedure, sbind).race_free

@@ -94,3 +94,52 @@ class TestParseErrors:
         path.write_text("subroutine oops(\n")
         assert main(["analyze", str(path), "-i", "x", "-o", "y"]) == 1
         assert "error:" in capsys.readouterr().err
+
+
+class TestAnalyzeStrategy:
+    def test_json_has_no_strategy_key_without_flag(self, src_file, capsys):
+        import json
+
+        assert main(["analyze", src_file, "-i", "x", "-o", "y",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "strategy" not in doc
+
+    def test_json_strategy_selection_is_stable(self, src_file, capsys):
+        import json
+
+        argv = ["analyze", src_file, "-i", "x", "-o", "y", "--json",
+                "--strategy", "preaccumulate"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)["strategy"]
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)["strategy"]
+        assert first == second  # byte-stable selection document
+        assert first["requested"] == "preaccumulate"
+        assert first["fallback"] == "atomic"
+        arrays = {a["array"]: a for loop in first["loops"]
+                  for a in loop["arrays"]}
+        # x's reads are iteration-stable (c is loop-invariant), so
+        # preaccumulate applies; the overwritten y falls back with the
+        # rejection reason recorded.
+        assert arrays["x"]["strategy"] == "preaccumulate"
+        assert arrays["y"]["strategy"] == "atomic"
+        assert arrays["y"]["reason"]
+
+    def test_plain_output_lists_selection(self, src_file, capsys):
+        assert main(["analyze", src_file, "-i", "x", "-o", "y",
+                     "--strategy", "transposed"]) == 0
+        out = capsys.readouterr().out
+        assert "strategy transposed (fallback atomic):" in out
+        assert "-> atomic" in out
+
+    def test_formad_strategy_keeps_proven_arrays_shared(self, src_file,
+                                                        capsys):
+        import json
+
+        assert main(["analyze", src_file, "-i", "x", "-o", "y", "--json",
+                     "--strategy", "formad"]) == 0
+        doc = json.loads(capsys.readouterr().out)["strategy"]
+        arrays = {a["array"]: a for loop in doc["loops"]
+                  for a in loop["arrays"]}
+        assert arrays["x"]["strategy"] == "shared"
